@@ -1,0 +1,95 @@
+package kglids
+
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section 6). Each benchmark wraps the corresponding
+// experiments.Run* harness so `go test -bench=.` reproduces the full
+// evaluation; cmd/kglids-bench prints the formatted tables.
+
+import (
+	"testing"
+
+	"kglids/internal/experiments"
+	"kglids/internal/lakegen"
+)
+
+// benchSpec is a reduced benchmark replica so individual testing.B
+// iterations stay in the seconds range; kglids-bench runs the full
+// replicas.
+var benchSpec = lakegen.Spec{
+	Name: "TUS Small", Families: 8, TablesPerFamily: 4, NoiseTables: 10,
+	RowsPerTable: 100, QueryTables: 10, Seed: 81,
+}
+
+func BenchmarkTable1_BenchmarkStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable1Subset([]lakegen.Spec{benchSpec})
+	}
+}
+
+func BenchmarkTable2_Figure5_Discovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunDiscoveryBenchmark(benchSpec)
+	}
+}
+
+func BenchmarkFigure6_Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFigure6()
+	}
+}
+
+func BenchmarkTable3_Table4_Figure4_Abstraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunAbstraction(100)
+	}
+}
+
+func BenchmarkTable5_Figure7_Cleaning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable5(8)
+	}
+}
+
+func BenchmarkTable6_Figure8_Transformation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable6(8)
+	}
+}
+
+func BenchmarkFigure9_AutoML(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFigure9(60)
+	}
+}
+
+// Ablation bench (DESIGN.md §6.3): answering a union query from the
+// materialized similarity edges (KGLiDS) versus recomputing embedding
+// distances at query time (the Starmie-style alternative).
+func BenchmarkAblation_QueryViaIndexVsEmbedding(b *testing.B) {
+	lake := lakegen.Generate(benchSpec)
+	var tables []Table
+	for _, df := range lake.Tables {
+		tables = append(tables, Table{Dataset: lake.Dataset[df.Name], Frame: df})
+	}
+	plat := Bootstrap(Options{}, tables)
+	query := lake.QueryTables[0]
+	queryID := lake.Dataset[query] + "/" + query
+	var queryFrame *DataFrame
+	for _, df := range lake.Tables {
+		if df.Name == query {
+			queryFrame = df
+		}
+	}
+	b.Run("MaterializedEdges", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := plat.UnionableTables(queryID, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("EmbeddingDistance", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plat.SimilarTables(queryFrame, 10)
+		}
+	})
+}

@@ -1,0 +1,81 @@
+// Command kglids-bench regenerates the paper's tables and figures
+// (Section 6) over the synthetic workload replicas and prints them in the
+// paper's layout.
+//
+// Usage:
+//
+//	kglids-bench [-pipelines N] [-training N] [experiment ...]
+//
+// Experiments: table1 table2 figure5 figure6 figure4 table3 table4 table5
+// figure7 table6 figure8 figure9, or "all" (default). Table 2 / Figure 5
+// share one run, as do Table 3 / Table 4 / Figure 4 and Table 5 /
+// Figure 7 and Table 6 / Figure 8.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kglids/internal/experiments"
+)
+
+func main() {
+	pipelines := flag.Int("pipelines", 300, "corpus size for abstraction/AutoML experiments")
+	training := flag.Int("training", 24, "training datasets for the cleaning/transformation GNNs")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if flag.NArg() == 0 {
+		want["all"] = true
+	}
+	for _, a := range flag.Args() {
+		want[a] = true
+	}
+	run := func(names ...string) bool {
+		if want["all"] {
+			return true
+		}
+		for _, n := range names {
+			if want[n] {
+				return true
+			}
+		}
+		return false
+	}
+
+	if run("table1") {
+		fmt.Println(experiments.FormatTable1(experiments.RunTable1()))
+	}
+	if run("table2", "figure5") {
+		runs := experiments.RunTable2AndFigure5(experiments.Specs())
+		fmt.Println(experiments.FormatTable2(runs))
+		fmt.Println(experiments.FormatFigure5(runs))
+	}
+	if run("figure6") {
+		fmt.Println(experiments.FormatFigure6(experiments.RunFigure6()))
+	}
+	if run("table3", "table4", "figure4") {
+		r := experiments.RunAbstraction(*pipelines)
+		fmt.Println(experiments.FormatFigure4(r))
+		fmt.Println(experiments.FormatTable3(r))
+		fmt.Println(experiments.FormatTable4(r))
+	}
+	if run("table5", "figure7") {
+		rows := experiments.RunTable5(*training)
+		fmt.Println(experiments.FormatTable5(rows))
+		fmt.Println(experiments.FormatFigure7(rows))
+	}
+	if run("table6", "figure8") {
+		rows := experiments.RunTable6(*training)
+		fmt.Println(experiments.FormatTable6(rows))
+		fmt.Println(experiments.FormatFigure8(rows))
+	}
+	if run("figure9") {
+		fmt.Println(experiments.FormatFigure9(experiments.RunFigure9(*pipelines)))
+	}
+	if len(want) == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments selected")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,70 @@
+// Command kglids-profiler runs KGLiDS Data Profiling (Algorithm 2) over a
+// directory of CSV files and emits one column profile per line as JSON —
+// the profile documents the KG construction consumes.
+//
+// Usage:
+//
+//	kglids-profiler -lake DIR [-breakdown]
+//
+// The directory layout is lake/<dataset>/<table>.csv; bare CSVs directly
+// under the lake directory form a dataset named after the directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"kglids/internal/dataframe"
+	"kglids/internal/embed"
+	"kglids/internal/profiler"
+)
+
+func main() {
+	lakeDir := flag.String("lake", "", "data lake directory (required)")
+	breakdown := flag.Bool("breakdown", false, "print the fine-grained type breakdown instead of profiles")
+	flag.Parse()
+	if *lakeDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var tables []profiler.Table
+	err := filepath.Walk(*lakeDir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(strings.ToLower(path), ".csv") {
+			return err
+		}
+		df, err := dataframe.ReadCSVFile(path)
+		if err != nil {
+			log.Printf("skipping %s: %v", path, err)
+			return nil
+		}
+		dataset := filepath.Base(filepath.Dir(path))
+		tables = append(tables, profiler.Table{Dataset: dataset, Frame: df})
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(tables) == 0 {
+		log.Fatalf("no CSV files under %s", *lakeDir)
+	}
+	p := profiler.New()
+	profiles := p.ProfileAll(tables)
+	if *breakdown {
+		bd := profiler.TypeBreakdown(profiles)
+		for _, t := range embed.AllTypes {
+			fmt.Printf("%-20s %d\n", t, bd[t])
+		}
+		return
+	}
+	for _, cp := range profiles {
+		data, err := cp.JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(data))
+	}
+}

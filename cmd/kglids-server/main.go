@@ -1,0 +1,120 @@
+// Command kglids-server exposes a bootstrapped KGLiDS platform over HTTP:
+// a SPARQL endpoint plus the predefined discovery operations, mirroring
+// the KGLiDS Interfaces in service form (paper Section 5).
+//
+// Endpoints:
+//
+//	GET /stats                         LiDS graph statistics
+//	GET /sparql?query=...              ad-hoc SPARQL (JSON rows)
+//	GET /search?q=kw1,kw2              keyword search (one conjunction)
+//	GET /unionable?table=ds/t.csv&k=5  top-k unionable tables
+//	GET /libraries?k=10                top-k libraries
+//
+// Usage:
+//
+//	kglids-server -lake DIR [-addr :8080]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"kglids"
+	"kglids/internal/dataframe"
+)
+
+func main() {
+	lakeDir := flag.String("lake", "", "data lake directory of CSV files (required)")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	if *lakeDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var tables []kglids.Table
+	err := filepath.Walk(*lakeDir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(strings.ToLower(path), ".csv") {
+			return err
+		}
+		df, err := dataframe.ReadCSVFile(path)
+		if err != nil {
+			return nil
+		}
+		tables = append(tables, kglids.Table{Dataset: filepath.Base(filepath.Dir(path)), Frame: df})
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("bootstrapping over %d tables...", len(tables))
+	plat := kglids.Bootstrap(kglids.Options{}, tables)
+	stats := plat.Stats()
+	log.Printf("LiDS graph ready: %d triples, %d similarity edges", stats.Triples, stats.SimilarityEdges)
+
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(v); err != nil {
+			log.Printf("encode: %v", err)
+		}
+	}
+	http.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, plat.Stats())
+	})
+	http.HandleFunc("/sparql", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("query")
+		if q == "" {
+			http.Error(w, "missing query", http.StatusBadRequest)
+			return
+		}
+		res, err := plat.Query(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		rows := make([]map[string]string, len(res.Rows))
+		for i, b := range res.Rows {
+			row := map[string]string{}
+			for v, t := range b {
+				row[v] = t.Value
+			}
+			rows[i] = row
+		}
+		writeJSON(w, map[string]any{"vars": res.Vars, "rows": rows})
+	})
+	http.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+		kws := strings.Split(r.URL.Query().Get("q"), ",")
+		writeJSON(w, plat.SearchKeywords([][]string{kws}))
+	})
+	http.HandleFunc("/unionable", func(w http.ResponseWriter, r *http.Request) {
+		k, _ := strconv.Atoi(r.URL.Query().Get("k"))
+		if k <= 0 {
+			k = 10
+		}
+		res, err := plat.UnionableTables(r.URL.Query().Get("table"), k)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, res)
+	})
+	http.HandleFunc("/libraries", func(w http.ResponseWriter, r *http.Request) {
+		k, _ := strconv.Atoi(r.URL.Query().Get("k"))
+		if k <= 0 {
+			k = 10
+		}
+		res, err := plat.GetTopKLibrariesUsed(k)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, res)
+	})
+	log.Printf("serving on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, nil))
+}

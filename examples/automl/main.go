@@ -1,0 +1,73 @@
+// AutoML: the KGpip-revised flow of paper Section 4.4 — mine estimator
+// usages and hyperparameters from a pipeline corpus, recommend a
+// classifier and its hyperparameters for an unseen dataset, and compare
+// the LiDS-seeded hyperparameter search against the unseeded baseline
+// under the same time budget (the Figure 9 protocol).
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"kglids"
+	"kglids/internal/lakegen"
+	"kglids/internal/pipegen"
+)
+
+func main() {
+	// Corpus datasets + pipelines (the platform's knowledge).
+	var tables []kglids.Table
+	var datasets []pipegen.Dataset
+	for i := 0; i < 6; i++ {
+		task := lakegen.GenerateTask(lakegen.TaskSpec{
+			ID: i, Name: fmt.Sprintf("corpus_%02d", i),
+			Rows: 200 + i*50, NumFeatures: 5, CatFeatures: 1, Classes: 2,
+			Seed: int64(10 + i),
+		})
+		tables = append(tables, kglids.Table{Dataset: task.Name, Frame: task.Frame})
+		datasets = append(datasets, pipegen.FrameDataset(task.Name, task.Frame, task.Target))
+	}
+	plat := kglids.Bootstrap(kglids.Options{}, tables)
+	corpus := pipegen.Generate(pipegen.Options{NumPipelines: 120, Datasets: datasets, Seed: 20})
+	scripts := make([]kglids.Script, len(corpus))
+	for i, g := range corpus {
+		scripts[i] = g.Script
+	}
+	plat.AddPipelines(scripts)
+	plat.TrainAutoML(true)
+
+	// Unseen dataset.
+	unseen := lakegen.GenerateTask(lakegen.TaskSpec{
+		ID: 99, Name: "unseen", Rows: 400, NumFeatures: 6, CatFeatures: 1,
+		Classes: 2, Seed: 77,
+	})
+
+	// recommend_ml_models.
+	models := plat.RecommendMLModels(unseen.Frame)
+	fmt.Println("recommend_ml_models:")
+	for _, m := range models[:min(4, len(models))] {
+		fmt.Printf("  %-48s votes %6d  uses %d\n", m.Classifier, m.Votes, m.Uses)
+	}
+
+	// recommend_hyperparameters for the top classifier.
+	if len(models) > 0 {
+		params := plat.RecommendHyperparameters(unseen.Frame, models[0].Classifier)
+		fmt.Printf("\nrecommend_hyperparameters(%s):\n", models[0].Classifier)
+		for name, v := range params {
+			fmt.Printf("  %-16s = %g\n", name, v)
+		}
+	}
+
+	// Full AutoML run under a fixed budget.
+	budget := 400 * time.Millisecond
+	res, err := plat.AutoML(unseen.Frame, "target", budget)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nAutoML (LiDS-seeded, %s budget): %s F1 = %.4f after %d trials\n",
+		budget, res.Classifier, res.F1, res.Trials)
+	fmt.Println("chosen hyperparameters:")
+	for name, v := range res.Params {
+		fmt.Printf("  %-16s = %g\n", name, v)
+	}
+}

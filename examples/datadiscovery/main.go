@@ -1,0 +1,106 @@
+// Data discovery walkthrough: the heart-failure scenario of the paper's
+// Section 5 — keyword search, unionable-column recommendation, join-path
+// discovery, library discovery, and pipeline discovery.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kglids"
+	"kglids/internal/dataframe"
+	"kglids/internal/pipegen"
+)
+
+// mkTable builds a small table from literal columns.
+func mkTable(name string, cols [][2]any) *kglids.DataFrame {
+	df := dataframe.New(name)
+	for _, c := range cols {
+		s := &dataframe.Series{Name: c[0].(string)}
+		for _, v := range c[1].([]string) {
+			s.Cells = append(s.Cells, dataframe.ParseCell(v))
+		}
+		df.AddColumn(s)
+	}
+	return df
+}
+
+func main() {
+	cities := []string{"Montreal", "Toronto", "Vancouver", "Ottawa", "Boston", "Chicago", "Seattle", "London"}
+	heartDisease := mkTable("heart_disease_patients.csv", [][2]any{
+		{"gender", []string{"male", "female", "male", "male", "female", "male", "female", "male"}},
+		{"age", []string{"63", "37", "41", "56", "57", "44", "52", "57"}},
+		{"city", []string{cities[0], cities[1], cities[2], cities[3], cities[4], cities[5], cities[6], cities[7]}},
+		{"target", []string{"1", "0", "1", "0", "1", "1", "0", "1"}},
+	})
+	heartFailure := mkTable("heart_failure_clinical.csv", [][2]any{
+		{"sex", []string{"male", "female", "female", "male", "male", "female", "male", "female"}},
+		{"age", []string{"60", "42", "45", "50", "61", "48", "55", "52"}},
+		{"town", []string{cities[0], cities[1], cities[2], cities[3], cities[4], cities[5], cities[6], cities[7]}},
+	})
+	cityPop := mkTable("city_population.csv", [][2]any{
+		{"location", []string{cities[0], cities[1], cities[2], cities[3], cities[4], cities[5], cities[6], cities[7]}},
+		{"residents", []string{"1704694", "2731571", "631486", "934243", "675647", "2746388", "737015", "8982000"}},
+	})
+
+	plat := kglids.Bootstrap(kglids.Options{}, []kglids.Table{
+		{Dataset: "heart-disease-uci", Frame: heartDisease},
+		{Dataset: "heart-failure-prediction", Frame: heartFailure},
+		{Dataset: "world-cities", Frame: cityPop},
+	})
+
+	// Step 1: search_keywords([['heart','disease'], 'patients']).
+	hits := plat.SearchKeywords([][]string{{"heart", "disease"}, {"patients"}})
+	fmt.Println("search_keywords([['heart','disease'],['patients']]):")
+	for _, h := range hits {
+		fmt.Printf("  %s\n", h.Name)
+	}
+	if len(hits) == 0 {
+		log.Fatal("no tables found")
+	}
+
+	// Step 2: find_unionable_columns between the two heart tables.
+	failureHits := plat.SearchKeywords([][]string{{"failure"}})
+	fmt.Println("\nfind_unionable_columns(heart_disease, heart_failure):")
+	for _, m := range plat.FindUnionableColumns(hits[0], failureHits[0]) {
+		fmt.Printf("  %-10s ~ %-10s (%s, %.2f)\n", m.AName, m.BName, m.Kind, m.Score)
+	}
+
+	// Step 3: get_path_to_table — join path to the city table.
+	cityHits := plat.SearchKeywords([][]string{{"population"}})
+	paths := plat.GetPathToTable(hits[0], cityHits[0], 2)
+	fmt.Println("\nget_path_to_table(heart_disease, city_population, hops=2):")
+	for _, p := range paths {
+		for i, tbl := range p.Tables {
+			if i > 0 {
+				fmt.Print(" -> ")
+			}
+			fmt.Print(tbl.Local())
+		}
+		fmt.Printf("  (score %.3f)\n", p.Score)
+	}
+
+	// Step 4: library + pipeline discovery over an added corpus.
+	ds := pipegen.FrameDataset("heart-disease-uci", heartDisease, "target")
+	corpus := pipegen.Generate(pipegen.Options{NumPipelines: 15, Datasets: []pipegen.Dataset{ds}, Seed: 3})
+	scripts := make([]kglids.Script, len(corpus))
+	for i, g := range corpus {
+		scripts[i] = g.Script
+	}
+	plat.AddPipelines(scripts)
+
+	top, err := plat.GetTopUsedLibraries(5, "classification")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nget_top_used_libraries(5, 'classification'):")
+	for _, lc := range top {
+		fmt.Printf("  %-14s %d pipelines\n", lc.Library, lc.Pipelines)
+	}
+
+	pipes := plat.GetPipelinesCallingLibraries("pandas.read_csv", "sklearn.model_selection.train_test_split")
+	fmt.Printf("\nget_pipelines_calling_libraries(read_csv, train_test_split): %d pipelines\n", len(pipes))
+	for _, p := range pipes[:min(3, len(pipes))] {
+		fmt.Printf("  %s (votes %d)\n", p.Pipeline.Local(), p.Votes)
+	}
+}

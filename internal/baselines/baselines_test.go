@@ -1,0 +1,278 @@
+// Package baselines_test exercises the four reimplemented comparison
+// systems against the behaviours the paper's evaluation relies on.
+package baselines_test
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"kglids/internal/baselines/autolearn"
+	"kglids/internal/baselines/graphgen"
+	"kglids/internal/baselines/holoclean"
+	"kglids/internal/baselines/santos"
+	"kglids/internal/baselines/starmie"
+	"kglids/internal/dataframe"
+	"kglids/internal/lakegen"
+	"kglids/internal/pipeline"
+	"kglids/internal/store"
+)
+
+const sampleScript = `import pandas as pd
+from sklearn.ensemble import RandomForestClassifier
+df = pd.read_csv('titanic/train.csv')
+X, y = df.drop('Survived', axis=1), df['Survived']
+clf = RandomForestClassifier(50, max_depth=10)
+clf.fit(X, y)
+`
+
+func TestGraphGenLargerThanKGLiDS(t *testing.T) {
+	// Table 3: GraphGen4Code emits several times more triples than KGLiDS
+	// for the same script.
+	stG := store.New()
+	resG := graphgen.New().Abstract(stG, "p1", sampleScript)
+	if resG.ParseErr != nil {
+		t.Fatal(resG.ParseErr)
+	}
+	stK := store.New()
+	abs := pipeline.NewAbstractor().Abstract(pipeline.Script{ID: "p1", Source: sampleScript})
+	nK := pipeline.NewGraphBuilder(nil).BuildGraph(stK, abs)
+	if resG.Triples <= nK*2 {
+		t.Errorf("graphgen triples = %d, kglids = %d; want > 2x", resG.Triples, nK)
+	}
+	// Table 4: graphgen emits location/variable/param-order aspects KGLiDS
+	// does not.
+	for _, aspect := range []string{graphgen.AspectStatementLocation, graphgen.AspectVariableNames, graphgen.AspectParamOrder} {
+		if resG.Breakdown[aspect] == 0 {
+			t.Errorf("aspect %q missing", aspect)
+		}
+	}
+}
+
+func TestGraphGenParseError(t *testing.T) {
+	res := graphgen.New().Abstract(store.New(), "bad", "x = 'oops\n")
+	if res.ParseErr == nil {
+		t.Error("parse error not reported")
+	}
+}
+
+func lakeFixture(t *testing.T) *lakegen.Benchmark {
+	t.Helper()
+	return lakegen.Generate(lakegen.Spec{
+		Name: "fix", Families: 4, TablesPerFamily: 3, NoiseTables: 4,
+		RowsPerTable: 60, QueryTables: 4, Seed: 61,
+	})
+}
+
+func TestSantosFindsUnionables(t *testing.T) {
+	b := lakeFixture(t)
+	idx := santos.Preprocess(b.Tables)
+	hits, misses := 0, 0
+	for _, q := range b.QueryTables {
+		truth := map[string]bool{}
+		for _, o := range b.GroundTruth[q] {
+			truth[o] = true
+		}
+		for _, r := range idx.Query(q, len(truth)) {
+			if truth[r.Table] {
+				hits++
+			} else {
+				misses++
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("santos found no true unionables")
+	}
+	if hits < misses {
+		t.Errorf("santos precision too low: %d hits, %d misses", hits, misses)
+	}
+}
+
+func TestSantosUnknownQuery(t *testing.T) {
+	b := lakeFixture(t)
+	idx := santos.Preprocess(b.Tables)
+	if res := idx.Query("absent.csv", 5); res != nil {
+		t.Errorf("unknown query returned %v", res)
+	}
+}
+
+func TestStarmieFindsUnionables(t *testing.T) {
+	b := lakeFixture(t)
+	idx := starmie.Preprocess(b.Tables)
+	byName := map[string]*dataframe.DataFrame{}
+	for _, df := range b.Tables {
+		byName[df.Name] = df
+	}
+	hits := 0
+	for _, q := range b.QueryTables {
+		truth := map[string]bool{}
+		for _, o := range b.GroundTruth[q] {
+			truth[o] = true
+		}
+		for _, r := range idx.Query(byName[q], len(truth)) {
+			if truth[r.Table] {
+				hits++
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("starmie found no true unionables")
+	}
+}
+
+func TestStarmieTextBeatsNumeric(t *testing.T) {
+	// Section 6.1.1: Starmie's token-level embeddings fit textual columns
+	// better than numeric ones. Two numeric columns drawn from the same
+	// distribution but disjoint values should look less similar to
+	// Starmie than two textual columns sharing a vocabulary.
+	rng := rand.New(rand.NewSource(5))
+	mkNum := func(name string, off float64) *dataframe.DataFrame {
+		df := dataframe.New(name)
+		s := &dataframe.Series{Name: "v"}
+		for i := 0; i < 80; i++ {
+			s.Cells = append(s.Cells, dataframe.NumberCell(off+rng.Float64()*100))
+		}
+		df.AddColumn(s)
+		return df
+	}
+	cities := []string{"montreal", "toronto", "vancouver", "ottawa"}
+	mkText := func(name string) *dataframe.DataFrame {
+		df := dataframe.New(name)
+		s := &dataframe.Series{Name: "city"}
+		for i := 0; i < 80; i++ {
+			s.Cells = append(s.Cells, dataframe.TextCell(cities[rng.Intn(len(cities))]))
+		}
+		df.AddColumn(s)
+		return df
+	}
+	tables := []*dataframe.DataFrame{mkNum("n1.csv", 0.0001), mkNum("n2.csv", 0.00013), mkText("t1.csv"), mkText("t2.csv")}
+	idx := starmie.Preprocess(tables)
+	textScore, numScore := 0.0, 0.0
+	for _, r := range idx.Query(tables[2], 3) {
+		if r.Table == "t2.csv" {
+			textScore = r.Score
+		}
+	}
+	for _, r := range idx.Query(tables[0], 3) {
+		if r.Table == "n2.csv" {
+			numScore = r.Score
+		}
+	}
+	if textScore <= numScore {
+		t.Errorf("text similarity %v should exceed numeric %v", textScore, numScore)
+	}
+}
+
+func nullFrame(rows, cols int, seed int64) *dataframe.DataFrame {
+	rng := rand.New(rand.NewSource(seed))
+	df := dataframe.New("t")
+	for c := 0; c < cols; c++ {
+		s := &dataframe.Series{Name: strings.Repeat("c", c+1)}
+		for r := 0; r < rows; r++ {
+			if rng.Float64() < 0.1 {
+				s.Cells = append(s.Cells, dataframe.NullCell())
+			} else {
+				s.Cells = append(s.Cells, dataframe.NumberCell(float64(rng.Intn(50))+float64(c)*100))
+			}
+		}
+		df.AddColumn(s)
+	}
+	return df
+}
+
+func TestHoloCleanRepairs(t *testing.T) {
+	df := nullFrame(200, 4, 1)
+	out, err := holoclean.New(0).Clean(df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NullCount() != 0 {
+		t.Errorf("nulls remain: %d", out.NullCount())
+	}
+	if df.NullCount() == 0 {
+		t.Error("input mutated")
+	}
+}
+
+func TestHoloCleanOOM(t *testing.T) {
+	df := nullFrame(3000, 10, 2)
+	_, err := holoclean.New(10_000).Clean(df) // tiny ceiling
+	if !errors.Is(err, holoclean.ErrOutOfMemory) {
+		t.Errorf("err = %v, want OOM", err)
+	}
+	// Generous ceiling succeeds.
+	if _, err := holoclean.New(1 << 30).Clean(df); err != nil {
+		t.Errorf("unexpected err with large ceiling: %v", err)
+	}
+}
+
+func TestHoloCleanMemoryGrowsWithData(t *testing.T) {
+	// Figure 7b: HoloClean's memory grows with dataset size. Find a
+	// ceiling that admits the small set but not the large one.
+	small := nullFrame(100, 4, 3)
+	large := nullFrame(4000, 12, 4)
+	const ceiling = 400_000
+	if _, err := holoclean.New(ceiling).Clean(small); err != nil {
+		t.Errorf("small dataset OOM'd: %v", err)
+	}
+	if _, err := holoclean.New(ceiling).Clean(large); !errors.Is(err, holoclean.ErrOutOfMemory) {
+		t.Errorf("large dataset should OOM, got %v", err)
+	}
+}
+
+func TestAutoLearnGeneratesFeatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	df := dataframe.New("t")
+	a := &dataframe.Series{Name: "a"}
+	b := &dataframe.Series{Name: "b"}
+	y := &dataframe.Series{Name: "target"}
+	for i := 0; i < 150; i++ {
+		v := rng.Float64() * 10
+		a.Cells = append(a.Cells, dataframe.NumberCell(v))
+		b.Cells = append(b.Cells, dataframe.NumberCell(2*v+rng.NormFloat64()*0.1))
+		y.Cells = append(y.Cells, dataframe.NumberCell(float64(i%2)))
+	}
+	df.AddColumn(a)
+	df.AddColumn(b)
+	df.AddColumn(y)
+	out, err := autolearn.Transform(autolearn.DefaultConfig(), df, "target")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumCols() <= df.NumCols() {
+		t.Error("no features generated for correlated pair")
+	}
+}
+
+func TestAutoLearnTimeout(t *testing.T) {
+	df := nullFrame(1500, 14, 8)
+	cfg := autolearn.Config{Budget: 1 * time.Millisecond, CorrThreshold: 0.1}
+	_, err := autolearn.Transform(cfg, df.DropNullRows(), "c")
+	if !errors.Is(err, autolearn.ErrTimeout) {
+		t.Errorf("err = %v, want timeout", err)
+	}
+}
+
+func TestDistanceCorrelation(t *testing.T) {
+	x := make([]float64, 100)
+	yLin := make([]float64, 100)
+	yRand := make([]float64, 100)
+	rng := rand.New(rand.NewSource(9))
+	for i := range x {
+		x[i] = rng.Float64()
+		yLin[i] = 3*x[i] + 1
+		yRand[i] = rng.Float64()
+	}
+	if dc := autolearn.DistanceCorrelation(x, yLin); dc < 0.95 {
+		t.Errorf("linear dcor = %v", dc)
+	}
+	if dc := autolearn.DistanceCorrelation(x, yRand); dc > 0.5 {
+		t.Errorf("random dcor = %v", dc)
+	}
+	if dc := autolearn.DistanceCorrelation(x[:1], yLin[:1]); dc != 0 {
+		t.Error("degenerate dcor should be 0")
+	}
+}

@@ -1,0 +1,272 @@
+package cleaning
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kglids/internal/dataframe"
+	"kglids/internal/embed"
+	"kglids/internal/profiler"
+)
+
+func frameWithNulls() *dataframe.DataFrame {
+	df := dataframe.New("t")
+	age := &dataframe.Series{Name: "age"}
+	for _, v := range []string{"10", "", "30", "40", ""} {
+		age.Cells = append(age.Cells, dataframe.ParseCell(v))
+	}
+	city := &dataframe.Series{Name: "city"}
+	for _, v := range []string{"a", "b", "", "a", "a"} {
+		city.Cells = append(city.Cells, dataframe.ParseCell(v))
+	}
+	df.AddColumn(age)
+	df.AddColumn(city)
+	return df
+}
+
+func TestFillNA(t *testing.T) {
+	df := frameWithNulls()
+	out := FillNA(df)
+	if out.NullCount() != 0 {
+		t.Fatalf("nulls remain: %d", out.NullCount())
+	}
+	// Mean of 10,30,40 ≈ 26.667.
+	got := out.Column("age").Cells[1].F
+	if math.Abs(got-80.0/3) > 1e-9 {
+		t.Errorf("mean fill = %v", got)
+	}
+	if out.Column("city").Cells[2].S != "a" {
+		t.Errorf("mode fill = %q", out.Column("city").Cells[2].S)
+	}
+	// Original untouched.
+	if df.NullCount() != 3 {
+		t.Error("input mutated")
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	df := frameWithNulls()
+	out := Interpolate(df)
+	if out.Column("age").NullCount() != 0 {
+		t.Fatal("nulls remain")
+	}
+	// Between 10 and 30 → 20; trailing null extends 40.
+	if got := out.Column("age").Cells[1].F; got != 20 {
+		t.Errorf("interpolated = %v, want 20", got)
+	}
+	if got := out.Column("age").Cells[4].F; got != 40 {
+		t.Errorf("extended = %v, want 40", got)
+	}
+}
+
+func TestSimpleImputeStrategies(t *testing.T) {
+	df := frameWithNulls()
+	if got := SimpleImpute(df, "median").Column("age").Cells[1].F; got != 30 {
+		t.Errorf("median fill = %v", got)
+	}
+	if got := SimpleImpute(df, "mean").Column("age").Cells[1].F; math.Abs(got-80.0/3) > 1e-9 {
+		t.Errorf("mean fill = %v", got)
+	}
+	if got := SimpleImpute(df, "most_frequent").Column("age").Cells[1].F; got != 10 {
+		// All values distinct; deterministic tie-break picks smallest
+		// lexical "10".
+		t.Errorf("mode fill = %v", got)
+	}
+}
+
+func TestKNNImpute(t *testing.T) {
+	// Two correlated columns: missing b should take the mean of its
+	// nearest rows by a-distance.
+	df := dataframe.New("t")
+	a := &dataframe.Series{Name: "a"}
+	b := &dataframe.Series{Name: "b"}
+	for _, v := range []float64{1, 2, 3, 100, 101} {
+		a.Cells = append(a.Cells, dataframe.NumberCell(v))
+	}
+	for _, v := range []string{"10", "20", "", "1000", "1010"} {
+		b.Cells = append(b.Cells, dataframe.ParseCell(v))
+	}
+	df.AddColumn(a)
+	df.AddColumn(b)
+	out := KNNImpute(df, 2)
+	got := out.Column("b").Cells[2].F
+	if got != 15 { // mean of the two nearest rows (a=1,2 → b=10,20)
+		t.Errorf("knn fill = %v, want 15", got)
+	}
+}
+
+func TestIterativeImpute(t *testing.T) {
+	// b = 2a exactly; iterative imputation should recover it well.
+	rng := rand.New(rand.NewSource(1))
+	df := dataframe.New("t")
+	a := &dataframe.Series{Name: "a"}
+	b := &dataframe.Series{Name: "b"}
+	for i := 0; i < 60; i++ {
+		v := rng.Float64() * 10
+		a.Cells = append(a.Cells, dataframe.NumberCell(v))
+		if i%10 == 3 {
+			b.Cells = append(b.Cells, dataframe.NullCell())
+		} else {
+			b.Cells = append(b.Cells, dataframe.NumberCell(2*v))
+		}
+	}
+	df.AddColumn(a)
+	df.AddColumn(b)
+	out := IterativeImpute(df, 5)
+	if out.NullCount() != 0 {
+		t.Fatal("nulls remain")
+	}
+	// Check imputed values approximate 2a.
+	for i := 0; i < 60; i++ {
+		if df.Column("b").Cells[i].IsNull() {
+			want := 2 * df.Column("a").Cells[i].F
+			got := out.Column("b").Cells[i].F
+			if math.Abs(got-want) > 2.0 {
+				t.Errorf("row %d: imputed %v, want ~%v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestApplyAllOps(t *testing.T) {
+	for _, op := range Ops {
+		out, err := Apply(op, frameWithNulls())
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		if out.NullCount() != 0 {
+			t.Errorf("%s left %d nulls", op, out.NullCount())
+		}
+	}
+	if _, err := Apply(Op("Nope"), frameWithNulls()); err == nil {
+		t.Error("unknown op should error")
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	for i, op := range Ops {
+		if ClassOf(op) != i {
+			t.Errorf("ClassOf(%s) = %d", op, ClassOf(op))
+		}
+	}
+	if ClassOf("zzz") != -1 {
+		t.Error("unknown class")
+	}
+}
+
+func TestMissingValueEmbedding(t *testing.T) {
+	p := profiler.New()
+	df := frameWithNulls()
+	emb := MissingValueEmbedding(p, df)
+	if len(emb) != embed.TableDim {
+		t.Fatalf("dim = %d", len(emb))
+	}
+	if emb.Norm() == 0 {
+		t.Error("embedding is zero")
+	}
+	// Only columns with nulls contribute; a table whose only-null column
+	// is numeric should differ from one whose only-null column is text.
+	df2 := dataframe.New("t2")
+	s := &dataframe.Series{Name: "age"}
+	for _, v := range []string{"10", "", "30"} {
+		s.Cells = append(s.Cells, dataframe.ParseCell(v))
+	}
+	full := &dataframe.Series{Name: "note"}
+	for _, v := range []string{"x", "y", "z"} {
+		full.Cells = append(full.Cells, dataframe.ParseCell(v))
+	}
+	df2.AddColumn(s)
+	df2.AddColumn(full)
+	emb2 := MissingValueEmbedding(p, df2)
+	// String block (last 300 dims) must be zero: "note" has no nulls.
+	strBlock := emb2[5*embed.Dim:]
+	for _, v := range strBlock {
+		if v != 0 {
+			t.Error("null-free column leaked into embedding")
+			break
+		}
+	}
+}
+
+// synthetic training set: tables whose missing numeric columns correlate
+// with specific ops.
+func syntheticExamples(t *testing.T, n int) []Example {
+	t.Helper()
+	p := profiler.New()
+	rng := rand.New(rand.NewSource(5))
+	var out []Example
+	for i := 0; i < n; i++ {
+		df := dataframe.New("t")
+		s := &dataframe.Series{Name: "v"}
+		op := Ops[i%len(Ops)]
+		for r := 0; r < 40; r++ {
+			if r%7 == 0 {
+				s.Cells = append(s.Cells, dataframe.NullCell())
+				continue
+			}
+			// Different ops see different value scales so the embedding
+			// carries signal.
+			scale := math.Pow(10, float64(ClassOf(op)))
+			s.Cells = append(s.Cells, dataframe.NumberCell(rng.Float64()*scale))
+		}
+		df.AddColumn(s)
+		out = append(out, Example{Embedding: MissingValueEmbedding(p, df), Op: op})
+	}
+	return out
+}
+
+func TestRecommenderLearnsAssociation(t *testing.T) {
+	examples := syntheticExamples(t, 100)
+	rec := Train(examples)
+	// Evaluate on the training distribution.
+	correct := 0
+	p := profiler.New()
+	_ = p
+	for _, ex := range examples[:25] {
+		probs := rec.model.PredictVector(ex.Embedding)
+		if Ops[argmax(probs)] == ex.Op {
+			correct++
+		}
+	}
+	if correct < 15 {
+		t.Errorf("recommender recovered %d/25 training ops", correct)
+	}
+}
+
+func argmax(p []float64) int {
+	best := 0
+	for i := range p {
+		if p[i] > p[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func TestRecommendAndClean(t *testing.T) {
+	rec := Train(syntheticExamples(t, 50))
+	df := frameWithNulls()
+	recs := rec.Recommend(df)
+	if len(recs) != len(Ops) {
+		t.Fatalf("recommendations = %d", len(recs))
+	}
+	// Scores sorted and sum to ~1.
+	sum := 0.0
+	for i, r := range recs {
+		sum += r.Score
+		if i > 0 && r.Score > recs[i-1].Score {
+			t.Error("recommendations not sorted")
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("scores sum = %v", sum)
+	}
+	cleaned, op, err := rec.Clean(df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cleaned.NullCount() != 0 {
+		t.Errorf("Clean with %s left nulls", op)
+	}
+}

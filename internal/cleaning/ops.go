@@ -1,0 +1,432 @@
+// Package cleaning implements KGLiDS's on-demand data cleaning (paper
+// Section 4.2): the five cleaning operations the GNN chooses between
+// (Fillna, Interpolate, SimpleImputer, KNNImputer, IterativeImputer), an
+// executor that applies a recommended operation to a DataFrame, and the
+// GNN recommender trained over table embeddings mined from the LiDS graph.
+package cleaning
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kglids/internal/dataframe"
+)
+
+// Op names one of the five cleaning operations (the GNN's output classes).
+type Op string
+
+// The five cleaning operations of Section 4.2.
+const (
+	OpFillna           Op = "Fillna"
+	OpInterpolate      Op = "Interpolate"
+	OpSimpleImputer    Op = "SimpleImputer"
+	OpKNNImputer       Op = "KNNImputer"
+	OpIterativeImputer Op = "IterativeImputer"
+)
+
+// Ops lists all operations in class-index order.
+var Ops = []Op{OpFillna, OpInterpolate, OpSimpleImputer, OpKNNImputer, OpIterativeImputer}
+
+// ClassOf returns the class index of an operation.
+func ClassOf(op Op) int {
+	for i, o := range Ops {
+		if o == op {
+			return i
+		}
+	}
+	return -1
+}
+
+// Apply executes a cleaning operation, returning a cleaned copy of df
+// (the apply_cleaning_operations API of Section 4.1).
+func Apply(op Op, df *dataframe.DataFrame) (*dataframe.DataFrame, error) {
+	switch op {
+	case OpFillna:
+		return FillNA(df), nil
+	case OpInterpolate:
+		return Interpolate(df), nil
+	case OpSimpleImputer:
+		return SimpleImpute(df, "mean"), nil
+	case OpKNNImputer:
+		return KNNImpute(df, 5), nil
+	case OpIterativeImputer:
+		return IterativeImpute(df, 5), nil
+	default:
+		return nil, fmt.Errorf("cleaning: unknown operation %q", op)
+	}
+}
+
+// FillNA replaces numeric nulls with the column mean and categorical nulls
+// with the column mode (pandas' df.fillna usage pattern).
+func FillNA(df *dataframe.DataFrame) *dataframe.DataFrame {
+	out := df.Clone()
+	for i := 0; i < out.NumCols(); i++ {
+		col := out.ColumnAt(i)
+		if col.NullCount() == 0 {
+			continue
+		}
+		if col.IsNumeric() {
+			mean := col.Mean()
+			for j, c := range col.Cells {
+				if c.IsNull() {
+					col.Cells[j] = dataframe.NumberCell(mean)
+				}
+			}
+			continue
+		}
+		if mode, ok := col.Mode(); ok {
+			for j, c := range col.Cells {
+				if c.IsNull() {
+					col.Cells[j] = dataframe.ParseCell(mode)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Interpolate fills numeric nulls by linear interpolation between the
+// nearest non-null neighbours (ends are extended); categorical columns
+// fall back to mode fill.
+func Interpolate(df *dataframe.DataFrame) *dataframe.DataFrame {
+	out := df.Clone()
+	for i := 0; i < out.NumCols(); i++ {
+		col := out.ColumnAt(i)
+		if col.NullCount() == 0 {
+			continue
+		}
+		if !col.IsNumeric() {
+			if mode, ok := col.Mode(); ok {
+				for j, c := range col.Cells {
+					if c.IsNull() {
+						col.Cells[j] = dataframe.ParseCell(mode)
+					}
+				}
+			}
+			continue
+		}
+		n := len(col.Cells)
+		for j := 0; j < n; j++ {
+			if !col.Cells[j].IsNull() {
+				continue
+			}
+			// Find previous and next non-null values.
+			prev, next := -1, -1
+			for k := j - 1; k >= 0; k-- {
+				if !col.Cells[k].IsNull() {
+					prev = k
+					break
+				}
+			}
+			for k := j + 1; k < n; k++ {
+				if !col.Cells[k].IsNull() {
+					next = k
+					break
+				}
+			}
+			var v float64
+			switch {
+			case prev >= 0 && next >= 0:
+				frac := float64(j-prev) / float64(next-prev)
+				v = col.Cells[prev].F + frac*(col.Cells[next].F-col.Cells[prev].F)
+			case prev >= 0:
+				v = col.Cells[prev].F
+			case next >= 0:
+				v = col.Cells[next].F
+			default:
+				v = 0
+			}
+			col.Cells[j] = dataframe.NumberCell(v)
+		}
+	}
+	return out
+}
+
+// SimpleImpute mirrors sklearn's SimpleImputer: strategy "mean", "median",
+// or "most_frequent" for numeric columns; categorical columns always use
+// most_frequent.
+func SimpleImpute(df *dataframe.DataFrame, strategy string) *dataframe.DataFrame {
+	out := df.Clone()
+	for i := 0; i < out.NumCols(); i++ {
+		col := out.ColumnAt(i)
+		if col.NullCount() == 0 {
+			continue
+		}
+		if col.IsNumeric() {
+			var fill float64
+			switch strategy {
+			case "median":
+				fill = col.Quantile(0.5)
+			case "most_frequent":
+				if mode, ok := col.Mode(); ok {
+					fill = dataframe.ParseCell(mode).F
+				}
+			default:
+				fill = col.Mean()
+			}
+			for j, c := range col.Cells {
+				if c.IsNull() {
+					col.Cells[j] = dataframe.NumberCell(fill)
+				}
+			}
+			continue
+		}
+		if mode, ok := col.Mode(); ok {
+			for j, c := range col.Cells {
+				if c.IsNull() {
+					col.Cells[j] = dataframe.ParseCell(mode)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// KNNImpute fills numeric nulls with the mean of the k nearest rows by
+// Euclidean distance over shared non-null numeric columns, mirroring
+// sklearn's KNNImputer. Categorical nulls use mode fill.
+func KNNImpute(df *dataframe.DataFrame, k int) *dataframe.DataFrame {
+	out := SimpleImputeCategoricalOnly(df)
+	// Numeric view of the table.
+	var numCols []*dataframe.Series
+	for i := 0; i < out.NumCols(); i++ {
+		if out.ColumnAt(i).IsNumeric() {
+			numCols = append(numCols, out.ColumnAt(i))
+		}
+	}
+	if len(numCols) == 0 {
+		return out
+	}
+	n := out.NumRows()
+	type target struct{ col, row int }
+	var targets []target
+	for ci, col := range numCols {
+		for ri, c := range col.Cells {
+			if c.IsNull() {
+				targets = append(targets, target{col: ci, row: ri})
+			}
+		}
+	}
+	dist := func(a, b int) (float64, bool) {
+		s, cnt := 0.0, 0
+		for _, col := range numCols {
+			ca, cb := col.Cells[a], col.Cells[b]
+			if ca.IsNull() || cb.IsNull() {
+				continue
+			}
+			d := ca.F - cb.F
+			s += d * d
+			cnt++
+		}
+		if cnt == 0 {
+			return 0, false
+		}
+		return s / float64(cnt), true
+	}
+	for _, tg := range targets {
+		type cand struct {
+			d float64
+			v float64
+		}
+		var cands []cand
+		for r := 0; r < n; r++ {
+			if r == tg.row || numCols[tg.col].Cells[r].IsNull() {
+				continue
+			}
+			if d, ok := dist(tg.row, r); ok {
+				cands = append(cands, cand{d: d, v: numCols[tg.col].Cells[r].F})
+			}
+		}
+		if len(cands) == 0 {
+			numCols[tg.col].Cells[tg.row] = dataframe.NumberCell(numCols[tg.col].Mean())
+			continue
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+		kk := k
+		if kk > len(cands) {
+			kk = len(cands)
+		}
+		sum := 0.0
+		for _, c := range cands[:kk] {
+			sum += c.v
+		}
+		numCols[tg.col].Cells[tg.row] = dataframe.NumberCell(sum / float64(kk))
+	}
+	return out
+}
+
+// SimpleImputeCategoricalOnly mode-fills categorical nulls, leaving numeric
+// nulls untouched (shared prelude of KNN/Iterative imputation).
+func SimpleImputeCategoricalOnly(df *dataframe.DataFrame) *dataframe.DataFrame {
+	out := df.Clone()
+	for i := 0; i < out.NumCols(); i++ {
+		col := out.ColumnAt(i)
+		if col.IsNumeric() || col.NullCount() == 0 {
+			continue
+		}
+		if mode, ok := col.Mode(); ok {
+			for j, c := range col.Cells {
+				if c.IsNull() {
+					col.Cells[j] = dataframe.ParseCell(mode)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// IterativeImpute mirrors sklearn's IterativeImputer: each numeric column
+// with nulls is regressed (ridge) on the other numeric columns, iterating
+// rounds until stable.
+func IterativeImpute(df *dataframe.DataFrame, rounds int) *dataframe.DataFrame {
+	out := SimpleImputeCategoricalOnly(df)
+	var numCols []*dataframe.Series
+	for i := 0; i < out.NumCols(); i++ {
+		if out.ColumnAt(i).IsNumeric() {
+			numCols = append(numCols, out.ColumnAt(i))
+		}
+	}
+	if len(numCols) < 2 {
+		return FillNA(out)
+	}
+	n := out.NumRows()
+	// Track original null positions and start from mean fill.
+	missing := make([][]bool, len(numCols))
+	for ci, col := range numCols {
+		missing[ci] = make([]bool, n)
+		mean := col.Mean()
+		for ri, c := range col.Cells {
+			if c.IsNull() {
+				missing[ci][ri] = true
+				col.Cells[ri] = dataframe.NumberCell(mean)
+			}
+		}
+	}
+	for round := 0; round < rounds; round++ {
+		for ci, col := range numCols {
+			hasMissing := false
+			for _, m := range missing[ci] {
+				if m {
+					hasMissing = true
+					break
+				}
+			}
+			if !hasMissing {
+				continue
+			}
+			// Regress col on the others over originally-observed rows.
+			var X [][]float64
+			var y []float64
+			for r := 0; r < n; r++ {
+				if missing[ci][r] {
+					continue
+				}
+				row := make([]float64, 0, len(numCols)-1)
+				for cj, other := range numCols {
+					if cj != ci {
+						row = append(row, other.Cells[r].F)
+					}
+				}
+				X = append(X, row)
+				y = append(y, col.Cells[r].F)
+			}
+			w := ridgeFit(X, y, 1.0)
+			for r := 0; r < n; r++ {
+				if !missing[ci][r] {
+					continue
+				}
+				row := make([]float64, 0, len(numCols)-1)
+				for cj, other := range numCols {
+					if cj != ci {
+						row = append(row, other.Cells[r].F)
+					}
+				}
+				col.Cells[r] = dataframe.NumberCell(ridgePredict(w, row))
+			}
+		}
+	}
+	return out
+}
+
+// ridgeFit solves ridge regression via gradient descent on standardized
+// features; returns [bias, weights..., featMeans..., featStds..., yMean,
+// yStd] packed for ridgePredict.
+func ridgeFit(X [][]float64, y []float64, lambda float64) []float64 {
+	if len(X) == 0 || len(X[0]) == 0 {
+		return nil
+	}
+	nf := len(X[0])
+	means := make([]float64, nf)
+	stds := make([]float64, nf)
+	for j := 0; j < nf; j++ {
+		for i := range X {
+			means[j] += X[i][j]
+		}
+		means[j] /= float64(len(X))
+		for i := range X {
+			d := X[i][j] - means[j]
+			stds[j] += d * d
+		}
+		stds[j] = math.Sqrt(stds[j] / float64(len(X)))
+		if stds[j] == 0 {
+			stds[j] = 1
+		}
+	}
+	yMean, yStd := 0.0, 0.0
+	for _, v := range y {
+		yMean += v
+	}
+	yMean /= float64(len(y))
+	for _, v := range y {
+		yStd += (v - yMean) * (v - yMean)
+	}
+	yStd = math.Sqrt(yStd / float64(len(y)))
+	if yStd == 0 {
+		yStd = 1
+	}
+	w := make([]float64, nf+1)
+	lr := 0.1
+	for iter := 0; iter < 100; iter++ {
+		grad := make([]float64, nf+1)
+		for i, row := range X {
+			pred := w[0]
+			for j, v := range row {
+				pred += w[j+1] * (v - means[j]) / stds[j]
+			}
+			diff := pred - (y[i]-yMean)/yStd
+			grad[0] += diff
+			for j, v := range row {
+				grad[j+1] += diff * (v - means[j]) / stds[j]
+			}
+		}
+		scale := lr / float64(len(X))
+		for j := range w {
+			reg := 0.0
+			if j > 0 {
+				reg = lambda * w[j] / float64(len(X))
+			}
+			w[j] -= scale*grad[j] + reg
+		}
+	}
+	packed := append(w, means...)
+	packed = append(packed, stds...)
+	packed = append(packed, yMean, yStd)
+	return packed
+}
+
+func ridgePredict(packed, row []float64) float64 {
+	if packed == nil {
+		return 0
+	}
+	nf := len(row)
+	w := packed[:nf+1]
+	means := packed[nf+1 : 2*nf+1]
+	stds := packed[2*nf+1 : 3*nf+1]
+	yMean, yStd := packed[3*nf+1], packed[3*nf+2]
+	pred := w[0]
+	for j, v := range row {
+		pred += w[j+1] * (v - means[j]) / stds[j]
+	}
+	return pred*yStd + yMean
+}

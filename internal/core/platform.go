@@ -1,0 +1,196 @@
+// Package core is the KG Governor of KGLiDS (paper Section 2.1): it
+// bootstraps the platform by profiling datasets (Algorithm 2), building
+// the data global schema (Algorithm 3), abstracting pipeline scripts
+// (Algorithm 1), linking pipeline graphs into the dataset and library
+// graphs, and maintaining the embedding store — producing the LiDS graph
+// the Interfaces query.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"kglids/internal/dataframe"
+	"kglids/internal/discovery"
+	"kglids/internal/embed"
+	"kglids/internal/pipeline"
+	"kglids/internal/profiler"
+	"kglids/internal/schema"
+	"kglids/internal/sparql"
+	"kglids/internal/store"
+	"kglids/internal/vectorindex"
+)
+
+// Table pairs a dataset name with one of its tables.
+type Table struct {
+	Dataset string
+	Frame   *dataframe.DataFrame
+}
+
+// Config controls bootstrapping.
+type Config struct {
+	Thresholds schema.Thresholds
+	// SkipLabelSimilarity disables label edges (Figure 6 ablation).
+	SkipLabelSimilarity bool
+	// CoLR overrides the default embedding configuration (ablations).
+	CoLR *embed.CoLR
+	Workers int
+}
+
+// DefaultConfig returns the default platform configuration.
+func DefaultConfig() Config {
+	return Config{Thresholds: schema.DefaultThresholds()}
+}
+
+// Platform is a bootstrapped KGLiDS instance: the LiDS graph, the
+// embedding stores, the profiles, and the discovery engine.
+type Platform struct {
+	Store     *store.Store
+	Profiles  []*profiler.ColumnProfile
+	Edges     []schema.Edge
+	Linker    *schema.Linker
+	Discovery *discovery.Engine
+	// ColumnIndex and TableIndex are the Faiss-equivalent embedding
+	// stores for columns (300-d) and tables (1800-d).
+	ColumnIndex *vectorindex.Exact
+	TableIndex  *vectorindex.Exact
+	// TableEmbeddings maps "dataset/table" to its 1800-d embedding.
+	TableEmbeddings map[string]embed.Vector
+	// Abstractions holds the pipeline abstractions added so far.
+	Abstractions []*pipeline.Abstraction
+
+	profiler   *profiler.Profiler
+	abstractor *pipeline.Abstractor
+	graphs     *pipeline.GraphBuilder
+	// Timings of the bootstrap phases.
+	ProfilingTime   time.Duration
+	SchemaBuildTime time.Duration
+}
+
+// Bootstrap profiles the lake and constructs the dataset graph.
+func Bootstrap(cfg Config, tables []Table) *Platform {
+	p := &Platform{
+		Store:           store.New(),
+		ColumnIndex:     vectorindex.NewExact(),
+		TableIndex:      vectorindex.NewExact(),
+		TableEmbeddings: map[string]embed.Vector{},
+	}
+	p.profiler = profiler.New()
+	if cfg.CoLR != nil {
+		p.profiler.CoLR = cfg.CoLR
+	}
+	if cfg.Workers > 0 {
+		p.profiler.Workers = cfg.Workers
+	}
+
+	// Phase 1: Data Profiling (Algorithm 2).
+	start := time.Now()
+	var ptables []profiler.Table
+	for _, t := range tables {
+		ptables = append(ptables, profiler.Table{Dataset: t.Dataset, Frame: t.Frame})
+	}
+	p.Profiles = p.profiler.ProfileAll(ptables)
+	p.ProfilingTime = time.Since(start)
+
+	// Phase 2: Data Global Schema (Algorithm 3).
+	start = time.Now()
+	builder := schema.NewBuilder()
+	builder.Thresholds = cfg.Thresholds
+	builder.SkipLabels = cfg.SkipLabelSimilarity
+	if cfg.Workers > 0 {
+		builder.Workers = cfg.Workers
+	}
+	p.Edges = builder.BuildGraph(p.Store, p.Profiles)
+	p.SchemaBuildTime = time.Since(start)
+
+	// Phase 3: embedding stores (column + table level, Eq. 1).
+	byTable := map[string]map[embed.Type][]embed.Vector{}
+	for _, cp := range p.Profiles {
+		p.ColumnIndex.Add(cp.ID(), cp.Embed)
+		tid := cp.TableID()
+		if byTable[tid] == nil {
+			byTable[tid] = map[embed.Type][]embed.Vector{}
+		}
+		byTable[tid][cp.Type] = append(byTable[tid][cp.Type], cp.Embed)
+	}
+	for tid, byType := range byTable {
+		emb := embed.TableEmbedding(byType)
+		p.TableEmbeddings[tid] = emb
+		p.TableIndex.Add(tid, emb)
+	}
+
+	// Phase 4: Graph Linker and interfaces.
+	p.Linker = schema.NewLinker(p.Profiles)
+	p.abstractor = pipeline.NewAbstractor()
+	p.graphs = pipeline.NewGraphBuilder(p.Linker)
+	p.Discovery = discovery.New(p.Store)
+	return p
+}
+
+// AddPipelines abstracts scripts (Algorithm 1) and links them into the
+// LiDS graph; it returns the abstractions.
+func (p *Platform) AddPipelines(scripts []pipeline.Script) []*pipeline.Abstraction {
+	abss := p.graphs.AbstractAll(p.Store, p.abstractor, scripts)
+	p.Abstractions = append(p.Abstractions, abss...)
+	return abss
+}
+
+// Query runs an ad-hoc SPARQL query against the LiDS graph.
+func (p *Platform) Query(q string) (*sparql.Result, error) { return p.Discovery.SPARQL(q) }
+
+// TableIRI resolves a "dataset/table" ID to its graph IRI.
+func (p *Platform) TableIRI(id string) (string, error) {
+	if _, ok := p.TableEmbeddings[id]; !ok {
+		return "", fmt.Errorf("core: unknown table %q", id)
+	}
+	return schema.TableIRI(id).Value, nil
+}
+
+// SimilarTablesByEmbedding finds the k most similar tables to a frame by
+// table-embedding cosine (the get_path_to_table entry point: "computing an
+// embedding of the given DataFrame, finding the most similar table").
+func (p *Platform) SimilarTablesByEmbedding(df *dataframe.DataFrame, k int) []vectorindex.Result {
+	byType := map[embed.Type][]embed.Vector{}
+	for i := 0; i < df.NumCols(); i++ {
+		cp := p.profiler.ProfileColumn("query", df.Name, df.ColumnAt(i))
+		byType[cp.Type] = append(byType[cp.Type], cp.Embed)
+	}
+	return p.TableIndex.Search(embed.TableEmbedding(byType), k)
+}
+
+// Profiler exposes the platform's profiler (shared CoLR configuration).
+func (p *Platform) Profiler() *profiler.Profiler { return p.profiler }
+
+// Stats summarizes the LiDS graph (Statistics Manager).
+type Stats struct {
+	Triples        int
+	Nodes          int
+	Predicates     int
+	NamedGraphs    int
+	Columns        int
+	Tables         int
+	Datasets       int
+	SimilarityEdges int
+}
+
+// Stats returns current graph statistics.
+func (p *Platform) Stats() Stats {
+	return Stats{
+		Triples:         p.Store.Len(),
+		Nodes:           p.Store.NodeCount(),
+		Predicates:      p.Store.PredicateCount(),
+		NamedGraphs:     len(p.Store.Graphs()),
+		Columns:         len(p.Profiles),
+		Tables:          len(p.TableEmbeddings),
+		Datasets:        countDatasets(p.Profiles),
+		SimilarityEdges: len(p.Edges),
+	}
+}
+
+func countDatasets(profiles []*profiler.ColumnProfile) int {
+	seen := map[string]bool{}
+	for _, cp := range profiles {
+		seen[cp.Dataset] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"kglids/internal/lakegen"
+	"kglids/internal/pipegen"
+	"kglids/internal/pipeline"
+	"kglids/internal/rdf"
+	"kglids/internal/schema"
+)
+
+func scriptsOf(corpus []pipegen.Generated) []pipeline.Script {
+	out := make([]pipeline.Script, len(corpus))
+	for i, g := range corpus {
+		out[i] = g.Script
+	}
+	return out
+}
+
+func bootstrapSmall(t *testing.T) (*Platform, *lakegen.Benchmark) {
+	t.Helper()
+	b := lakegen.Generate(lakegen.Spec{
+		Name: "mini", Families: 4, TablesPerFamily: 3, NoiseTables: 4,
+		RowsPerTable: 60, QueryTables: 4, Seed: 31,
+	})
+	var tables []Table
+	for _, df := range b.Tables {
+		tables = append(tables, Table{Dataset: b.Dataset[df.Name], Frame: df})
+	}
+	return Bootstrap(DefaultConfig(), tables), b
+}
+
+func TestBootstrapBuildsGraph(t *testing.T) {
+	p, b := bootstrapSmall(t)
+	stats := p.Stats()
+	if stats.Columns == 0 || stats.Tables != len(b.Tables) {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Triples == 0 || stats.SimilarityEdges == 0 {
+		t.Errorf("graph empty: %+v", stats)
+	}
+	if p.ProfilingTime <= 0 || p.SchemaBuildTime <= 0 {
+		t.Error("timings not recorded")
+	}
+	// Embedding stores populated.
+	if p.ColumnIndex.Len() != stats.Columns || p.TableIndex.Len() != stats.Tables {
+		t.Error("embedding stores incomplete")
+	}
+}
+
+func TestUnionableDiscoveryFindsFamily(t *testing.T) {
+	p, b := bootstrapSmall(t)
+	query := b.QueryTables[0]
+	queryID := b.Dataset[query] + "/" + query
+	iri, err := p.TableIRI(queryID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := p.Discovery.UnionableTables(rdf.IRI(iri), 10)
+	if len(results) == 0 {
+		t.Fatal("no unionable tables found")
+	}
+	truth := map[string]bool{}
+	for _, name := range b.GroundTruth[query] {
+		truth[b.Dataset[name]+"/"+name] = true
+	}
+	// The top hit should be a true family member.
+	top := results[0].Table.Value
+	found := false
+	for id := range truth {
+		if schema.TableIRI(id).Value == top {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("top unionable %s not in ground truth %v", top, b.GroundTruth[query])
+	}
+}
+
+func TestAddPipelinesLinksIntoGraph(t *testing.T) {
+	p, b := bootstrapSmall(t)
+	// Generate pipelines over the first family's table.
+	df := b.Tables[0]
+	ds := pipegen.FrameDataset(b.Dataset[df.Name], df, df.Columns()[0])
+	corpus := pipegen.Generate(pipegen.Options{NumPipelines: 5, Datasets: []pipegen.Dataset{ds}, Seed: 7})
+	abss := p.AddPipelines(scriptsOf(corpus))
+	if len(abss) != 5 {
+		t.Fatalf("abstractions = %d", len(abss))
+	}
+	for _, abs := range abss {
+		if abs.ParseError != nil {
+			t.Fatalf("parse error: %v", abs.ParseError)
+		}
+	}
+	// Named graphs exist.
+	if got := len(p.Store.Graphs()); got < 5 {
+		t.Errorf("named graphs = %d", got)
+	}
+	// Verified reads edges point into the dataset graph.
+	res, err := p.Query(`SELECT ?t WHERE { GRAPH ?g { ?s kglids:reads ?t . } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Error("no verified dataset reads")
+	}
+}
+
+func TestSimilarTablesByEmbedding(t *testing.T) {
+	p, b := bootstrapSmall(t)
+	df := b.Tables[0]
+	hits := p.SimilarTablesByEmbedding(df, 3)
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	wantID := b.Dataset[df.Name] + "/" + df.Name
+	if hits[0].ID != wantID {
+		t.Errorf("top hit = %s, want the table itself %s", hits[0].ID, wantID)
+	}
+	if hits[0].Score < 0.99 {
+		t.Errorf("self-similarity = %v", hits[0].Score)
+	}
+}
+
+func TestTableIRIUnknown(t *testing.T) {
+	p, _ := bootstrapSmall(t)
+	if _, err := p.TableIRI("nope/none.csv"); err == nil {
+		t.Error("unknown table should error")
+	}
+}

@@ -1,0 +1,153 @@
+package dataframe
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ReadCSV parses a CSV stream with a header row into a frame.
+func ReadCSV(name string, r io.Reader) (*DataFrame, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataframe: reading header: %w", err)
+	}
+	df := New(name)
+	series := make([]*Series, len(header))
+	for i, h := range header {
+		h = strings.TrimSpace(h)
+		if h == "" {
+			h = fmt.Sprintf("col_%d", i)
+		}
+		// Deduplicate header names.
+		base, n := h, 1
+		for df.HasColumn(h) {
+			n++
+			h = fmt.Sprintf("%s_%d", base, n)
+		}
+		series[i] = &Series{Name: h}
+		df.byName[h] = i
+		df.cols = append(df.cols, series[i])
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataframe: reading row: %w", err)
+		}
+		for i := range series {
+			if i < len(rec) {
+				series[i].Cells = append(series[i].Cells, ParseCell(rec[i]))
+			} else {
+				series[i].Cells = append(series[i].Cells, NullCell())
+			}
+		}
+	}
+	return df, nil
+}
+
+// ReadCSVFile reads a CSV file; the frame name is the base filename.
+func ReadCSVFile(path string) (*DataFrame, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(filepath.Base(path), f)
+}
+
+// WriteCSV serializes the frame with a header row.
+func (df *DataFrame) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(df.Columns()); err != nil {
+		return err
+	}
+	for i := 0; i < df.NumRows(); i++ {
+		rec := make([]string, df.NumCols())
+		for j, c := range df.cols {
+			rec[j] = c.Cells[i].S
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the frame to a CSV file.
+func (df *DataFrame) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return df.WriteCSV(f)
+}
+
+// ReadJSON parses a JSON array of flat objects into a frame. Keys become
+// columns; missing keys become nulls.
+func ReadJSON(name string, r io.Reader) (*DataFrame, error) {
+	var records []map[string]any
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&records); err != nil {
+		return nil, fmt.Errorf("dataframe: decoding JSON: %w", err)
+	}
+	// Collect columns in first-seen order.
+	var order []string
+	seen := map[string]bool{}
+	for _, rec := range records {
+		keys := make([]string, 0, len(rec))
+		for k := range rec {
+			keys = append(keys, k)
+		}
+		// Sort keys within one record for determinism.
+		sortStrings(keys)
+		for _, k := range keys {
+			if !seen[k] {
+				seen[k] = true
+				order = append(order, k)
+			}
+		}
+	}
+	df := New(name)
+	for _, k := range order {
+		s := &Series{Name: k}
+		for _, rec := range records {
+			v, ok := rec[k]
+			if !ok || v == nil {
+				s.Cells = append(s.Cells, NullCell())
+				continue
+			}
+			switch x := v.(type) {
+			case float64:
+				s.Cells = append(s.Cells, NumberCell(x))
+			case bool:
+				s.Cells = append(s.Cells, BoolCell(x))
+			case string:
+				s.Cells = append(s.Cells, ParseCell(x))
+			default:
+				b, _ := json.Marshal(x)
+				s.Cells = append(s.Cells, TextCell(string(b)))
+			}
+		}
+		df.AddColumn(s)
+	}
+	return df, nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

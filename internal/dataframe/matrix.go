@@ -1,0 +1,140 @@
+package dataframe
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Matrix is a dense feature matrix with an aligned label vector, the input
+// format of the ML substrate. Categorical columns are label-encoded;
+// remaining nulls are imputed with the column mean (numeric) or a reserved
+// code (categorical) so models never see NaNs.
+type Matrix struct {
+	X        [][]float64
+	Y        []float64
+	Features []string
+	// Classes maps encoded label values back to original strings for
+	// classification targets.
+	Classes []string
+}
+
+// ToMatrix converts the frame into features X and labels Y, where target
+// names the label column. Non-numeric features are label-encoded with a
+// per-column deterministic code book.
+func (df *DataFrame) ToMatrix(target string) (*Matrix, error) {
+	tcol := df.Column(target)
+	if tcol == nil {
+		return nil, fmt.Errorf("dataframe: unknown target column %q", target)
+	}
+	n := df.NumRows()
+	m := &Matrix{}
+	var featCols []*Series
+	for _, c := range df.cols {
+		if c.Name != target {
+			featCols = append(featCols, c)
+			m.Features = append(m.Features, c.Name)
+		}
+	}
+	m.X = make([][]float64, n)
+	for i := range m.X {
+		m.X[i] = make([]float64, len(featCols))
+	}
+	for j, c := range featCols {
+		if c.IsNumeric() {
+			mean := c.Mean()
+			for i, cell := range c.Cells {
+				if cell.IsNull() {
+					m.X[i][j] = mean
+				} else {
+					m.X[i][j] = cell.F
+				}
+			}
+			continue
+		}
+		codes := codeBook(c)
+		for i, cell := range c.Cells {
+			if cell.IsNull() {
+				m.X[i][j] = -1
+			} else {
+				m.X[i][j] = float64(codes[cell.S])
+			}
+		}
+	}
+	// Labels: numeric targets pass through; categorical targets are encoded
+	// with Classes recorded.
+	m.Y = make([]float64, n)
+	if tcol.IsNumeric() {
+		mean := tcol.Mean()
+		for i, cell := range tcol.Cells {
+			if cell.IsNull() {
+				m.Y[i] = mean
+			} else {
+				m.Y[i] = cell.F
+			}
+		}
+		// A numeric target with few distinct integer values is treated as
+		// class labels for metrics purposes; record the classes.
+		if classes, ok := smallIntClasses(tcol); ok {
+			m.Classes = classes
+		}
+	} else {
+		codes := codeBook(tcol)
+		m.Classes = make([]string, len(codes))
+		for s, code := range codes {
+			m.Classes[code] = s
+		}
+		for i, cell := range tcol.Cells {
+			if cell.IsNull() {
+				m.Y[i] = -1
+			} else {
+				m.Y[i] = float64(codes[cell.S])
+			}
+		}
+	}
+	return m, nil
+}
+
+func codeBook(c *Series) map[string]int {
+	uniq := map[string]struct{}{}
+	for _, cell := range c.Cells {
+		if !cell.IsNull() {
+			uniq[cell.S] = struct{}{}
+		}
+	}
+	keys := make([]string, 0, len(uniq))
+	for k := range uniq {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	codes := make(map[string]int, len(keys))
+	for i, k := range keys {
+		codes[k] = i
+	}
+	return codes
+}
+
+func smallIntClasses(c *Series) ([]string, bool) {
+	uniq := map[float64]struct{}{}
+	for _, cell := range c.Cells {
+		if cell.IsNull() {
+			continue
+		}
+		if cell.F != float64(int64(cell.F)) {
+			return nil, false
+		}
+		uniq[cell.F] = struct{}{}
+	}
+	if len(uniq) == 0 || len(uniq) > 50 {
+		return nil, false
+	}
+	vals := make([]float64, 0, len(uniq))
+	for v := range uniq {
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		out[i] = fmt.Sprintf("%g", v)
+	}
+	return out, true
+}

@@ -1,0 +1,430 @@
+// Package discovery implements KGLiDS's data discovery operations (paper
+// Sections 3.3 and 5): keyword search over the LiDS graph, unionable- and
+// joinable-table search backed by the materialized similarity edges,
+// unionable-column matching, and join-path discovery. Per Section 6.1.2,
+// discovery queries run as index-backed graph lookups (SPARQL-equivalent)
+// rather than raw-data scans, which is why query time stays in
+// milliseconds.
+package discovery
+
+import (
+	"sort"
+	"strings"
+
+	"kglids/internal/rdf"
+	"kglids/internal/sparql"
+	"kglids/internal/store"
+)
+
+// Engine answers discovery queries against a populated LiDS graph.
+type Engine struct {
+	st  *store.Store
+	eng *sparql.Engine
+}
+
+// New returns a discovery engine over st.
+func New(st *store.Store) *Engine {
+	return &Engine{st: st, eng: sparql.NewEngine(st)}
+}
+
+// TableResult is one ranked table hit.
+type TableResult struct {
+	Table rdf.Term
+	Name  string
+	Score float64
+}
+
+// SearchKeywords finds tables matching keyword conditions, mirroring the
+// search_keywords API: each element of conditions is OR'd; an element's
+// keywords are AND'd. Keywords match table, dataset, or column names
+// case-insensitively.
+func (e *Engine) SearchKeywords(conditions [][]string) []TableResult {
+	seen := map[string]TableResult{}
+	for _, conj := range conditions {
+		for _, hit := range e.searchConjunction(conj) {
+			key := hit.Table.Key()
+			if old, ok := seen[key]; !ok || hit.Score > old.Score {
+				seen[key] = hit
+			}
+		}
+	}
+	out := make([]TableResult, 0, len(seen))
+	for _, v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Table.Value < out[j].Table.Value
+	})
+	return out
+}
+
+// searchConjunction returns tables where every keyword matches the table's
+// own name, its dataset name, or one of its column names.
+func (e *Engine) searchConjunction(keywords []string) []TableResult {
+	var out []TableResult
+	for _, table := range e.st.Subjects(rdf.RDFType, rdf.ClassTable, rdf.DefaultGraph) {
+		text := e.tableText(table)
+		all := true
+		for _, kw := range keywords {
+			if !strings.Contains(text, strings.ToLower(kw)) {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, TableResult{Table: table, Name: e.nameOf(table), Score: float64(len(keywords))})
+		}
+	}
+	return out
+}
+
+// tableText gathers the lowercase searchable text of a table: its name,
+// dataset name, and column names.
+func (e *Engine) tableText(table rdf.Term) string {
+	var sb strings.Builder
+	sb.WriteString(strings.ToLower(e.nameOf(table)))
+	sb.WriteByte(' ')
+	for _, ds := range e.st.Objects(table, rdf.PropIsPartOf, rdf.DefaultGraph) {
+		sb.WriteString(strings.ToLower(e.nameOf(ds)))
+		sb.WriteByte(' ')
+	}
+	for _, col := range e.st.Objects(table, rdf.PropHasColumn, rdf.DefaultGraph) {
+		sb.WriteString(strings.ToLower(e.nameOf(col)))
+		sb.WriteByte(' ')
+	}
+	// Dataset directory name is also part of the table IRI.
+	sb.WriteString(strings.ToLower(table.Value))
+	return sb.String()
+}
+
+func (e *Engine) nameOf(node rdf.Term) string {
+	objs := e.st.Objects(node, rdf.PropName, rdf.DefaultGraph)
+	if len(objs) > 0 {
+		return objs[0].Value
+	}
+	return node.Local()
+}
+
+// similarityKind selects which similarity edges drive a query.
+type similarityKind int
+
+const (
+	// unionKind uses label OR content edges (Section 3.3: unionable).
+	unionKind similarityKind = iota
+	// joinKind uses content edges only (joinable).
+	joinKind
+)
+
+// UnionableTables returns the top-k tables unionable with the query table,
+// ranked by the aggregate similarity of their column matches (Section 3.3:
+// "based on both the number of similar columns and the similarity scores
+// between them").
+func (e *Engine) UnionableTables(table rdf.Term, k int) []TableResult {
+	return e.similarTables(table, k, unionKind)
+}
+
+// JoinableTables returns the top-k tables joinable with the query table
+// (content-similar columns).
+func (e *Engine) JoinableTables(table rdf.Term, k int) []TableResult {
+	return e.similarTables(table, k, joinKind)
+}
+
+func (e *Engine) similarTables(table rdf.Term, k int, kind similarityKind) []TableResult {
+	cols := e.st.Objects(table, rdf.PropHasColumn, rdf.DefaultGraph)
+	if len(cols) == 0 {
+		return nil
+	}
+	// score[table] = sum over query columns of the best match score.
+	scores := map[string]float64{}
+	terms := map[string]rdf.Term{}
+	for _, col := range cols {
+		best := map[string]float64{}
+		collect := func(pred rdf.Term) {
+			e.st.MatchFunc(col, pred, store.Wildcard, rdf.DefaultGraph, func(t rdf.Triple) bool {
+				other := t.Object
+				otherTables := e.st.Objects(other, rdf.PropIsPartOf, rdf.DefaultGraph)
+				if len(otherTables) == 0 {
+					return true
+				}
+				ot := otherTables[0]
+				score := 1.0
+				if ann, ok := e.st.Annotation(t, rdf.PropCertainty); ok {
+					if f, isF := ann.AsFloat(); isF {
+						score = f
+					}
+				}
+				key := ot.Key()
+				terms[key] = ot
+				if score > best[key] {
+					best[key] = score
+				}
+				return true
+			})
+		}
+		switch kind {
+		case unionKind:
+			collect(rdf.PropLabelSimilarity)
+			collect(rdf.PropContentSimilarity)
+		case joinKind:
+			collect(rdf.PropContentSimilarity)
+		}
+		for key, s := range best {
+			scores[key] += s
+		}
+	}
+	out := make([]TableResult, 0, len(scores))
+	norm := float64(len(cols))
+	for key, s := range scores {
+		t := terms[key]
+		out = append(out, TableResult{Table: t, Name: e.nameOf(t), Score: s / norm})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Table.Value < out[j].Table.Value
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// ColumnMatch pairs a query-table column with a matched column of another
+// table.
+type ColumnMatch struct {
+	A, B  rdf.Term
+	AName string
+	BName string
+	Kind  string // "label" or "content"
+	Score float64
+}
+
+// FindUnionableColumns returns the matched (unionable) column pairs
+// between two tables, the schema recommendation of the
+// find_unionable_columns API.
+func (e *Engine) FindUnionableColumns(tableA, tableB rdf.Term) []ColumnMatch {
+	var out []ColumnMatch
+	for _, colA := range e.st.Objects(tableA, rdf.PropHasColumn, rdf.DefaultGraph) {
+		appendMatch := func(pred rdf.Term, kind string) {
+			e.st.MatchFunc(colA, pred, store.Wildcard, rdf.DefaultGraph, func(t rdf.Triple) bool {
+				parents := e.st.Objects(t.Object, rdf.PropIsPartOf, rdf.DefaultGraph)
+				if len(parents) == 0 || !parents[0].Equal(tableB) {
+					return true
+				}
+				score := 1.0
+				if ann, ok := e.st.Annotation(t, rdf.PropCertainty); ok {
+					if f, isF := ann.AsFloat(); isF {
+						score = f
+					}
+				}
+				out = append(out, ColumnMatch{
+					A: colA, B: t.Object,
+					AName: e.nameOf(colA), BName: e.nameOf(t.Object),
+					Kind: kind, Score: score,
+				})
+				return true
+			})
+		}
+		appendMatch(rdf.PropLabelSimilarity, "label")
+		appendMatch(rdf.PropContentSimilarity, "content")
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].AName != out[j].AName {
+			return out[i].AName < out[j].AName
+		}
+		return out[i].Score > out[j].Score
+	})
+	return out
+}
+
+// JoinPath is a sequence of tables connected by joinable columns.
+type JoinPath struct {
+	Tables []rdf.Term
+	Score  float64
+}
+
+// GetPathToTable finds join paths from start to target within maxHops
+// intermediate tables (the get_path_to_table API; BFS over content-
+// similarity edges).
+func (e *Engine) GetPathToTable(start, target rdf.Term, maxHops int) []JoinPath {
+	type state struct {
+		table rdf.Term
+		path  []rdf.Term
+		score float64
+	}
+	var paths []JoinPath
+	visited := map[string]bool{start.Key(): true}
+	queue := []state{{table: start, path: []rdf.Term{start}, score: 1}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if len(cur.path)-1 > maxHops+1 {
+			continue
+		}
+		for _, next := range e.JoinableTables(cur.table, 0) {
+			if next.Table.Equal(target) {
+				paths = append(paths, JoinPath{
+					Tables: append(append([]rdf.Term{}, cur.path...), target),
+					Score:  cur.score * next.Score,
+				})
+				continue
+			}
+			if visited[next.Table.Key()] || len(cur.path)-1 >= maxHops {
+				continue
+			}
+			visited[next.Table.Key()] = true
+			queue = append(queue, state{
+				table: next.Table,
+				path:  append(append([]rdf.Term{}, cur.path...), next.Table),
+				score: cur.score * next.Score,
+			})
+		}
+	}
+	sort.Slice(paths, func(i, j int) bool {
+		if len(paths[i].Tables) != len(paths[j].Tables) {
+			return len(paths[i].Tables) < len(paths[j].Tables)
+		}
+		return paths[i].Score > paths[j].Score
+	})
+	return paths
+}
+
+// LibraryUsage is one row of the get_top_k_library_used result.
+type LibraryUsage struct {
+	Library   string
+	Pipelines int
+}
+
+// TopKLibraries returns the k most-used top-level libraries by number of
+// distinct pipelines calling them (Figure 4), via SPARQL over the named
+// pipeline graphs.
+func (e *Engine) TopKLibraries(k int) ([]LibraryUsage, error) {
+	res, err := e.eng.Query(`
+		SELECT ?lib (COUNT(DISTINCT ?g) AS ?n) WHERE {
+			GRAPH ?g { ?s kglids:callsLibrary ?lib . }
+		} GROUP BY ?lib ORDER BY DESC(?n)`)
+	if err != nil {
+		return nil, err
+	}
+	var out []LibraryUsage
+	for _, row := range res.Rows {
+		n, _ := row["n"].AsInt()
+		out = append(out, LibraryUsage{Library: row["lib"].Local(), Pipelines: int(n)})
+	}
+	// Stable secondary order by name for ties.
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Pipelines != out[j].Pipelines {
+			return out[i].Pipelines > out[j].Pipelines
+		}
+		return out[i].Library < out[j].Library
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// TopUsedLibrariesForTask restricts TopKLibraries to pipelines whose
+// metadata task matches (the get_top_used_libraries(k, task) API).
+func (e *Engine) TopUsedLibrariesForTask(k int, task string) ([]LibraryUsage, error) {
+	res, err := e.eng.Query(`
+		SELECT ?lib (COUNT(DISTINCT ?g) AS ?n) WHERE {
+			GRAPH ?g {
+				?p a kglids:Pipeline ; kglids:task "` + task + `" .
+				?s kglids:callsLibrary ?lib .
+			}
+		} GROUP BY ?lib ORDER BY DESC(?n)`)
+	if err != nil {
+		return nil, err
+	}
+	var out []LibraryUsage
+	for _, row := range res.Rows {
+		n, _ := row["n"].AsInt()
+		out = append(out, LibraryUsage{Library: row["lib"].Local(), Pipelines: int(n)})
+	}
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// PipelineHit is one pipeline matching a library-usage query.
+type PipelineHit struct {
+	Pipeline rdf.Term
+	Votes    int
+	Score    float64
+}
+
+// PipelinesCallingLibraries returns pipelines that call every one of the
+// given qualified functions (the get_pipelines_calling_libraries API).
+func (e *Engine) PipelinesCallingLibraries(qualified ...string) []PipelineHit {
+	if len(qualified) == 0 {
+		return nil
+	}
+	counts := map[string]int{}
+	terms := map[string]rdf.Term{}
+	for _, q := range qualified {
+		lib := libraryIRI(q)
+		seen := map[string]bool{}
+		e.st.MatchFunc(store.Wildcard, rdf.PropCallsFunction, lib, rdf.DefaultGraph, func(t rdf.Triple) bool {
+			// Statement IRIs embed the pipeline IRI prefix.
+			pipe := pipelineOfStatement(t.Subject)
+			if pipe.Value == "" || seen[pipe.Key()] {
+				return true
+			}
+			seen[pipe.Key()] = true
+			counts[pipe.Key()]++
+			terms[pipe.Key()] = pipe
+			return true
+		})
+	}
+	var out []PipelineHit
+	for key, n := range counts {
+		if n != len(qualified) {
+			continue
+		}
+		pipe := terms[key]
+		hit := PipelineHit{Pipeline: pipe}
+		for _, v := range e.st.Objects(pipe, rdf.PropVotes, rdf.DefaultGraph) {
+			if iv, ok := v.AsInt(); ok {
+				hit.Votes = int(iv)
+			}
+		}
+		for _, v := range e.st.Objects(pipe, rdf.PropScore, rdf.DefaultGraph) {
+			if fv, ok := v.AsFloat(); ok {
+				hit.Score = fv
+			}
+		}
+		out = append(out, hit)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Votes != out[j].Votes {
+			return out[i].Votes > out[j].Votes
+		}
+		return out[i].Pipeline.Value < out[j].Pipeline.Value
+	})
+	return out
+}
+
+func libraryIRI(qualified string) rdf.Term {
+	return rdf.Resource("library/" + strings.ReplaceAll(qualified, ".", "/"))
+}
+
+// pipelineOfStatement recovers the pipeline IRI from a statement IRI of
+// the form .../pipeline/<id>/s<k>.
+func pipelineOfStatement(stmt rdf.Term) rdf.Term {
+	v := stmt.Value
+	i := strings.LastIndexByte(v, '/')
+	if i < 0 {
+		return rdf.Term{}
+	}
+	return rdf.IRI(v[:i])
+}
+
+// SPARQL exposes the underlying engine for ad-hoc queries (the Ad-hoc
+// Queries interface of Figure 1).
+func (e *Engine) SPARQL(query string) (*sparql.Result, error) { return e.eng.Query(query) }

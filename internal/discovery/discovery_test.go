@@ -1,0 +1,196 @@
+package discovery
+
+import (
+	"testing"
+
+	"kglids/internal/profiler"
+	"kglids/internal/dataframe"
+	"kglids/internal/pipeline"
+	"kglids/internal/rdf"
+	"kglids/internal/schema"
+	"kglids/internal/store"
+)
+
+// fixture builds a store with three tables: A and B unionable (label +
+// content), B and C joinable (content only), A and C unrelated.
+func fixture(t *testing.T) (*store.Store, map[string]rdf.Term) {
+	t.Helper()
+	st := store.New()
+	p := profiler.New()
+	mk := func(dataset, table string, cols map[string][]string, order []string) {
+		df := dataframe.New(table)
+		for _, name := range order {
+			s := &dataframe.Series{Name: name}
+			for _, v := range cols[name] {
+				s.Cells = append(s.Cells, dataframe.ParseCell(v))
+			}
+			df.AddColumn(s)
+		}
+		profiles := p.ProfileTable(dataset, df)
+		b := schema.NewBuilder()
+		_ = b
+		allProfiles = append(allProfiles, profiles...)
+	}
+	allProfiles = nil
+	cities := []string{"Montreal", "Toronto", "Vancouver", "Ottawa", "Calgary", "Boston", "Chicago", "Seattle"}
+	mk("heartds", "heart_disease_patients.csv", map[string][]string{
+		"gender": {"male", "female", "male", "male", "female", "male", "female", "male"},
+		"age":    {"63", "37", "41", "56", "57", "44", "52", "57"},
+		"city":   cities,
+	}, []string{"gender", "age", "city"})
+	mk("failure", "heart_failure_clinical.csv", map[string][]string{
+		"sex":  {"male", "female", "male", "female", "male", "male", "female", "male"},
+		"age":  {"60", "42", "45", "50", "61", "48", "55", "52"},
+		"town": cities,
+	}, []string{"sex", "age", "town"})
+	mk("geo", "city_population.csv", map[string][]string{
+		"location":  cities,
+		"residents": {"1704694", "2731571", "631486", "934243", "1239220", "675647", "2746388", "737015"},
+	}, []string{"location", "residents"})
+	b := schema.NewBuilder()
+	b.BuildGraph(st, allProfiles)
+	tables := map[string]rdf.Term{
+		"A": schema.TableIRI("heartds/heart_disease_patients.csv"),
+		"B": schema.TableIRI("failure/heart_failure_clinical.csv"),
+		"C": schema.TableIRI("geo/city_population.csv"),
+	}
+	return st, tables
+}
+
+var allProfiles []*profiler.ColumnProfile
+
+func TestSearchKeywords(t *testing.T) {
+	st, _ := fixture(t)
+	e := New(st)
+	// Conjunctive: heart AND disease.
+	res := e.SearchKeywords([][]string{{"heart", "disease"}})
+	if len(res) != 1 || res[0].Name != "heart_disease_patients.csv" {
+		t.Fatalf("conjunctive search = %+v", res)
+	}
+	// Disjunctive: (heart AND disease) OR population.
+	res = e.SearchKeywords([][]string{{"heart", "disease"}, {"population"}})
+	if len(res) != 2 {
+		t.Fatalf("disjunctive search = %+v", res)
+	}
+	// Column-name match.
+	res = e.SearchKeywords([][]string{{"residents"}})
+	if len(res) != 1 || res[0].Name != "city_population.csv" {
+		t.Errorf("column search = %+v", res)
+	}
+	if got := e.SearchKeywords([][]string{{"zzzznope"}}); len(got) != 0 {
+		t.Errorf("no-match search = %+v", got)
+	}
+}
+
+func TestUnionableTables(t *testing.T) {
+	st, tables := fixture(t)
+	e := New(st)
+	res := e.UnionableTables(tables["A"], 5)
+	if len(res) == 0 {
+		t.Fatal("no unionable results")
+	}
+	if !res[0].Table.Equal(tables["B"]) {
+		t.Errorf("top unionable = %v, want B", res[0].Table)
+	}
+	// C should rank below B for A (only the city column matches).
+	for i, r := range res {
+		if r.Table.Equal(tables["C"]) && i == 0 {
+			t.Error("C ranked above B")
+		}
+	}
+}
+
+func TestFindUnionableColumns(t *testing.T) {
+	st, tables := fixture(t)
+	e := New(st)
+	matches := e.FindUnionableColumns(tables["A"], tables["B"])
+	if len(matches) == 0 {
+		t.Fatal("no column matches")
+	}
+	pairs := map[string]string{}
+	for _, m := range matches {
+		pairs[m.AName] = m.BName
+	}
+	if pairs["gender"] != "sex" {
+		t.Errorf("gender match = %q", pairs["gender"])
+	}
+	if pairs["age"] != "age" {
+		t.Errorf("age match = %q", pairs["age"])
+	}
+	for _, m := range matches {
+		if m.Score <= 0 || m.Score > 1.0001 {
+			t.Errorf("match score = %v", m.Score)
+		}
+	}
+}
+
+func TestJoinPath(t *testing.T) {
+	st, tables := fixture(t)
+	e := New(st)
+	// A and C share the city column (content similar) → direct join path.
+	paths := e.GetPathToTable(tables["A"], tables["C"], 2)
+	if len(paths) == 0 {
+		t.Fatal("no join path found")
+	}
+	if len(paths[0].Tables) != 2 {
+		t.Errorf("shortest path length = %d tables", len(paths[0].Tables))
+	}
+	if !paths[0].Tables[0].Equal(tables["A"]) || !paths[0].Tables[1].Equal(tables["C"]) {
+		t.Error("path endpoints wrong")
+	}
+}
+
+func TestLibraryDiscovery(t *testing.T) {
+	st, _ := fixture(t)
+	// Add two pipelines calling different libraries.
+	a := pipeline.NewAbstractor()
+	g := pipeline.NewGraphBuilder(nil)
+	src1 := "import pandas as pd\nfrom sklearn.ensemble import RandomForestClassifier\ndf = pd.read_csv('x.csv')\nclf = RandomForestClassifier(50)\nclf.fit(df, df)\n"
+	src2 := "import pandas as pd\ndf = pd.read_csv('y.csv')\n"
+	abs1 := a.Abstract(pipeline.Script{ID: "p1", Source: src1, Meta: pipeline.Metadata{Votes: 10, Task: "classification"}})
+	abs2 := a.Abstract(pipeline.Script{ID: "p2", Source: src2, Meta: pipeline.Metadata{Votes: 99, Task: "classification"}})
+	g.BuildGraph(st, abs1)
+	g.BuildGraph(st, abs2)
+
+	e := New(st)
+	top, err := e.TopKLibraries(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) == 0 || top[0].Library != "pandas" || top[0].Pipelines != 2 {
+		t.Fatalf("top libraries = %+v", top)
+	}
+	byTask, err := e.TopUsedLibrariesForTask(5, "classification")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byTask) == 0 {
+		t.Error("task-filtered libraries empty")
+	}
+	hits := e.PipelinesCallingLibraries("pandas.read_csv")
+	if len(hits) != 2 {
+		t.Fatalf("pipelines calling read_csv = %d", len(hits))
+	}
+	if hits[0].Votes != 99 {
+		t.Errorf("hits not sorted by votes: %+v", hits)
+	}
+	hits = e.PipelinesCallingLibraries("pandas.read_csv", "sklearn.ensemble.RandomForestClassifier")
+	if len(hits) != 1 {
+		t.Fatalf("conjunctive pipeline query = %d", len(hits))
+	}
+	if got := e.PipelinesCallingLibraries(); got != nil {
+		t.Error("empty query should return nil")
+	}
+}
+
+func TestAdHocSPARQL(t *testing.T) {
+	st, _ := fixture(t)
+	e := New(st)
+	res, err := e.SPARQL(`SELECT (COUNT(?c) AS ?n) WHERE { ?c a kglids:Column . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.Rows[0]["n"].AsInt(); n != 8 {
+		t.Errorf("columns = %d", n)
+	}
+}

@@ -1,0 +1,291 @@
+package embed
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Type is the fine-grained column data type inferred by the profiler
+// (paper Section 3.2): 7 types; all except boolean receive CoLR embeddings,
+// and the table embedding concatenates the 6 embedded types (Section 4.2).
+type Type string
+
+// The seven fine-grained types.
+const (
+	TypeInt             Type = "int"
+	TypeFloat           Type = "float"
+	TypeBoolean         Type = "boolean"
+	TypeDate            Type = "date"
+	TypeNamedEntity     Type = "named_entity"
+	TypeNaturalLanguage Type = "natural_language"
+	TypeString          Type = "string"
+)
+
+// EmbeddedTypes lists the fine-grained types that receive CoLR embeddings,
+// in the canonical concatenation order of Eq. (1). len == 6, so table
+// embeddings have 6*Dim = 1800 dimensions.
+var EmbeddedTypes = []Type{TypeInt, TypeFloat, TypeDate, TypeNamedEntity, TypeNaturalLanguage, TypeString}
+
+// AllTypes lists all seven fine-grained types.
+var AllTypes = []Type{TypeInt, TypeFloat, TypeBoolean, TypeDate, TypeNamedEntity, TypeNaturalLanguage, TypeString}
+
+// TableDim is the dimensionality of table/dataset embeddings (Eq. 1).
+const TableDim = Dim * 6 // 1800
+
+// CoLR generates column content embeddings. One encoder exists per
+// fine-grained type, matching the paper's per-type models H_{θ,T}.
+//
+// The trained models' purpose is that two columns embed close when their
+// raw values overlap, their distributions are similar, or they measure the
+// same variable in different units. The substituted encoders realize those
+// invariances directly:
+//
+//   - string-like types hash character trigrams and whole values, so raw
+//     value overlap produces shared dimensions;
+//   - numeric types combine a z-scored soft histogram (unit-invariant
+//     distribution shape) with soft log-magnitude features (raw-scale
+//     overlap);
+//   - dates decompose into calendar features.
+type CoLR struct {
+	// SampleFraction is the fraction of values sampled per column
+	// (Algorithm 2 line 9; the paper uses 10%).
+	SampleFraction float64
+	// MinSample is the minimum sample size (paper: 1000).
+	MinSample int
+	// Subsample toggles sampling; the Figure 6 ablation disables it.
+	Subsample bool
+	// Coarse switches to a single type-agnostic encoder, reproducing the
+	// "coarse-grained" baseline models of the Figure 6 ablation.
+	Coarse bool
+}
+
+// NewCoLR returns the default configuration (10% subsampling, fine-grained).
+func NewCoLR() *CoLR {
+	return &CoLR{SampleFraction: 0.10, MinSample: 1000, Subsample: true}
+}
+
+// EncodeColumn embeds a column's non-null lexical values under the encoder
+// for fine-grained type t. The result is L2-normalized.
+func (c *CoLR) EncodeColumn(values []string, t Type) Vector {
+	sample := c.sample(values)
+	v := NewVector(Dim)
+	if len(sample) == 0 {
+		return v
+	}
+	if c.Coarse {
+		for _, s := range sample {
+			encodeStringValue(v, s, 1.0/float64(len(sample)))
+		}
+		v.Normalize()
+		return v
+	}
+	switch t {
+	case TypeInt, TypeFloat:
+		c.encodeNumeric(v, sample)
+	case TypeDate:
+		c.encodeDates(v, sample)
+	case TypeBoolean:
+		// Booleans are compared via true-ratio, not embeddings (Alg. 3);
+		// still produce a coarse signature so table embeddings are stable.
+		for _, s := range sample {
+			addHashed(v, "bool:"+strings.ToLower(s), 1.0/float64(len(sample)))
+		}
+	default: // named_entity, natural_language, string
+		for _, s := range sample {
+			encodeStringValue(v, s, 1.0/float64(len(sample)))
+		}
+	}
+	v.Normalize()
+	return v
+}
+
+// sample draws a deterministic pseudo-random sample of the values
+// (hash-ordered), honoring SampleFraction and MinSample.
+func (c *CoLR) sample(values []string) []string {
+	if !c.Subsample || len(values) <= c.MinSample {
+		return values
+	}
+	n := int(c.SampleFraction * float64(len(values)))
+	if n < c.MinSample {
+		n = c.MinSample
+	}
+	if n >= len(values) {
+		return values
+	}
+	type hv struct {
+		h uint64
+		i int
+	}
+	hs := make([]hv, len(values))
+	for i, s := range values {
+		h := fnv.New64a()
+		h.Write([]byte(s))
+		var ib [8]byte
+		for b := 0; b < 8; b++ {
+			ib[b] = byte(i >> (8 * b))
+		}
+		h.Write(ib[:])
+		hs[i] = hv{h: h.Sum64(), i: i}
+	}
+	sort.Slice(hs, func(a, b int) bool { return hs[a].h < hs[b].h })
+	out := make([]string, n)
+	for k := 0; k < n; k++ {
+		out[k] = values[hs[k].i]
+	}
+	return out
+}
+
+// encodeStringValue hashes the whole value and its character trigrams.
+func encodeStringValue(v Vector, s string, w float64) {
+	ls := strings.ToLower(strings.TrimSpace(s))
+	addHashed(v, "val:"+ls, 2.0*w)
+	padded := "^" + ls + "$"
+	for i := 0; i+3 <= len(padded); i++ {
+		addHashed(v, "tri:"+padded[i:i+3], w)
+	}
+	for _, tok := range strings.Fields(ls) {
+		addHashed(v, "tok:"+tok, w)
+	}
+}
+
+// encodeNumeric embeds a numeric sample: a z-scored soft histogram captures
+// unit-invariant distribution shape, and log-magnitude features capture raw
+// scale so exact-value overlap still dominates.
+func (c *CoLR) encodeNumeric(v Vector, sample []string) {
+	vals := make([]float64, 0, len(sample))
+	for _, s := range sample {
+		if f, err := strconv.ParseFloat(strings.TrimSpace(s), 64); err == nil && !math.IsNaN(f) && !math.IsInf(f, 0) {
+			vals = append(vals, f)
+		}
+	}
+	if len(vals) == 0 {
+		return
+	}
+	mean, std := meanStd(vals)
+	if std == 0 {
+		std = 1
+	}
+	w := 1.0 / float64(len(vals))
+	for _, f := range vals {
+		// Raw-value overlap is the paper's first similarity criterion;
+		// exact values dominate for columns sharing actual data (e.g.
+		// horizontal partitions of one source table).
+		addHashed(v, "nval:"+strconv.FormatFloat(f, 'g', -1, 64), 1.5*w)
+		z := (f - mean) / std
+		// Soft histogram over 25 RBF centers in [-3, 3].
+		for k := 0; k < 25; k++ {
+			center := -3.0 + 6.0*float64(k)/24.0
+			d := (z - center) / 0.25
+			wk := math.Exp(-d * d)
+			if wk > 1e-3 {
+				addHashed(v, "zbin:"+itoa(k), wk*w)
+			}
+		}
+		// Log-magnitude soft bins over [0, 10]. The weight balances two
+		// competing goals: same-variable-different-unit columns should
+		// stay fairly similar (z-histograms dominate), while same-shape
+		// columns from unrelated sources at different scales should fall
+		// below the materialization threshold θ.
+		mag := math.Log10(math.Abs(f) + 1)
+		for k := 0; k < 30; k++ {
+			center := 10.0 * float64(k) / 29.0
+			d := (mag - center) / 0.3
+			wk := math.Exp(-d * d)
+			if wk > 1e-3 {
+				addHashed(v, "mbin:"+itoa(k), 0.35*wk*w)
+			}
+		}
+		if f < 0 {
+			addHashed(v, "neg", 0.5*w)
+		}
+		if f == math.Trunc(f) {
+			addHashed(v, "intlike", 0.25*w)
+		}
+	}
+}
+
+// dateLayouts are the formats the date encoder and the profiler's type
+// inference both recognize.
+var dateLayouts = []string{
+	"2006-01-02", "2006/01/02", "01/02/2006", "02-01-2006",
+	"2006-01-02 15:04:05", "2006-01-02T15:04:05", "Jan 2, 2006",
+	"2 Jan 2006", "January 2, 2006", "2006-01",
+}
+
+// ParseDate attempts to parse s with the supported layouts.
+func ParseDate(s string) (time.Time, bool) {
+	t := strings.TrimSpace(s)
+	for _, layout := range dateLayouts {
+		if parsed, err := time.Parse(layout, t); err == nil {
+			return parsed, true
+		}
+	}
+	return time.Time{}, false
+}
+
+func (c *CoLR) encodeDates(v Vector, sample []string) {
+	w := 1.0 / float64(len(sample))
+	for _, s := range sample {
+		d, ok := ParseDate(s)
+		if !ok {
+			encodeStringValue(v, s, w)
+			continue
+		}
+		addHashed(v, "year:"+itoa(d.Year()), w)
+		addHashed(v, "decade:"+itoa(d.Year()/10), 0.5*w)
+		addHashed(v, "month:"+itoa(int(d.Month())), 0.5*w)
+		addHashed(v, "dow:"+itoa(int(d.Weekday())), 0.25*w)
+	}
+}
+
+func meanStd(vals []float64) (mean, std float64) {
+	for _, f := range vals {
+		mean += f
+	}
+	mean /= float64(len(vals))
+	var ss float64
+	for _, f := range vals {
+		d := f - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(vals)))
+}
+
+// TableEmbedding implements Eq. (1): the concatenation over the six
+// embedded fine-grained types of the average column embedding of that type.
+// byType maps each type to the column embeddings of that type present in
+// the table; absent types contribute zero blocks.
+func TableEmbedding(byType map[Type][]Vector) Vector {
+	out := NewVector(0)
+	for _, t := range EmbeddedTypes {
+		block := NewVector(Dim)
+		cols := byType[t]
+		if len(cols) > 0 {
+			for _, cv := range cols {
+				block.Add(cv)
+			}
+			block.Scale(1 / float64(len(cols)))
+		}
+		out = append(out, block...)
+	}
+	return out
+}
+
+// DatasetEmbedding aggregates table embeddings into a dataset embedding by
+// averaging (paper Section 3.2: "an embedding of a dataset is an
+// aggregation of its tables' embeddings").
+func DatasetEmbedding(tables []Vector) Vector {
+	out := NewVector(TableDim)
+	if len(tables) == 0 {
+		return out
+	}
+	for _, t := range tables {
+		out.Add(t)
+	}
+	out.Scale(1 / float64(len(tables)))
+	return out
+}

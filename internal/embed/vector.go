@@ -1,0 +1,114 @@
+// Package embed implements KGLiDS's embedding models (paper Section 3.2):
+// word embeddings for column-label similarity, CoLR (Column Learned
+// Representation) content encoders producing 300-dimensional column
+// embeddings per fine-grained type, and table/dataset embeddings via
+// per-type aggregation (Eq. 1).
+//
+// The paper's CoLR models are neural networks trained on 5,500 Kaggle and
+// OpenML tables; its label model combines GloVe with a WordNet-based
+// semantic similarity. Neither resource is available offline, so this
+// package substitutes deterministic encoders engineered to have the same
+// invariances the trained models are used for (see DESIGN.md §2): value
+// overlap and distribution similarity for content, synonymy and
+// morphological closeness for labels.
+package embed
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Dim is the CoLR embedding dimensionality used throughout KGLiDS.
+const Dim = 300
+
+// WordDim is the label (word) embedding dimensionality.
+const WordDim = 50
+
+// Vector is a dense embedding.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Add accumulates o into v.
+func (v Vector) Add(o Vector) {
+	for i := range v {
+		v[i] += o[i]
+	}
+}
+
+// Scale multiplies v in place.
+func (v Vector) Scale(f float64) {
+	for i := range v {
+		v[i] *= f
+	}
+}
+
+// Dot returns the inner product.
+func (v Vector) Dot(o Vector) float64 {
+	s := 0.0
+	for i := range v {
+		s += v[i] * o[i]
+	}
+	return s
+}
+
+// Norm returns the L2 norm.
+func (v Vector) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Normalize scales v to unit norm (no-op for zero vectors).
+func (v Vector) Normalize() {
+	n := v.Norm()
+	if n > 0 {
+		v.Scale(1 / n)
+	}
+}
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Cosine returns the cosine similarity of a and b (0 for zero vectors).
+func Cosine(a, b Vector) float64 {
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return a.Dot(b) / (na * nb)
+}
+
+// Concat returns the concatenation of vectors.
+func Concat(vs ...Vector) Vector {
+	n := 0
+	for _, v := range vs {
+		n += len(v)
+	}
+	out := make(Vector, 0, n)
+	for _, v := range vs {
+		out = append(out, v...)
+	}
+	return out
+}
+
+// hashIndex maps a string feature to a dimension in [0, dim) with a signed
+// weight (+1/-1), the standard feature-hashing construction.
+func hashIndex(feature string, dim int) (int, float64) {
+	h := fnv.New64a()
+	h.Write([]byte(feature))
+	v := h.Sum64()
+	idx := int(v % uint64(dim))
+	sign := 1.0
+	if (v>>63)&1 == 1 {
+		sign = -1.0
+	}
+	return idx, sign
+}
+
+// addHashed adds a hashed feature with the given weight into v.
+func addHashed(v Vector, feature string, weight float64) {
+	i, sign := hashIndex(feature, len(v))
+	v[i] += sign * weight
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"kglids/internal/baselines/graphgen"
+	"kglids/internal/lakegen"
+	"kglids/internal/pipegen"
+	"kglids/internal/pipeline"
+	"kglids/internal/rdf"
+	"kglids/internal/store"
+)
+
+// AbstractionResult holds Table 3, Table 4, and Figure 4 outputs for one
+// corpus.
+type AbstractionResult struct {
+	NumPipelines int
+
+	// Table 3 rows.
+	KGLiDSTriples   int
+	KGLiDSNodes     int
+	KGLiDSEdges     int
+	KGLiDSSizeMB    float64
+	KGLiDSTime      time.Duration
+	GraphGenTriples int
+	GraphGenNodes   int
+	GraphGenEdges   int
+	GraphGenSizeMB  float64
+	GraphGenTime    time.Duration
+
+	// Table 4: aspect -> triple count per system.
+	KGLiDSBreakdown   map[string]int
+	GraphGenBreakdown map[string]int
+
+	// Figure 4: top libraries.
+	TopLibraries []pipeline.LibraryCount
+}
+
+// Corpus generates the pipeline corpus used by the abstraction and
+// automation experiments: scripts over a set of generated task datasets.
+func Corpus(numPipelines int, seed int64) ([]pipegen.Generated, []*lakegen.TaskDataset) {
+	var datasets []pipegen.Dataset
+	var tasks []*lakegen.TaskDataset
+	for i := 0; i < 10; i++ {
+		task := lakegen.GenerateTask(lakegen.TaskSpec{
+			ID: 100 + i, Name: fmt.Sprintf("corpus_ds_%02d", i),
+			Rows: 150 + i*40, NumFeatures: 4 + i%4, CatFeatures: 1 + i%2,
+			Classes: 2 + i%2, NullRate: 0.05, Seed: seed + int64(i),
+		})
+		tasks = append(tasks, task)
+		datasets = append(datasets, pipegen.FrameDataset(task.Name, task.Frame, task.Target))
+	}
+	return pipegen.Generate(pipegen.Options{NumPipelines: numPipelines, Datasets: datasets, Seed: seed}), tasks
+}
+
+// RunAbstraction abstracts the corpus with KGLiDS and GraphGen4Code,
+// producing Tables 3/4 and Figure 4.
+func RunAbstraction(numPipelines int) AbstractionResult {
+	corpus, _ := Corpus(numPipelines, 900)
+	res := AbstractionResult{NumPipelines: len(corpus)}
+
+	// KGLiDS abstraction.
+	stK := store.New()
+	abstractor := pipeline.NewAbstractor()
+	builder := pipeline.NewGraphBuilder(nil)
+	start := time.Now()
+	var abss []*pipeline.Abstraction
+	for _, g := range corpus {
+		abss = append(abss, abstractor.Abstract(g.Script))
+	}
+	for _, abs := range abss {
+		builder.BuildGraph(stK, abs)
+	}
+	res.KGLiDSTime = time.Since(start)
+	res.KGLiDSTriples = stK.Len()
+	res.KGLiDSNodes = stK.NodeCount()
+	res.KGLiDSEdges = stK.PredicateCount()
+	res.KGLiDSSizeMB = float64(stK.ApproxBytes()) / (1 << 20)
+	res.KGLiDSBreakdown = kglidsBreakdown(stK)
+	res.TopLibraries = pipeline.TopLibraries(abss, 10)
+
+	// GraphGen4Code abstraction.
+	stG := store.New()
+	gen := graphgen.New()
+	res.GraphGenBreakdown = map[string]int{}
+	start = time.Now()
+	for _, g := range corpus {
+		r := gen.Abstract(stG, g.Script.ID, g.Script.Source)
+		for aspect, n := range r.Breakdown {
+			res.GraphGenBreakdown[aspect] += n
+		}
+	}
+	res.GraphGenTime = time.Since(start)
+	res.GraphGenTriples = stG.Len()
+	res.GraphGenNodes = stG.NodeCount()
+	res.GraphGenEdges = stG.PredicateCount()
+	res.GraphGenSizeMB = float64(stG.ApproxBytes()) / (1 << 20)
+	return res
+}
+
+// kglidsBreakdown classifies the LiDS graph's triples into Table 4's
+// modelled aspects by predicate.
+func kglidsBreakdown(st *store.Store) map[string]int {
+	aspectOf := map[string]string{
+		rdf.PropReads.Value:           "Dataset reads",
+		rdf.PropSubLibraryOf.Value:    "Library hierarchy",
+		rdf.RDFType.Value:             "RDF node types",
+		rdf.PropReadsColumn.Value:     "Column reads",
+		rdf.PropCallsFunction.Value:   "Library calls",
+		rdf.PropCallsLibrary.Value:    "Library calls",
+		rdf.PropCodeFlow.Value:        "Code flow",
+		rdf.PropDataFlow.Value:        "Data flow",
+		rdf.PropControlFlowType.Value: "Control flow type",
+		rdf.PropHasParameter.Value:    "Func. parameters",
+		rdf.PropParameterValue.Value:  "Func. parameters",
+		rdf.PropStatementText.Value:   "Statement text",
+	}
+	out := map[string]int{}
+	st.MatchFunc(store.Wildcard, store.Wildcard, store.Wildcard, rdf.DefaultGraph, func(t rdf.Triple) bool {
+		aspect, ok := aspectOf[t.Predicate.Value]
+		if !ok {
+			aspect = "Other metadata"
+		}
+		out[aspect]++
+		return true
+	})
+	return out
+}
+
+// FormatTable3 renders Table 3.
+func FormatTable3(r AbstractionResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 3: RDF graphs and analysis time for %d pipelines\n", r.NumPipelines)
+	fmt.Fprintf(&sb, "%-24s %16s %16s\n", "Statistic", "KGLiDS", "GraphGen4Code")
+	fmt.Fprintf(&sb, "%-24s %16d %16d\n", "No. triples (edges)", r.KGLiDSTriples, r.GraphGenTriples)
+	fmt.Fprintf(&sb, "%-24s %16d %16d\n", "No. unique nodes", r.KGLiDSNodes, r.GraphGenNodes)
+	fmt.Fprintf(&sb, "%-24s %16d %16d\n", "No. unique edges", r.KGLiDSEdges, r.GraphGenEdges)
+	fmt.Fprintf(&sb, "%-24s %15.2fM %15.2fM\n", "Size (MB)", r.KGLiDSSizeMB, r.GraphGenSizeMB)
+	fmt.Fprintf(&sb, "%-24s %16s %16s\n", "Analysis time", r.KGLiDSTime.Round(time.Millisecond), r.GraphGenTime.Round(time.Millisecond))
+	reduction := 100 * (1 - float64(r.KGLiDSTriples)/float64(r.GraphGenTriples))
+	timeSaving := 100 * (1 - float64(r.KGLiDSTime)/float64(r.GraphGenTime))
+	fmt.Fprintf(&sb, "Graph reduction: %.0f%%, analysis time saving: %.0f%%\n", reduction, timeSaving)
+	return sb.String()
+}
+
+// table4Aspects is the row order of Table 4.
+var table4Aspects = []string{
+	"Dataset reads", "Library hierarchy", "RDF node types",
+	"Statement location", "Variable names", "Func. parameter order",
+	"Column reads", "Library calls", "Code flow", "Data flow",
+	"Control flow type", "Func. parameters", "Statement text",
+	"Other metadata",
+}
+
+// FormatTable4 renders Table 4.
+func FormatTable4(r AbstractionResult) string {
+	var sb strings.Builder
+	sb.WriteString("Table 4: Breakdown of graphs by modelled aspect\n")
+	fmt.Fprintf(&sb, "%-24s %22s %22s\n", "Modelled Aspect", "KGLiDS", "GraphGen4Code")
+	totalK, totalG := 0, 0
+	for _, a := range table4Aspects {
+		totalK += r.KGLiDSBreakdown[a]
+		totalG += r.GraphGenBreakdown[a]
+	}
+	cell := func(n, total int) string {
+		if n == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d (%4.1f%%)", n, 100*float64(n)/float64(total))
+	}
+	for _, a := range table4Aspects {
+		k, g := r.KGLiDSBreakdown[a], r.GraphGenBreakdown[a]
+		if k == 0 && g == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "%-24s %22s %22s\n", a, cell(k, totalK), cell(g, totalG))
+	}
+	fmt.Fprintf(&sb, "%-24s %22d %22d\n", "Total", totalK, totalG)
+	return sb.String()
+}
+
+// FormatFigure4 renders the top-10 library histogram.
+func FormatFigure4(r AbstractionResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 4: Top 10 libraries used in %d pipelines\n", r.NumPipelines)
+	maxN := 1
+	for _, lc := range r.TopLibraries {
+		if lc.Pipelines > maxN {
+			maxN = lc.Pipelines
+		}
+	}
+	for _, lc := range r.TopLibraries {
+		bar := strings.Repeat("#", lc.Pipelines*40/maxN)
+		fmt.Fprintf(&sb, "%-14s %6d %s\n", lc.Library, lc.Pipelines, bar)
+	}
+	return sb.String()
+}

@@ -1,0 +1,371 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6) over the synthetic workload replicas: data
+// discovery (Table 1, Table 2, Figure 5, Figure 6), pipeline abstraction
+// (Figure 4, Table 3, Table 4), on-demand automation (Table 5, Figure 7,
+// Table 6, Figure 8), and AutoML (Figure 9). Each Run* function returns
+// structured rows; the Format* helpers print them in the paper's layout.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"kglids/internal/baselines/santos"
+	"kglids/internal/baselines/starmie"
+	"kglids/internal/core"
+	"kglids/internal/dataframe"
+	"kglids/internal/embed"
+	"kglids/internal/lakegen"
+	"kglids/internal/profiler"
+	"kglids/internal/rdf"
+	"kglids/internal/schema"
+)
+
+// BenchmarkStats is one column of Table 1.
+type BenchmarkStats struct {
+	Name          string
+	SizeMB        float64
+	Tables        int
+	QueryTables   int
+	AvgUnionable  float64
+	AvgRows       float64
+	TotalColumns  int
+	TypeBreakdown map[embed.Type]int
+}
+
+// Specs returns the four benchmark replicas in Table 1 order.
+func Specs() []lakegen.Spec {
+	return []lakegen.Spec{lakegen.D3LSmall, lakegen.TUSSmall, lakegen.SANTOSSmall, lakegen.SANTOSLarge}
+}
+
+// RunTable1 generates each benchmark and computes its statistics with the
+// KGLiDS profiler (the paper notes the type breakdown comes from their
+// profiler).
+func RunTable1() []BenchmarkStats { return RunTable1Subset(Specs()) }
+
+// RunTable1Subset computes Table 1 statistics for the given specs.
+func RunTable1Subset(specs []lakegen.Spec) []BenchmarkStats {
+	var out []BenchmarkStats
+	for _, spec := range specs {
+		b := lakegen.Generate(spec)
+		p := profiler.New()
+		var tables []profiler.Table
+		for _, df := range b.Tables {
+			tables = append(tables, profiler.Table{Dataset: b.Dataset[df.Name], Frame: df})
+		}
+		profiles := p.ProfileAll(tables)
+		out = append(out, BenchmarkStats{
+			Name:          spec.Name,
+			SizeMB:        float64(b.SizeBytes()) / (1 << 20),
+			Tables:        len(b.Tables),
+			QueryTables:   len(b.QueryTables),
+			AvgUnionable:  b.AvgUnionable(),
+			AvgRows:       b.AvgRows(),
+			TotalColumns:  b.TotalColumns(),
+			TypeBreakdown: profiler.TypeBreakdown(profiles),
+		})
+	}
+	return out
+}
+
+// FormatTable1 renders Table 1.
+func FormatTable1(stats []BenchmarkStats) string {
+	var sb strings.Builder
+	sb.WriteString("Table 1: Data Discovery Benchmarks (scaled replicas)\n")
+	fmt.Fprintf(&sb, "%-28s", "Statistic")
+	for _, s := range stats {
+		fmt.Fprintf(&sb, "%14s", s.Name)
+	}
+	sb.WriteByte('\n')
+	row := func(label string, f func(BenchmarkStats) string) {
+		fmt.Fprintf(&sb, "%-28s", label)
+		for _, s := range stats {
+			fmt.Fprintf(&sb, "%14s", f(s))
+		}
+		sb.WriteByte('\n')
+	}
+	row("Size (MB)", func(s BenchmarkStats) string { return fmt.Sprintf("%.1f", s.SizeMB) })
+	row("No. tables", func(s BenchmarkStats) string { return fmt.Sprintf("%d", s.Tables) })
+	row("No. query tables", func(s BenchmarkStats) string { return fmt.Sprintf("%d", s.QueryTables) })
+	row("Avg. No. unionable tables", func(s BenchmarkStats) string { return fmt.Sprintf("%.0f", s.AvgUnionable) })
+	row("Avg. No. rows per table", func(s BenchmarkStats) string { return fmt.Sprintf("%.0f", s.AvgRows) })
+	row("Total columns", func(s BenchmarkStats) string { return fmt.Sprintf("%d", s.TotalColumns) })
+	for _, typ := range embed.AllTypes {
+		t := typ
+		row(string(t)+" cols.", func(s BenchmarkStats) string { return fmt.Sprintf("%d", s.TypeBreakdown[t]) })
+	}
+	return sb.String()
+}
+
+// DiscoverySystemRun is one (benchmark, system) cell of Table 2 plus the
+// Figure 5 curves.
+type DiscoverySystemRun struct {
+	Benchmark  string
+	System     string
+	Preprocess time.Duration
+	AvgQuery   time.Duration
+	// PrecisionAtK / RecallAtK, keyed by k.
+	PrecisionAtK map[int]float64
+	RecallAtK    map[int]float64
+}
+
+// KSweep returns the Figure 5 k-values for a benchmark, scaled to the
+// replica family sizes.
+func KSweep(name string) []int {
+	switch {
+	case strings.HasPrefix(name, "D3L"):
+		return []int{1, 2, 3, 5, 7, 9, 11, 13, 15}
+	case strings.HasPrefix(name, "TUS"):
+		return []int{1, 2, 3, 4, 5, 6, 7, 8}
+	default: // SANTOS
+		return []int{1, 2, 3, 4, 5}
+	}
+}
+
+// prAt computes average precision/recall at each k over the query tables.
+func prAt(b *lakegen.Benchmark, ks []int, retrieve func(query string, k int) []string) (map[int]float64, map[int]float64) {
+	precision := map[int]float64{}
+	recall := map[int]float64{}
+	for _, k := range ks {
+		var pSum, rSum float64
+		for _, q := range b.QueryTables {
+			truth := map[string]bool{}
+			for _, o := range b.GroundTruth[q] {
+				truth[o] = true
+			}
+			hits := 0
+			results := retrieve(q, k)
+			for _, r := range results {
+				if truth[r] {
+					hits++
+				}
+			}
+			pSum += float64(hits) / float64(k)
+			if len(truth) > 0 {
+				rSum += float64(hits) / float64(len(truth))
+			}
+		}
+		precision[k] = pSum / float64(len(b.QueryTables))
+		recall[k] = rSum / float64(len(b.QueryTables))
+	}
+	return precision, recall
+}
+
+// RunDiscoveryBenchmark runs the three systems on one benchmark replica,
+// producing a Table 2 row group and Figure 5 curves.
+func RunDiscoveryBenchmark(spec lakegen.Spec) []DiscoverySystemRun {
+	b := lakegen.Generate(spec)
+	ks := KSweep(spec.Name)
+	byName := map[string]*dataframe.DataFrame{}
+	for _, df := range b.Tables {
+		byName[df.Name] = df
+	}
+	var out []DiscoverySystemRun
+
+	// SANTOS.
+	start := time.Now()
+	sIdx := santos.Preprocess(b.Tables)
+	sPre := time.Since(start)
+	sRun := DiscoverySystemRun{Benchmark: spec.Name, System: "SANTOS", Preprocess: sPre}
+	start = time.Now()
+	sRun.PrecisionAtK, sRun.RecallAtK = prAt(b, ks, func(q string, k int) []string {
+		var names []string
+		for _, r := range sIdx.Query(q, k) {
+			names = append(names, r.Table)
+		}
+		return names
+	})
+	sRun.AvgQuery = time.Since(start) / time.Duration(len(ks)*len(b.QueryTables))
+	out = append(out, sRun)
+
+	// Starmie.
+	start = time.Now()
+	stIdx := starmie.Preprocess(b.Tables)
+	stPre := time.Since(start)
+	stRun := DiscoverySystemRun{Benchmark: spec.Name, System: "Starmie", Preprocess: stPre}
+	start = time.Now()
+	stRun.PrecisionAtK, stRun.RecallAtK = prAt(b, ks, func(q string, k int) []string {
+		var names []string
+		for _, r := range stIdx.Query(byName[q], k) {
+			names = append(names, r.Table)
+		}
+		return names
+	})
+	stRun.AvgQuery = time.Since(start) / time.Duration(len(ks)*len(b.QueryTables))
+	out = append(out, stRun)
+
+	// KGLiDS.
+	out = append(out, runKGLiDSDiscovery(spec.Name, b, ks, core.DefaultConfig(), "KGLiDS"))
+	return out
+}
+
+// runKGLiDSDiscovery bootstraps the platform over the lake and answers the
+// union queries via the materialized similarity edges.
+func runKGLiDSDiscovery(benchName string, b *lakegen.Benchmark, ks []int, cfg core.Config, label string) DiscoverySystemRun {
+	var tables []core.Table
+	for _, df := range b.Tables {
+		tables = append(tables, core.Table{Dataset: b.Dataset[df.Name], Frame: df})
+	}
+	start := time.Now()
+	plat := core.Bootstrap(cfg, tables)
+	pre := time.Since(start)
+	run := DiscoverySystemRun{Benchmark: benchName, System: label, Preprocess: pre}
+	iriToName := map[string]string{}
+	for _, df := range b.Tables {
+		id := b.Dataset[df.Name] + "/" + df.Name
+		iriToName[schema.TableIRI(id).Value] = df.Name
+	}
+	start = time.Now()
+	run.PrecisionAtK, run.RecallAtK = prAt(b, ks, func(q string, k int) []string {
+		id := b.Dataset[q] + "/" + q
+		var names []string
+		for _, r := range plat.Discovery.UnionableTables(rdf.IRI(schema.TableIRI(id).Value), k) {
+			names = append(names, iriToName[r.Table.Value])
+		}
+		return names
+	})
+	run.AvgQuery = time.Since(start) / time.Duration(len(ks)*len(b.QueryTables))
+	return run
+}
+
+// RunTable2AndFigure5 runs all systems over the given benchmark specs.
+func RunTable2AndFigure5(specs []lakegen.Spec) []DiscoverySystemRun {
+	var out []DiscoverySystemRun
+	for _, spec := range specs {
+		out = append(out, RunDiscoveryBenchmark(spec)...)
+	}
+	return out
+}
+
+// FormatTable2 renders preprocessing and average query times.
+func FormatTable2(runs []DiscoverySystemRun) string {
+	var sb strings.Builder
+	sb.WriteString("Table 2: Preprocessing and average query time\n")
+	fmt.Fprintf(&sb, "%-16s %-10s %14s %14s\n", "Benchmark", "System", "Preprocessing", "Avg. Query")
+	for _, r := range runs {
+		fmt.Fprintf(&sb, "%-16s %-10s %14s %14s\n", r.Benchmark, r.System, r.Preprocess.Round(time.Millisecond), r.AvgQuery.Round(time.Microsecond))
+	}
+	return sb.String()
+}
+
+// FormatFigure5 renders the precision/recall series per benchmark.
+func FormatFigure5(runs []DiscoverySystemRun) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 5: Average precision and recall of unionable table discovery\n")
+	byBench := map[string][]DiscoverySystemRun{}
+	var order []string
+	for _, r := range runs {
+		if _, ok := byBench[r.Benchmark]; !ok {
+			order = append(order, r.Benchmark)
+		}
+		byBench[r.Benchmark] = append(byBench[r.Benchmark], r)
+	}
+	for _, bench := range order {
+		fmt.Fprintf(&sb, "\n[%s]\n", bench)
+		ks := KSweep(bench)
+		fmt.Fprintf(&sb, "%-10s", "k")
+		for _, k := range ks {
+			fmt.Fprintf(&sb, "%8d", k)
+		}
+		sb.WriteByte('\n')
+		for _, r := range byBench[bench] {
+			fmt.Fprintf(&sb, "P %-8s", r.System)
+			for _, k := range ks {
+				fmt.Fprintf(&sb, "%8.3f", r.PrecisionAtK[k])
+			}
+			sb.WriteByte('\n')
+		}
+		for _, r := range byBench[bench] {
+			fmt.Fprintf(&sb, "R %-8s", r.System)
+			for _, k := range ks {
+				fmt.Fprintf(&sb, "%8.3f", r.RecallAtK[k])
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// RunFigure6 is the ablation study on the TUS replica: full KGLiDS,
+// fine-grained content-only (no labels) with and without subsampling, and
+// coarse-grained models.
+func RunFigure6() []DiscoverySystemRun {
+	spec := lakegen.TUSSmall
+	b := lakegen.Generate(spec)
+	ks := KSweep(spec.Name)
+	configs := []struct {
+		label string
+		cfg   core.Config
+	}{
+		{"KGLiDS", core.DefaultConfig()},
+		{"Fine-Grained (No Subsampling)", func() core.Config {
+			c := core.DefaultConfig()
+			c.SkipLabelSimilarity = true
+			c.CoLR = &embed.CoLR{Subsample: false}
+			return c
+		}()},
+		{"Fine-Grained", func() core.Config {
+			c := core.DefaultConfig()
+			c.SkipLabelSimilarity = true
+			c.CoLR = embed.NewCoLR()
+			return c
+		}()},
+		{"Coarse-Grained", func() core.Config {
+			c := core.DefaultConfig()
+			c.SkipLabelSimilarity = true
+			c.CoLR = &embed.CoLR{Coarse: true, Subsample: true, SampleFraction: 0.10, MinSample: 1000}
+			return c
+		}()},
+	}
+	var out []DiscoverySystemRun
+	for _, c := range configs {
+		out = append(out, runKGLiDSDiscovery(spec.Name, b, ks, c.cfg, c.label))
+	}
+	return out
+}
+
+// FormatFigure6 renders the ablation curves.
+func FormatFigure6(runs []DiscoverySystemRun) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6: Ablation study for table union search on TUS Small\n")
+	ks := KSweep("TUS")
+	fmt.Fprintf(&sb, "%-32s", "k")
+	for _, k := range ks {
+		fmt.Fprintf(&sb, "%8d", k)
+	}
+	sb.WriteByte('\n')
+	for _, r := range runs {
+		fmt.Fprintf(&sb, "P %-30s", r.System)
+		for _, k := range ks {
+			fmt.Fprintf(&sb, "%8.3f", r.PrecisionAtK[k])
+		}
+		sb.WriteByte('\n')
+	}
+	for _, r := range runs {
+		fmt.Fprintf(&sb, "R %-30s", r.System)
+		for _, k := range ks {
+			fmt.Fprintf(&sb, "%8.3f", r.RecallAtK[k])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// memDelta measures allocation growth around fn (the Figure 7/8 memory
+// metric).
+func memDelta(fn func()) int64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return int64(after.TotalAlloc - before.TotalAlloc)
+}
+
+// sortRunsByBenchmark orders runs deterministically.
+func sortRunsByBenchmark(runs []DiscoverySystemRun) {
+	sort.SliceStable(runs, func(i, j int) bool { return runs[i].Benchmark < runs[j].Benchmark })
+}

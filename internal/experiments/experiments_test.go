@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"kglids/internal/lakegen"
+)
+
+// tinySpec keeps discovery experiment tests fast.
+var tinySpec = lakegen.Spec{
+	Name: "TUS Small", Families: 5, TablesPerFamily: 3, NoiseTables: 5,
+	RowsPerTable: 60, QueryTables: 5, Seed: 71,
+}
+
+func TestRunDiscoveryBenchmark(t *testing.T) {
+	runs := RunDiscoveryBenchmark(tinySpec)
+	if len(runs) != 3 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	bySystem := map[string]DiscoverySystemRun{}
+	for _, r := range runs {
+		bySystem[r.System] = r
+		if r.Preprocess <= 0 || r.AvgQuery <= 0 {
+			t.Errorf("%s: non-positive timings", r.System)
+		}
+		for k, p := range r.PrecisionAtK {
+			if p < 0 || p > 1 {
+				t.Errorf("%s P@%d = %v", r.System, k, p)
+			}
+		}
+	}
+	// Table 2 shape: KGLiDS queries are the fastest (index lookups).
+	kg := bySystem["KGLiDS"]
+	if kg.AvgQuery > bySystem["SANTOS"].AvgQuery {
+		t.Errorf("KGLiDS query %v slower than SANTOS %v", kg.AvgQuery, bySystem["SANTOS"].AvgQuery)
+	}
+	// KGLiDS precision at k=1 should be strong on the replica.
+	if kg.PrecisionAtK[1] < 0.6 {
+		t.Errorf("KGLiDS P@1 = %v", kg.PrecisionAtK[1])
+	}
+	out := FormatTable2(runs)
+	if !strings.Contains(out, "KGLiDS") || !strings.Contains(out, "SANTOS") {
+		t.Error("Table 2 output incomplete")
+	}
+	if fig := FormatFigure5(runs); !strings.Contains(fig, "P KGLiDS") {
+		t.Error("Figure 5 output incomplete")
+	}
+}
+
+func TestRunTable1Tiny(t *testing.T) {
+	// Full Table 1 generates all four lakes; exercise the stats path on a
+	// single tiny benchmark via the same code used by RunTable1.
+	b := lakegen.Generate(tinySpec)
+	if b.TotalColumns() == 0 {
+		t.Fatal("no columns")
+	}
+	stats := RunTable1Subset([]lakegen.Spec{tinySpec})
+	if len(stats) != 1 || stats[0].TotalColumns != b.TotalColumns() {
+		t.Fatalf("stats = %+v", stats)
+	}
+	out := FormatTable1(stats)
+	if !strings.Contains(out, "named_entity cols.") {
+		t.Error("Table 1 output missing type rows")
+	}
+}
+
+func TestRunAbstractionSmall(t *testing.T) {
+	r := RunAbstraction(40)
+	if r.NumPipelines != 40 {
+		t.Fatalf("pipelines = %d", r.NumPipelines)
+	}
+	// Table 3 shape: GraphGen4Code emits a much larger graph and takes
+	// longer.
+	if r.GraphGenTriples <= r.KGLiDSTriples*2 {
+		t.Errorf("graph reduction shape lost: kglids=%d g4c=%d", r.KGLiDSTriples, r.GraphGenTriples)
+	}
+	if r.KGLiDSNodes <= 0 || r.GraphGenNodes <= r.KGLiDSNodes {
+		t.Errorf("node counts: kglids=%d g4c=%d", r.KGLiDSNodes, r.GraphGenNodes)
+	}
+	// Figure 4 shape: pandas on top.
+	if len(r.TopLibraries) == 0 || r.TopLibraries[0].Library != "pandas" {
+		t.Errorf("top libraries = %+v", r.TopLibraries)
+	}
+	// Table 4: KGLiDS models dataset reads / library hierarchy, G4C does
+	// not; G4C models locations/param order, KGLiDS does not.
+	if r.KGLiDSBreakdown["Library hierarchy"] == 0 {
+		t.Error("KGLiDS breakdown missing library hierarchy")
+	}
+	if r.GraphGenBreakdown["Statement location"] == 0 {
+		t.Error("G4C breakdown missing statement location")
+	}
+	if r.KGLiDSBreakdown["Statement location"] != 0 {
+		t.Error("KGLiDS should not model statement location")
+	}
+	for _, s := range []string{FormatTable3(r), FormatTable4(r), FormatFigure4(r)} {
+		if len(s) < 50 {
+			t.Error("formatted output too short")
+		}
+	}
+}
+
+func TestRunTable5Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cleaning suite in -short")
+	}
+	rows := RunTable5(6)
+	if len(rows) != 13 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	ooms := 0
+	for _, r := range rows {
+		if r.HoloCleanF1 < 0 {
+			ooms++
+		}
+		if r.KGLiDSF1 <= 0 {
+			t.Errorf("dataset %d: KGLiDS F1 = %v", r.ID, r.KGLiDSF1)
+		}
+		if r.KGLiDSOp == "" {
+			t.Errorf("dataset %d: no op recommended", r.ID)
+		}
+	}
+	// Table 5 shape: the largest datasets OOM HoloClean.
+	if ooms < 2 {
+		t.Errorf("HoloClean OOMs = %d, want >= 2 (paper: 3)", ooms)
+	}
+	for _, r := range rows[:3] {
+		if r.HoloCleanF1 < 0 {
+			t.Errorf("small dataset %d should not OOM", r.ID)
+		}
+	}
+	// Figure 7 shape: KGLiDS memory stays roughly flat while HoloClean
+	// grows; compare the largest non-OOM HoloClean run against KGLiDS.
+	if out := FormatTable5(rows); !strings.Contains(out, "OOM") {
+		t.Error("Table 5 output missing OOM")
+	}
+	if out := FormatFigure7(rows); !strings.Contains(out, "KGLiDS") {
+		t.Error("Figure 7 output incomplete")
+	}
+}
+
+func TestRunFigure9Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("automl suite in -short")
+	}
+	cmp := RunFigure9(60)
+	if len(cmp.Rows) < 20 {
+		t.Fatalf("rows = %d", len(cmp.Rows))
+	}
+	if cmp.PValue < 0 || cmp.PValue > 1 {
+		t.Errorf("p-value = %v", cmp.PValue)
+	}
+	wins := 0
+	for _, r := range cmp.Rows {
+		if r.Difference >= 0 {
+			wins++
+		}
+	}
+	// Figure 9 shape: Pip_LiDS wins on the majority of datasets.
+	if wins*2 < len(cmp.Rows) {
+		t.Errorf("Pip_LiDS wins only %d/%d", wins, len(cmp.Rows))
+	}
+	if out := FormatFigure9(cmp); !strings.Contains(out, "t-test") {
+		t.Error("Figure 9 output incomplete")
+	}
+}
+
+func TestMemDelta(t *testing.T) {
+	d := memDelta(func() {
+		buf := make([]byte, 1<<20)
+		_ = buf
+	})
+	if d < 1<<20 {
+		t.Errorf("memDelta = %d, want >= 1MB", d)
+	}
+}
+
+func TestKSweep(t *testing.T) {
+	if len(KSweep("D3L Small")) == 0 || len(KSweep("TUS Small")) == 0 || len(KSweep("SANTOS Small")) == 0 {
+		t.Error("empty k sweep")
+	}
+}
+
+func TestAutoLearnBudgetConstant(t *testing.T) {
+	if AutoLearnBudget <= 0 || AutoLearnBudget > time.Minute {
+		t.Error("AutoLearnBudget out of range")
+	}
+}

@@ -1,0 +1,405 @@
+// Package lakegen generates synthetic data lakes and benchmark workloads.
+// The paper evaluates on D3L Small, TUS Small, SANTOS Small, and SANTOS
+// Large (Table 1), which are built from real/synthesized CSV collections
+// with table-unionability ground truth produced by horizontal and vertical
+// partitioning of source tables. Those corpora are unavailable offline, so
+// this package reproduces their construction: family-based generation where
+// each "concept" table is partitioned into unionable variants with renamed
+// columns (synonyms), unit changes, and value noise — exactly the
+// transformations the TUS and SANTOS generators apply — plus unrelated
+// noise tables. Ground truth is the family membership.
+package lakegen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"kglids/internal/dataframe"
+)
+
+// Benchmark is a generated data lake with unionability ground truth.
+type Benchmark struct {
+	Name        string
+	Tables      []*dataframe.DataFrame
+	Dataset     map[string]string   // table name -> dataset name
+	QueryTables []string            // table names used as queries
+	GroundTruth map[string][]string // table name -> unionable table names
+}
+
+// Spec controls benchmark generation, mirroring the shape of Table 1.
+type Spec struct {
+	Name            string
+	Families        int // unionable families ("concepts")
+	TablesPerFamily int // avg unionable tables per family
+	NoiseTables     int // unrelated tables
+	RowsPerTable    int // avg rows
+	QueryTables     int
+	Seed            int64
+}
+
+// Scaled replica specs. The originals are multi-GB (Table 1); these keep
+// every ratio that drives the evaluation (family sizes, row counts, typed
+// column mixes) at CI scale. D3L has the largest tables and the largest
+// unionable families; TUS has the most tables among the small benchmarks;
+// SANTOS Small has small families; SANTOS Large is ~20x TUS.
+var (
+	// D3LSmall replicates D3L Small: few large families, biggest tables.
+	D3LSmall = Spec{Name: "D3L Small", Families: 6, TablesPerFamily: 10, NoiseTables: 6, RowsPerTable: 400, QueryTables: 10, Seed: 101}
+	// TUSSmall replicates TUS Small: more tables, medium families.
+	TUSSmall = Spec{Name: "TUS Small", Families: 18, TablesPerFamily: 7, NoiseTables: 24, RowsPerTable: 150, QueryTables: 30, Seed: 102}
+	// SANTOSSmall replicates SANTOS Small: small families.
+	SANTOSSmall = Spec{Name: "SANTOS Small", Families: 14, TablesPerFamily: 3, NoiseTables: 13, RowsPerTable: 230, QueryTables: 10, Seed: 103}
+	// SANTOSLarge replicates SANTOS Large: the scale benchmark.
+	SANTOSLarge = Spec{Name: "SANTOS Large", Families: 60, TablesPerFamily: 8, NoiseTables: 70, RowsPerTable: 250, QueryTables: 16, Seed: 104}
+)
+
+// column generators -----------------------------------------------------
+
+type colGen struct {
+	name     string
+	synonyms []string
+	gen      func(rng *rand.Rand) string
+	// unitScale, when non-zero, is an alternative scale factor some
+	// variants apply to numeric values (area_sq_ft vs area_sq_m).
+	unitScale float64
+}
+
+var firstNames = []string{"James", "Mary", "John", "Linda", "Robert", "Susan", "Michael", "Sarah", "David", "Karen", "Thomas", "Nancy", "Daniel", "Lisa", "Matthew", "Emily", "Andrew", "Anna", "Joshua", "Laura"}
+var lastNames = []string{"Smith", "Johnson", "Brown", "Jones", "Garcia", "Miller", "Davis", "Wilson", "Anderson", "Taylor", "Moore", "Jackson", "Martin", "Lee", "Thompson", "White", "Harris", "Clark", "Lewis", "Walker"}
+var cities = []string{"Montreal", "Toronto", "Vancouver", "Ottawa", "Calgary", "New York", "Boston", "Chicago", "Seattle", "London", "Paris", "Berlin", "Madrid", "Rome", "Tokyo", "Sydney", "Dublin", "Vienna", "Prague", "Lisbon"}
+var countries = []string{"Canada", "France", "Germany", "Italy", "Spain", "Japan", "India", "Brazil", "Mexico", "Australia", "Sweden", "Norway", "Poland", "Greece", "Turkey", "Egypt", "Kenya", "Chile", "Peru", "Ireland"}
+var products = []string{"iPhone", "iPad", "MacBook", "Kindle", "Echo", "Corolla", "Civic", "Mustang", "Camry", "Accord", "Prius", "Xbox", "PlayStation", "Android", "Windows"}
+var reviewBits = []string{
+	"the product was very good and i liked it a lot",
+	"this is a bad product and it broke after a week",
+	"great value for the price i paid would buy again",
+	"it was not what i expected but the quality is fine",
+	"excellent service and the item arrived on time",
+	"terrible experience i want a refund for this order",
+	"the quality is amazing and my family loves it",
+	"average product nothing special about it really",
+}
+
+// pool returns a categorical generator over a value pool.
+func pool(vals []string) func(rng *rand.Rand) string {
+	return func(rng *rand.Rand) string { return vals[rng.Intn(len(vals))] }
+}
+
+func normal(mu, sigma float64, decimals int) func(rng *rand.Rand) string {
+	return func(rng *rand.Rand) string {
+		return fmt.Sprintf("%.*f", decimals, rng.NormFloat64()*sigma+mu)
+	}
+}
+
+func uniformInt(lo, hi int) func(rng *rand.Rand) string {
+	return func(rng *rand.Rand) string { return fmt.Sprintf("%d", lo+rng.Intn(hi-lo+1)) }
+}
+
+func lognormal(mu, sigma float64) func(rng *rand.Rand) string {
+	return func(rng *rand.Rand) string {
+		return fmt.Sprintf("%.2f", math.Exp(rng.NormFloat64()*sigma+mu))
+	}
+}
+
+func dates(startYear, span int) func(rng *rand.Rand) string {
+	return func(rng *rand.Rand) string {
+		return fmt.Sprintf("%04d-%02d-%02d", startYear+rng.Intn(span), 1+rng.Intn(12), 1+rng.Intn(28))
+	}
+}
+
+func boolGen(trueRatio float64) func(rng *rand.Rand) string {
+	return func(rng *rand.Rand) string {
+		if rng.Float64() < trueRatio {
+			return "1"
+		}
+		return "0"
+	}
+}
+
+func codes(prefix string, n int) func(rng *rand.Rand) string {
+	return func(rng *rand.Rand) string { return fmt.Sprintf("%s-%04d", prefix, rng.Intn(n)) }
+}
+
+func personName() func(rng *rand.Rand) string {
+	return func(rng *rand.Rand) string {
+		return firstNames[rng.Intn(len(firstNames))] + " " + lastNames[rng.Intn(len(lastNames))]
+	}
+}
+
+func reviews() func(rng *rand.Rand) string {
+	return func(rng *rand.Rand) string { return reviewBits[rng.Intn(len(reviewBits))] }
+}
+
+// conceptPool is the library of column generators concepts draw from;
+// synonyms drive label-similarity ground truth between family variants.
+var conceptPool = []colGen{
+	{name: "name", synonyms: []string{"fullname", "customer"}, gen: personName()},
+	{name: "city", synonyms: []string{"town", "municipality"}, gen: pool(cities)},
+	{name: "country", synonyms: []string{"nation"}, gen: pool(countries)},
+	{name: "product", synonyms: []string{"item"}, gen: pool(products)},
+	{name: "review", synonyms: []string{"comment", "description"}, gen: reviews()},
+	{name: "age", synonyms: []string{"years"}, gen: uniformInt(18, 90)},
+	{name: "salary", synonyms: []string{"income", "wage"}, gen: normal(55000, 12000, 0)},
+	{name: "price", synonyms: []string{"cost", "amount"}, gen: lognormal(4, 1)},
+	{name: "score", synonyms: []string{"rating"}, gen: normal(3.5, 1.0, 2)},
+	{name: "weight", synonyms: []string{"mass"}, gen: normal(70, 15, 1), unitScale: 2.20462}, // kg ↔ lb
+	{name: "height", synonyms: []string{"stature"}, gen: normal(170, 12, 1), unitScale: 0.0328084},
+	{name: "date", synonyms: []string{"day", "timestamp"}, gen: dates(2010, 12)},
+	{name: "active", synonyms: []string{"status", "flag"}, gen: boolGen(0.7)},
+	{name: "id", synonyms: []string{"identifier", "key"}, gen: codes("id", 10000)},
+	{name: "population", synonyms: []string{"pop"}, gen: uniformInt(10000, 9000000)},
+	{name: "temperature", synonyms: []string{"temp"}, gen: normal(15, 10, 1)},
+	{name: "revenue", synonyms: []string{"sales"}, gen: lognormal(10, 1.5)},
+	{name: "count", synonyms: []string{"quantity", "total"}, gen: uniformInt(0, 500)},
+}
+
+// Generate builds the benchmark for a spec.
+func Generate(spec Spec) *Benchmark {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	b := &Benchmark{
+		Name:        spec.Name,
+		Dataset:     map[string]string{},
+		GroundTruth: map[string][]string{},
+	}
+	var familyTables [][]string
+	for f := 0; f < spec.Families; f++ {
+		members := generateFamily(rng, spec, f, b)
+		familyTables = append(familyTables, members)
+		for _, m := range members {
+			others := make([]string, 0, len(members)-1)
+			for _, o := range members {
+				if o != m {
+					others = append(others, o)
+				}
+			}
+			b.GroundTruth[m] = others
+		}
+	}
+	for i := 0; i < spec.NoiseTables; i++ {
+		df := generateNoiseTable(rng, spec, i)
+		b.Tables = append(b.Tables, df)
+		b.Dataset[df.Name] = fmt.Sprintf("noise_%02d", i)
+	}
+	// Query tables: the first table of each family, round-robin until
+	// QueryTables reached.
+	for i := 0; len(b.QueryTables) < spec.QueryTables && i < len(familyTables); i++ {
+		b.QueryTables = append(b.QueryTables, familyTables[i][0])
+	}
+	for i := 0; len(b.QueryTables) < spec.QueryTables; i++ {
+		fam := familyTables[i%len(familyTables)]
+		if len(fam) > 1 {
+			b.QueryTables = append(b.QueryTables, fam[1])
+		}
+	}
+	return b
+}
+
+// generateFamily creates one unionable family: a concept schema, then
+// TablesPerFamily variants via horizontal partitioning, synonym renames,
+// vertical projection, and occasional unit changes.
+func generateFamily(rng *rand.Rand, spec Spec, familyIdx int, b *Benchmark) []string {
+	nCols := 4 + rng.Intn(4)
+	cols := make([]colGen, nCols)
+	perm := rng.Perm(len(conceptPool))
+	for i := 0; i < nCols; i++ {
+		cols[i] = conceptPool[perm[i%len(perm)]]
+	}
+	// Master rows for the concept; variants draw horizontal slices.
+	// Each family gets a distinct value domain — a numeric scale factor
+	// and a categorical sub-vocabulary — mirroring how real benchmark
+	// families come from different source tables, so content similarity
+	// discriminates families rather than column concepts.
+	masterRows := spec.RowsPerTable * 3
+	familyScale := math.Pow(10, 0.4*float64(familyIdx%8))
+	master := make([][]string, nCols)
+	for c := range cols {
+		master[c] = make([]string, masterRows)
+		vocab := map[string]string{}
+		for r := 0; r < masterRows; r++ {
+			v := cols[c].gen(rng)
+			cell := dataframe.ParseCell(v)
+			switch cell.Kind {
+			case dataframe.Number:
+				switch {
+				case cell.F == 0 || cell.F == 1:
+					// Keep boolean-ish 0/1 encodings intact.
+				case cell.F == math.Trunc(cell.F):
+					// Keep integer columns integral.
+					v = dataframe.NumberCell(math.Round(cell.F * familyScale)).S
+				default:
+					v = dataframe.NumberCell(cell.F * familyScale).S
+				}
+			case dataframe.Text:
+				// Restrict the family to a halved vocabulary: values
+				// hash-mapped outside it are re-rolled once.
+				if rep, ok := vocab[v]; ok {
+					v = rep
+				} else if len(vocab) >= 8 && familyIdx%2 == 1 {
+					// Odd families reuse their earliest values, shrinking
+					// the domain and separating it from even families.
+					for k := range vocab {
+						v = vocab[k]
+						break
+					}
+				} else {
+					vocab[v] = v
+				}
+			}
+			master[c][r] = v
+		}
+	}
+	nTables := spec.TablesPerFamily - 1 + rng.Intn(3)
+	if nTables < 2 {
+		nTables = 2
+	}
+	var members []string
+	for t := 0; t < nTables; t++ {
+		name := fmt.Sprintf("f%02d_t%02d.csv", familyIdx, t)
+		df := dataframe.New(name)
+		// Vertical projection: keep a random subset (at least half).
+		keep := make([]bool, nCols)
+		kept := 0
+		for c := range keep {
+			if rng.Float64() < 0.8 {
+				keep[c] = true
+				kept++
+			}
+		}
+		if kept < (nCols+1)/2 {
+			for c := range keep {
+				keep[c] = true
+			}
+		}
+		// Horizontal slice.
+		start := rng.Intn(masterRows - spec.RowsPerTable/2)
+		rows := spec.RowsPerTable/2 + rng.Intn(spec.RowsPerTable)
+		if start+rows > masterRows {
+			rows = masterRows - start
+		}
+		for c := range cols {
+			if !keep[c] {
+				continue
+			}
+			colName := cols[c].name
+			if t > 0 && len(cols[c].synonyms) > 0 && rng.Float64() < 0.5 {
+				colName = cols[c].synonyms[rng.Intn(len(cols[c].synonyms))]
+			}
+			// Ensure unique names within a table.
+			base, n := colName, 1
+			for df.HasColumn(colName) {
+				n++
+				colName = fmt.Sprintf("%s_%d", base, n)
+			}
+			unit := 1.0
+			if t > 0 && cols[c].unitScale != 0 && rng.Float64() < 0.3 {
+				unit = cols[c].unitScale
+			}
+			s := &dataframe.Series{Name: colName}
+			for r := start; r < start+rows; r++ {
+				cell := dataframe.ParseCell(master[c][r])
+				if unit != 1 && cell.Kind == dataframe.Number {
+					cell = dataframe.NumberCell(cell.F * unit)
+				}
+				s.Cells = append(s.Cells, cell)
+			}
+			df.AddColumn(s)
+		}
+		b.Tables = append(b.Tables, df)
+		b.Dataset[name] = fmt.Sprintf("family_%02d", familyIdx)
+		members = append(members, name)
+	}
+	return members
+}
+
+func generateNoiseTable(rng *rand.Rand, spec Spec, idx int) *dataframe.DataFrame {
+	name := fmt.Sprintf("noise_%02d.csv", idx)
+	df := dataframe.New(name)
+	nCols := 3 + rng.Intn(4)
+	rows := spec.RowsPerTable/2 + rng.Intn(spec.RowsPerTable)
+	for c := 0; c < nCols; c++ {
+		// Noise tables use distinct column names and value ranges so they
+		// are not unionable with family tables.
+		colName := fmt.Sprintf("nz_%s_%d", randWord(rng), c)
+		s := &dataframe.Series{Name: colName}
+		gen := noiseGen(rng)
+		for r := 0; r < rows; r++ {
+			s.Cells = append(s.Cells, dataframe.ParseCell(gen(rng)))
+		}
+		df.AddColumn(s)
+	}
+	return df
+}
+
+func noiseGen(rng *rand.Rand) func(rng *rand.Rand) string {
+	switch rng.Intn(4) {
+	case 0:
+		return normal(float64(rng.Intn(1000000)), float64(1+rng.Intn(1000)), 3)
+	case 1:
+		return codes(randWord(rng), 100000)
+	case 2:
+		return uniformInt(-100000, 100000)
+	default:
+		return func(rng *rand.Rand) string { return randWord(rng) + randWord(rng) }
+	}
+}
+
+var noiseSyllables = []string{"zor", "qua", "vex", "blu", "kri", "plo", "dra", "mux", "fen", "gla"}
+
+func randWord(rng *rand.Rand) string {
+	var sb strings.Builder
+	for i := 0; i < 2+rng.Intn(2); i++ {
+		sb.WriteString(noiseSyllables[rng.Intn(len(noiseSyllables))])
+	}
+	return sb.String()
+}
+
+// SizeBytes estimates the benchmark's raw CSV footprint.
+func (b *Benchmark) SizeBytes() int64 {
+	var total int64
+	for _, df := range b.Tables {
+		for i := 0; i < df.NumCols(); i++ {
+			col := df.ColumnAt(i)
+			total += int64(len(col.Name))
+			for _, c := range col.Cells {
+				total += int64(len(c.S)) + 1
+			}
+		}
+	}
+	return total
+}
+
+// TotalColumns returns the number of columns across all tables.
+func (b *Benchmark) TotalColumns() int {
+	n := 0
+	for _, df := range b.Tables {
+		n += df.NumCols()
+	}
+	return n
+}
+
+// AvgRows returns the average rows per table.
+func (b *Benchmark) AvgRows() float64 {
+	if len(b.Tables) == 0 {
+		return 0
+	}
+	total := 0
+	for _, df := range b.Tables {
+		total += df.NumRows()
+	}
+	return float64(total) / float64(len(b.Tables))
+}
+
+// AvgUnionable returns the average ground-truth unionable count over query
+// tables.
+func (b *Benchmark) AvgUnionable() float64 {
+	if len(b.QueryTables) == 0 {
+		return 0
+	}
+	total := 0
+	for _, q := range b.QueryTables {
+		total += len(b.GroundTruth[q])
+	}
+	return float64(total) / float64(len(b.QueryTables))
+}

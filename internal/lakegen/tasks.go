@@ -1,0 +1,206 @@
+package lakegen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"kglids/internal/dataframe"
+)
+
+// TaskDataset is one supervised dataset with an associated ML task, used
+// by the cleaning (Table 5), transformation (Table 6), and AutoML
+// (Figure 9) evaluations.
+type TaskDataset struct {
+	ID     int
+	Name   string
+	Frame  *dataframe.DataFrame
+	Target string
+	// Task is "binary" or "multiclass".
+	Task string
+}
+
+// TaskSpec controls supervised dataset generation.
+type TaskSpec struct {
+	ID          int
+	Name        string
+	Rows        int
+	NumFeatures int
+	CatFeatures int
+	Classes     int
+	NullRate    float64 // fraction of cells nulled in feature columns
+	Skew        bool    // lognormal feature scales (transform targets)
+	Seed        int64
+}
+
+// GenerateTask builds one classification dataset: informative Gaussian
+// numeric features per class, categorical features correlated with the
+// class, plus noise features and optional injected nulls.
+func GenerateTask(spec TaskSpec) *TaskDataset {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	df := dataframe.New(spec.Name)
+	classes := spec.Classes
+	if classes < 2 {
+		classes = 2
+	}
+	y := make([]int, spec.Rows)
+	for i := range y {
+		y[i] = rng.Intn(classes)
+	}
+	// Informative numeric features: class-shifted Gaussians, optionally
+	// exponentiated for skew.
+	for f := 0; f < spec.NumFeatures; f++ {
+		s := &dataframe.Series{Name: fmt.Sprintf("num_%d", f)}
+		informative := f < (spec.NumFeatures+1)/2
+		scale := 1.0 + rng.Float64()*9
+		for i := 0; i < spec.Rows; i++ {
+			v := rng.NormFloat64()
+			if informative {
+				v += float64(y[i]) * (1.2 + 0.3*float64(f%3))
+			}
+			v *= scale
+			if spec.Skew {
+				v = math.Exp(v / (2 * scale) * 2)
+			}
+			s.Cells = append(s.Cells, dataframe.NumberCell(round3(v)))
+		}
+		df.AddColumn(s)
+	}
+	catPool := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	for f := 0; f < spec.CatFeatures; f++ {
+		s := &dataframe.Series{Name: fmt.Sprintf("cat_%d", f)}
+		for i := 0; i < spec.Rows; i++ {
+			// Correlate category with class 60% of the time.
+			idx := rng.Intn(len(catPool))
+			if rng.Float64() < 0.6 {
+				idx = (y[i]*2 + rng.Intn(2)) % len(catPool)
+			}
+			s.Cells = append(s.Cells, dataframe.TextCell(catPool[idx]))
+		}
+		df.AddColumn(s)
+	}
+	// Inject nulls into feature columns.
+	if spec.NullRate > 0 {
+		for c := 0; c < df.NumCols(); c++ {
+			col := df.ColumnAt(c)
+			for i := range col.Cells {
+				if rng.Float64() < spec.NullRate {
+					col.Cells[i] = dataframe.NullCell()
+				}
+			}
+		}
+	}
+	tgt := &dataframe.Series{Name: "target"}
+	for i := 0; i < spec.Rows; i++ {
+		tgt.Cells = append(tgt.Cells, dataframe.NumberCell(float64(y[i])))
+	}
+	df.AddColumn(tgt)
+	task := "binary"
+	if classes > 2 {
+		task = "multiclass"
+	}
+	return &TaskDataset{ID: spec.ID, Name: spec.Name, Frame: df, Target: "target", Task: task}
+}
+
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
+
+// CleaningSuite generates the 13 datasets of Table 5 (sorted by increasing
+// size; the last three are large enough to OOM HoloClean at the scaled
+// memory ceiling).
+func CleaningSuite() []*TaskDataset {
+	names := []string{
+		"hepatitis", "horsecolic", "housevotes84", "breastcancerwisconsin",
+		"credit", "cleveland_heart_disease", "titanic", "creditg", "jm1",
+		"adult", "higgs", "APSFailure", "albert",
+	}
+	rows := []int{150, 300, 420, 560, 690, 900, 890, 1000, 2000, 4000, 9000, 12000, 16000}
+	feats := []int{6, 8, 8, 7, 6, 8, 9, 8, 10, 8, 12, 16, 14}
+	out := make([]*TaskDataset, len(names))
+	for i, name := range names {
+		classes := 2
+		if name == "cleveland_heart_disease" {
+			classes = 5 // the paper's hardest multi-class cleaning set
+		}
+		out[i] = GenerateTask(TaskSpec{
+			ID:          i + 1,
+			Name:        name,
+			Rows:        rows[i],
+			NumFeatures: feats[i],
+			CatFeatures: 2,
+			Classes:     classes,
+			NullRate:    0.08,
+			Seed:        int64(2000 + i),
+		})
+	}
+	return out
+}
+
+// TransformSuite generates the 17 datasets of Table 6 (IDs 14-30; skewed
+// features so transformations matter; the largest ones time out AutoLearn).
+func TransformSuite() []*TaskDataset {
+	names := []string{
+		"fertility_Diagnosis", "haberman", "wine", "Ecoli", "pima diabetes",
+		"Bank Note", "ionosphere", "sonar", "Abalone", "libras", "waveform",
+		"letter recognition", "opticaldigits", "featurepixel", "shuttle",
+		"featurefourier", "poker",
+	}
+	rows := []int{100, 300, 180, 340, 770, 1370, 350, 210, 4170, 360, 5000, 8000, 5600, 2000, 14500, 2000, 11000}
+	feats := []int{8, 3, 13, 7, 8, 4, 12, 14, 8, 12, 21, 16, 20, 24, 9, 19, 10}
+	classes := []int{2, 2, 3, 4, 2, 2, 2, 2, 4, 5, 3, 6, 5, 5, 3, 5, 4}
+	// CI scale: cap rows so the full suite runs in seconds while keeping
+	// relative ordering; poker stays the largest (originally ~1M rows,
+	// the dataset that OOMs AutoLearn in the paper).
+	out := make([]*TaskDataset, len(names))
+	for i, name := range names {
+		r := rows[i]
+		if r > 3000 {
+			r = 3000 + (r-3000)/8
+		}
+		if name == "poker" {
+			r = 5000
+		}
+		out[i] = GenerateTask(TaskSpec{
+			ID:          14 + i,
+			Name:        name,
+			Rows:        r,
+			NumFeatures: feats[i],
+			CatFeatures: 0,
+			Classes:     classes[i],
+			NullRate:    0,
+			Skew:        true,
+			Seed:        int64(3000 + i),
+		})
+	}
+	return out
+}
+
+// AutoMLSuite generates the 24 datasets of Figure 9 (IDs drawn from the
+// paper's x-axis: 11 multiclass + 13 binary).
+func AutoMLSuite() []*TaskDataset {
+	multi := []int{41, 45, 22, 39, 46, 37, 43, 42, 47, 38, 40}
+	binary := []int{32, 44, 9, 35, 51, 36, 13, 33, 48, 31, 50, 34, 49, 12}
+	var out []*TaskDataset
+	for i, id := range multi {
+		out = append(out, GenerateTask(TaskSpec{
+			ID:          id,
+			Name:        fmt.Sprintf("automl_multi_%d", id),
+			Rows:        400 + i*120,
+			NumFeatures: 6 + i%5,
+			CatFeatures: 1,
+			Classes:     3 + i%3,
+			Seed:        int64(4000 + id),
+		}))
+	}
+	for i, id := range binary {
+		out = append(out, GenerateTask(TaskSpec{
+			ID:          id,
+			Name:        fmt.Sprintf("automl_bin_%d", id),
+			Rows:        400 + i*100,
+			NumFeatures: 6 + i%6,
+			CatFeatures: 2,
+			Classes:     2,
+			Seed:        int64(5000 + id),
+		}))
+	}
+	return out
+}

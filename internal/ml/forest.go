@@ -1,0 +1,347 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// RandomForest is a bagged ensemble of CART trees with sqrt-feature
+// subsampling, the evaluation model of Tables 5 and 6.
+type RandomForest struct {
+	NEstimators int
+	MaxDepth    int
+	Seed        int64
+	Workers     int
+	trees       []*DecisionTree
+	nClass      int
+}
+
+// NewRandomForest returns a forest with n trees.
+func NewRandomForest(n int) *RandomForest {
+	return &RandomForest{NEstimators: n, Seed: 17, Workers: runtime.NumCPU()}
+}
+
+// Fit implements Classifier.
+func (f *RandomForest) Fit(X [][]float64, y []float64) {
+	f.nClass = countClasses(y)
+	f.trees = make([]*DecisionTree, f.NEstimators)
+	maxFeatures := int(math.Sqrt(float64(len(X[0]))))
+	if maxFeatures < 1 {
+		maxFeatures = 1
+	}
+	workers := f.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range ch {
+				rng := rand.New(rand.NewSource(f.Seed + int64(ti)))
+				// Bootstrap sample.
+				bx := make([][]float64, len(X))
+				by := make([]float64, len(y))
+				for i := range bx {
+					j := rng.Intn(len(X))
+					bx[i], by[i] = X[j], y[j]
+				}
+				tree := NewDecisionTree(TreeConfig{
+					MaxDepth:    f.MaxDepth,
+					MaxFeatures: maxFeatures,
+					Rng:         rng,
+				})
+				tree.Fit(bx, by)
+				f.trees[ti] = tree
+			}
+		}()
+	}
+	for ti := 0; ti < f.NEstimators; ti++ {
+		ch <- ti
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// Predict implements Classifier via majority vote.
+func (f *RandomForest) Predict(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	votes := make([][]int, len(X))
+	for i := range votes {
+		votes[i] = make([]int, f.nClass+1)
+	}
+	for _, t := range f.trees {
+		preds := t.Predict(X)
+		for i, p := range preds {
+			votes[i][clampClass(int(p), f.nClass)]++
+		}
+	}
+	for i, v := range votes {
+		best, bestN := 0, -1
+		for c, n := range v {
+			if n > bestN {
+				best, bestN = c, n
+			}
+		}
+		out[i] = float64(best)
+	}
+	return out
+}
+
+// LogisticRegression is a multinomial (one-vs-rest) logistic classifier
+// trained with gradient descent.
+type LogisticRegression struct {
+	C       float64 // inverse regularization strength
+	MaxIter int
+	LR      float64
+	weights [][]float64 // per class: [bias, w...]
+	nClass  int
+	mean    []float64
+	std     []float64
+}
+
+// NewLogisticRegression returns a classifier with sklearn-like defaults.
+func NewLogisticRegression() *LogisticRegression {
+	return &LogisticRegression{C: 1.0, MaxIter: 100, LR: 0.1}
+}
+
+// Fit implements Classifier.
+func (m *LogisticRegression) Fit(X [][]float64, y []float64) {
+	m.nClass = countClasses(y)
+	nf := len(X[0])
+	// Standardize features for stable gradients.
+	m.mean = make([]float64, nf)
+	m.std = make([]float64, nf)
+	for j := 0; j < nf; j++ {
+		var s float64
+		for i := range X {
+			s += X[i][j]
+		}
+		m.mean[j] = s / float64(len(X))
+		var ss float64
+		for i := range X {
+			d := X[i][j] - m.mean[j]
+			ss += d * d
+		}
+		m.std[j] = math.Sqrt(ss / float64(len(X)))
+		if m.std[j] == 0 {
+			m.std[j] = 1
+		}
+	}
+	Z := make([][]float64, len(X))
+	for i, row := range X {
+		z := make([]float64, nf)
+		for j, v := range row {
+			z[j] = (v - m.mean[j]) / m.std[j]
+		}
+		Z[i] = z
+	}
+	lambda := 1.0 / (m.C * float64(len(X)))
+	m.weights = make([][]float64, m.nClass)
+	for c := 0; c < m.nClass; c++ {
+		w := make([]float64, nf+1)
+		for iter := 0; iter < m.MaxIter; iter++ {
+			grad := make([]float64, nf+1)
+			for i, z := range Z {
+				target := 0.0
+				if int(y[i]) == c {
+					target = 1.0
+				}
+				p := sigmoid(dotBias(w, z))
+				diff := p - target
+				grad[0] += diff
+				for j, v := range z {
+					grad[j+1] += diff * v
+				}
+			}
+			scale := m.LR / float64(len(Z))
+			for j := range w {
+				reg := 0.0
+				if j > 0 {
+					reg = lambda * w[j]
+				}
+				w[j] -= scale*grad[j] + reg
+			}
+		}
+		m.weights[c] = w
+	}
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func dotBias(w, x []float64) float64 {
+	s := w[0]
+	for j, v := range x {
+		s += w[j+1] * v
+	}
+	return s
+}
+
+// Predict implements Classifier.
+func (m *LogisticRegression) Predict(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, row := range X {
+		z := make([]float64, len(row))
+		for j, v := range row {
+			z[j] = (v - m.mean[j]) / m.std[j]
+		}
+		best, bestP := 0, math.Inf(-1)
+		for c, w := range m.weights {
+			p := dotBias(w, z)
+			if p > bestP {
+				best, bestP = c, p
+			}
+		}
+		out[i] = float64(best)
+	}
+	return out
+}
+
+// KNN is a k-nearest-neighbours classifier (Euclidean).
+type KNN struct {
+	K  int
+	tX [][]float64
+	tY []float64
+}
+
+// NewKNN returns a kNN classifier.
+func NewKNN(k int) *KNN { return &KNN{K: k} }
+
+// Fit implements Classifier.
+func (m *KNN) Fit(X [][]float64, y []float64) { m.tX, m.tY = X, y }
+
+// nb pairs a squared distance with a label for kNN voting.
+type nb struct {
+	d float64
+	y float64
+}
+
+// Predict implements Classifier.
+func (m *KNN) Predict(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, q := range X {
+		nbs := make([]nb, 0, len(m.tX))
+		for t, row := range m.tX {
+			d := 0.0
+			for j := range row {
+				diff := row[j] - q[j]
+				d += diff * diff
+			}
+			nbs = append(nbs, nb{d: d, y: m.tY[t]})
+		}
+		k := m.K
+		if k > len(nbs) {
+			k = len(nbs)
+		}
+		partialSortByDistance(nbs, k)
+		votes := map[float64]int{}
+		for _, n := range nbs[:k] {
+			votes[n.y]++
+		}
+		best, bestN := 0.0, -1
+		for c, n := range votes {
+			if n > bestN || (n == bestN && c < best) {
+				best, bestN = c, n
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+func partialSortByDistance(nbs []nb, k int) {
+	// Simple selection of the k smallest; adequate at benchmark scale.
+	for i := 0; i < k; i++ {
+		minI := i
+		for j := i + 1; j < len(nbs); j++ {
+			if nbs[j].d < nbs[minI].d {
+				minI = j
+			}
+		}
+		nbs[i], nbs[minI] = nbs[minI], nbs[i]
+	}
+}
+
+// GaussianNB is Gaussian naive Bayes.
+type GaussianNB struct {
+	classes []float64
+	priors  []float64
+	means   [][]float64
+	vars    [][]float64
+}
+
+// NewGaussianNB returns a Gaussian naive Bayes classifier.
+func NewGaussianNB() *GaussianNB { return &GaussianNB{} }
+
+// Fit implements Classifier.
+func (m *GaussianNB) Fit(X [][]float64, y []float64) {
+	nC := countClasses(y)
+	nf := len(X[0])
+	m.classes = m.classes[:0]
+	m.priors = make([]float64, nC)
+	m.means = make([][]float64, nC)
+	m.vars = make([][]float64, nC)
+	counts := make([]int, nC)
+	for c := 0; c < nC; c++ {
+		m.means[c] = make([]float64, nf)
+		m.vars[c] = make([]float64, nf)
+	}
+	for i, row := range X {
+		c := clampClass(int(y[i]), nC-1)
+		counts[c]++
+		for j, v := range row {
+			m.means[c][j] += v
+		}
+	}
+	for c := 0; c < nC; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range m.means[c] {
+			m.means[c][j] /= float64(counts[c])
+		}
+		m.priors[c] = float64(counts[c]) / float64(len(X))
+	}
+	for i, row := range X {
+		c := clampClass(int(y[i]), nC-1)
+		for j, v := range row {
+			d := v - m.means[c][j]
+			m.vars[c][j] += d * d
+		}
+	}
+	for c := 0; c < nC; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range m.vars[c] {
+			m.vars[c][j] = m.vars[c][j]/float64(counts[c]) + 1e-9
+		}
+	}
+}
+
+// Predict implements Classifier.
+func (m *GaussianNB) Predict(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, row := range X {
+		best, bestLL := 0, math.Inf(-1)
+		for c := range m.priors {
+			if m.priors[c] == 0 {
+				continue
+			}
+			ll := math.Log(m.priors[c])
+			for j, v := range row {
+				d := v - m.means[c][j]
+				ll += -0.5*math.Log(2*math.Pi*m.vars[c][j]) - d*d/(2*m.vars[c][j])
+			}
+			if ll > bestLL {
+				best, bestLL = c, ll
+			}
+		}
+		out[i] = float64(best)
+	}
+	return out
+}

@@ -1,0 +1,350 @@
+// Package pipegen generates synthetic data-science pipeline scripts. The
+// paper's pipeline experiments (Figure 4, Tables 3 and 4, and the GNN
+// training corpora of Section 4) use 13,800 Kaggle scripts over the
+// top-1000 datasets; offline, this generator produces scripts with the
+// same structure — imports, read_csv, cleaning, transformation, modelling,
+// evaluation — following Figure 4's empirical library mix, with votes and
+// scores as pipeline metadata.
+package pipegen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"kglids/internal/cleaning"
+	"kglids/internal/dataframe"
+	"kglids/internal/pipeline"
+	"kglids/internal/transform"
+)
+
+// Figure 4's library usage over 13,215-pipeline corpus, normalized to
+// per-pipeline inclusion probabilities (pandas ≈ 96%, matplotlib ≈ 81%,
+// sklearn ≈ 54%, ...).
+var libraryProb = map[string]float64{
+	"pandas":      0.957,
+	"matplotlib":  0.810,
+	"sklearn":     0.536,
+	"plotly":      0.202,
+	"scipy":       0.109,
+	"xgboost":     0.069,
+	"wordcloud":   0.066,
+	"IPython":     0.065,
+	"nltk":        0.056,
+	"statsmodels": 0.056,
+}
+
+// Classifier templates: constructor call with plausible hyperparameters.
+var classifierTemplates = []struct {
+	imp  string
+	call string
+}{
+	{"from sklearn.ensemble import RandomForestClassifier", "RandomForestClassifier(n_estimators=%d, max_depth=%d)"},
+	{"from sklearn.linear_model import LogisticRegression", "LogisticRegression(C=%d.0, max_iter=%d)"},
+	{"from sklearn.tree import DecisionTreeClassifier", "DecisionTreeClassifier(max_depth=%d, min_samples_split=%d)"},
+	{"from sklearn.neighbors import KNeighborsClassifier", "KNeighborsClassifier(n_neighbors=%d, p=%d)"},
+	{"from sklearn.ensemble import GradientBoostingClassifier", "GradientBoostingClassifier(n_estimators=%d, max_depth=%d)"},
+	{"from sklearn.svm import SVC", "SVC(C=%d.0, degree=%d)"},
+}
+
+var xgbTemplate = struct {
+	imp  string
+	call string
+}{"import xgboost", "xgboost.XGBClassifier(n_estimators=%d, max_depth=%d)"}
+
+// Dataset describes the dataset a generated pipeline reads.
+type Dataset struct {
+	Name    string // e.g. "titanic"
+	Table   string // e.g. "train.csv"
+	Columns []string
+	Target  string
+}
+
+// Options controls corpus generation.
+type Options struct {
+	NumPipelines int
+	Datasets     []Dataset
+	Seed         int64
+}
+
+// AppliedOps records which cleaning/transform/model choices a generated
+// script contains — the ground truth used to build GNN training examples.
+type AppliedOps struct {
+	Cleaning   cleaning.Op
+	Scaler     transform.ScalerOp
+	Unary      transform.UnaryOp
+	Classifier string // qualified name
+	Params     map[string]string
+}
+
+// Generated pairs a script with its applied operations.
+type Generated struct {
+	Script pipeline.Script
+	Ops    AppliedOps
+}
+
+// cleaningSnippets maps each cleaning op to the code it appears as.
+var cleaningSnippets = map[cleaning.Op]struct {
+	imp  string
+	code []string
+}{
+	cleaning.OpFillna: {"", []string{"df = df.fillna(0)"}},
+	cleaning.OpInterpolate: {"", []string{"df = df.interpolate(method='linear')"}},
+	cleaning.OpSimpleImputer: {"from sklearn.impute import SimpleImputer", []string{
+		"imputer = SimpleImputer(strategy='most_frequent')",
+		"X['%s'] = imputer.fit_transform(X['%s'])",
+	}},
+	cleaning.OpKNNImputer: {"from sklearn.impute import KNNImputer", []string{
+		"imputer = KNNImputer(n_neighbors=5)",
+		"X['%s'] = imputer.fit_transform(X['%s'])",
+	}},
+	cleaning.OpIterativeImputer: {"from sklearn.impute import IterativeImputer", []string{
+		"imputer = IterativeImputer(max_iter=10)",
+		"X['%s'] = imputer.fit_transform(X['%s'])",
+	}},
+}
+
+var scalerSnippets = map[transform.ScalerOp]struct {
+	imp  string
+	code []string
+}{
+	transform.ScalerStandard: {"from sklearn.preprocessing import StandardScaler", []string{
+		"scaler = StandardScaler()",
+		"X['%s'] = scaler.fit_transform(X['%s'])",
+	}},
+	transform.ScalerMinMax: {"from sklearn.preprocessing import MinMaxScaler", []string{
+		"scaler = MinMaxScaler()",
+		"X['%s'] = scaler.fit_transform(X['%s'])",
+	}},
+	transform.ScalerRobust: {"from sklearn.preprocessing import RobustScaler", []string{
+		"scaler = RobustScaler()",
+		"X['%s'] = scaler.fit_transform(X['%s'])",
+	}},
+}
+
+// Generate produces a corpus of scripts.
+func Generate(opts Options) []Generated {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	out := make([]Generated, 0, opts.NumPipelines)
+	for i := 0; i < opts.NumPipelines; i++ {
+		ds := opts.Datasets[rng.Intn(len(opts.Datasets))]
+		g := generateOne(rng, ds, i)
+		out = append(out, g)
+	}
+	return out
+}
+
+func generateOne(rng *rand.Rand, ds Dataset, idx int) Generated {
+	var imports []string
+	var body []string
+	ops := AppliedOps{Params: map[string]string{}}
+
+	use := func(lib string) bool { return rng.Float64() < libraryProb[lib] }
+
+	// Optional libraries are imported AND called, since Figure 4 counts
+	// pipelines calling each library.
+	var eda []string
+	imports = append(imports, "import pandas as pd") // pandas ~always
+	if use("matplotlib") {
+		imports = append(imports, "import matplotlib.pyplot as plt")
+		eda = append(eda, "plt.hist(df['%s'])")
+	}
+	if use("plotly") {
+		imports = append(imports, "import plotly.express as px")
+		eda = append(eda, "fig = px.scatter(df, x='%s')")
+	}
+	if use("scipy") {
+		imports = append(imports, "from scipy import stats")
+		eda = append(eda, "z = stats.zscore(df['%s'])")
+	}
+	if use("wordcloud") {
+		imports = append(imports, "from wordcloud import WordCloud")
+		eda = append(eda, "wc = WordCloud(width=800)")
+	}
+	if use("IPython") {
+		imports = append(imports, "from IPython.display import display")
+		eda = append(eda, "shown = display(df)")
+	}
+	if use("nltk") {
+		imports = append(imports, "import nltk")
+		eda = append(eda, "tokens = nltk.word_tokenize('%s')")
+	}
+	if use("statsmodels") {
+		imports = append(imports, "import statsmodels.api as sm")
+		eda = append(eda, "ols = sm.OLS(df['%s'], df)")
+	}
+
+	body = append(body, fmt.Sprintf("df = pd.read_csv('%s/%s')", ds.Name, ds.Table))
+	edaCol := ds.Columns[rng.Intn(len(ds.Columns))]
+	for _, line := range eda {
+		if strings.Contains(line, "%s") {
+			body = append(body, fmt.Sprintf(line, edaCol))
+		} else {
+			body = append(body, line)
+		}
+	}
+	col := ds.Columns[rng.Intn(len(ds.Columns))]
+	for col == ds.Target && len(ds.Columns) > 1 {
+		col = ds.Columns[rng.Intn(len(ds.Columns))]
+	}
+	body = append(body, fmt.Sprintf("X, y = df.drop('%s', axis=1), df['%s']", ds.Target, ds.Target))
+
+	// Cleaning step.
+	ci := rng.Intn(len(cleaning.Ops))
+	ops.Cleaning = cleaning.Ops[ci]
+	snippet := cleaningSnippets[ops.Cleaning]
+	if snippet.imp != "" {
+		imports = append(imports, snippet.imp)
+	}
+	for _, line := range snippet.code {
+		if strings.Contains(line, "%s") {
+			body = append(body, fmt.Sprintf(line, col, col))
+		} else {
+			body = append(body, line)
+		}
+	}
+
+	// Scaling + unary transformation.
+	si := rng.Intn(len(transform.Scalers))
+	ops.Scaler = transform.Scalers[si]
+	ssnip := scalerSnippets[ops.Scaler]
+	imports = append(imports, ssnip.imp)
+	for _, line := range ssnip.code {
+		if strings.Contains(line, "%s") {
+			body = append(body, fmt.Sprintf(line, col, col))
+		} else {
+			body = append(body, line)
+		}
+	}
+	ops.Unary = transform.Unaries[rng.Intn(len(transform.Unaries))]
+	if ops.Unary != transform.UnaryNone {
+		imports = append(imports, "import numpy as np")
+		fn := "log1p"
+		if ops.Unary == transform.UnarySqrt {
+			fn = "sqrt"
+		}
+		body = append(body, fmt.Sprintf("X['%s'] = np.%s(X['%s'])", col, fn, col))
+	}
+
+	// Modelling. Votes correlate with hyperparameter quality: highly-voted
+	// Kaggle pipelines use best-practice values, which is exactly the
+	// signal KGLiDS's hyperparameter recommendation mines (Section 4.4).
+	votes := rng.Intn(2000)
+	quality := votes > 800
+	imports = append(imports, "from sklearn.model_selection import train_test_split")
+	imports = append(imports, "from sklearn.metrics import accuracy_score")
+	body = append(body, "X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.2)")
+	useXGB := rng.Float64() < libraryProb["xgboost"]
+	if useXGB {
+		imports = append(imports, xgbTemplate.imp)
+		a, b := 50+rng.Intn(6)*50, 3+rng.Intn(8)
+		if quality {
+			a, b = 100+rng.Intn(3)*50, 6+rng.Intn(4)
+		}
+		body = append(body, fmt.Sprintf("clf = "+xgbTemplate.call, a, b))
+		ops.Classifier = "xgboost.XGBClassifier"
+		ops.Params["n_estimators"] = fmt.Sprintf("%d", a)
+		ops.Params["max_depth"] = fmt.Sprintf("%d", b)
+	} else {
+		tmpl := classifierTemplates[rng.Intn(len(classifierTemplates))]
+		imports = append(imports, tmpl.imp)
+		a, b := hyperA(rng, tmpl.call, quality), hyperB(rng, tmpl.call, quality)
+		body = append(body, fmt.Sprintf("clf = "+tmpl.call, a, b))
+		ops.Classifier = classifierQualified(tmpl.imp, tmpl.call)
+		p1, p2 := paramNames(tmpl.call)
+		ops.Params[p1] = fmt.Sprintf("%d", a)
+		ops.Params[p2] = fmt.Sprintf("%d", b)
+	}
+	body = append(body, "clf.fit(X_train, y_train)")
+	body = append(body, "print(accuracy_score(y_test, clf.predict(X_test)))")
+
+	src := strings.Join(imports, "\n") + "\n\n" + strings.Join(body, "\n") + "\n"
+	id := fmt.Sprintf("kaggle/%s/pipeline_%05d", ds.Name, idx)
+	return Generated{
+		Script: pipeline.Script{
+			ID:     id,
+			Source: src,
+			Meta: pipeline.Metadata{
+				Author:  fmt.Sprintf("user_%03d", rng.Intn(500)),
+				Dataset: ds.Name,
+				Task:    "classification",
+				Votes:   votes,
+				Score:   0.5 + rng.Float64()*0.5,
+			},
+		},
+		Ops: ops,
+	}
+}
+
+func hyperA(rng *rand.Rand, call string, quality bool) int {
+	switch {
+	case strings.Contains(call, "n_estimators"):
+		if quality {
+			return 100 + rng.Intn(3)*50
+		}
+		return []int{1, 2, 5, 10, 25, 50}[rng.Intn(6)]
+	case strings.Contains(call, "C="):
+		if quality {
+			return 1 + rng.Intn(2)
+		}
+		return 1 + rng.Intn(10)
+	case strings.Contains(call, "n_neighbors"):
+		if quality {
+			return 5 + rng.Intn(3)
+		}
+		return []int{1, 3, 15, 21}[rng.Intn(4)]
+	default:
+		if quality {
+			return 7 + rng.Intn(4)
+		}
+		return []int{2, 3, 15}[rng.Intn(3)]
+	}
+}
+
+func hyperB(rng *rand.Rand, call string, quality bool) int {
+	switch {
+	case strings.Contains(call, "max_iter"):
+		if quality {
+			return 200 + rng.Intn(2)*100
+		}
+		return 50 * (1 + rng.Intn(4))
+	case strings.Contains(call, "max_depth"):
+		if quality {
+			return 7 + rng.Intn(6)
+		}
+		return []int{1, 2, 3, 15}[rng.Intn(4)]
+	case strings.Contains(call, "min_samples_split"):
+		return 2 + rng.Intn(8)
+	default:
+		return 2 + rng.Intn(4)
+	}
+}
+
+func paramNames(call string) (string, string) {
+	// Extract the two keyword names from the template.
+	var names []string
+	for _, part := range strings.Split(call[strings.Index(call, "(")+1:], ",") {
+		if i := strings.IndexByte(part, '='); i >= 0 {
+			names = append(names, strings.TrimSpace(part[:i]))
+		}
+	}
+	if len(names) < 2 {
+		return "a", "b"
+	}
+	return names[0], names[1]
+}
+
+func classifierQualified(imp, call string) string {
+	// "from sklearn.x import Y" + "Y(...)" → "sklearn.x.Y"
+	fields := strings.Fields(imp)
+	if len(fields) == 4 && fields[0] == "from" {
+		return fields[1] + "." + fields[3]
+	}
+	name := call[:strings.Index(call, "(")]
+	return name
+}
+
+// FrameDataset adapts a raw DataFrame to a Dataset spec.
+func FrameDataset(datasetName string, df *dataframe.DataFrame, target string) Dataset {
+	return Dataset{Name: datasetName, Table: df.Name, Columns: df.Columns(), Target: target}
+}

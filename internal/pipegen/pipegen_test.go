@@ -1,0 +1,120 @@
+package pipegen
+
+import (
+	"testing"
+
+	"kglids/internal/pipeline"
+)
+
+func testDatasets() []Dataset {
+	return []Dataset{
+		{Name: "titanic", Table: "train.csv", Columns: []string{"Age", "Sex", "Fare", "Survived"}, Target: "Survived"},
+		{Name: "heart", Table: "heart.csv", Columns: []string{"age", "chol", "target"}, Target: "target"},
+	}
+}
+
+func TestGenerateParseable(t *testing.T) {
+	corpus := Generate(Options{NumPipelines: 100, Datasets: testDatasets(), Seed: 1})
+	if len(corpus) != 100 {
+		t.Fatalf("corpus = %d", len(corpus))
+	}
+	a := pipeline.NewAbstractor()
+	failures := 0
+	for _, g := range corpus {
+		abs := a.Abstract(g.Script)
+		if abs.ParseError != nil {
+			failures++
+			t.Logf("parse error in %s: %v\n%s", g.Script.ID, abs.ParseError, g.Script.Source)
+		}
+	}
+	if failures > 0 {
+		t.Fatalf("%d/100 scripts unparseable", failures)
+	}
+}
+
+func TestGeneratedStructure(t *testing.T) {
+	corpus := Generate(Options{NumPipelines: 50, Datasets: testDatasets(), Seed: 2})
+	a := pipeline.NewAbstractor()
+	for _, g := range corpus[:10] {
+		abs := a.Abstract(g.Script)
+		// Every script reads its dataset.
+		foundRead := false
+		for _, s := range abs.Statements {
+			if len(s.TableReads) > 0 {
+				foundRead = true
+			}
+		}
+		if !foundRead {
+			t.Errorf("%s has no dataset read", g.Script.ID)
+		}
+		if g.Script.Meta.Dataset == "" || g.Script.Meta.Task != "classification" {
+			t.Errorf("metadata incomplete: %+v", g.Script.Meta)
+		}
+		if g.Ops.Classifier == "" || len(g.Ops.Params) == 0 {
+			t.Errorf("ops not recorded: %+v", g.Ops)
+		}
+	}
+}
+
+func TestLibraryMixFollowsFigure4(t *testing.T) {
+	corpus := Generate(Options{NumPipelines: 400, Datasets: testDatasets(), Seed: 3})
+	a := pipeline.NewAbstractor()
+	var abss []*pipeline.Abstraction
+	for _, g := range corpus {
+		abss = append(abss, a.Abstract(g.Script))
+	}
+	top := pipeline.TopLibraries(abss, 3)
+	if len(top) < 3 {
+		t.Fatalf("top libraries = %v", top)
+	}
+	if top[0].Library != "pandas" {
+		t.Errorf("top library = %s, want pandas (Figure 4)", top[0].Library)
+	}
+	// pandas usage ≈ 100% of scripts, matplotlib ≈ 80%.
+	if top[0].Pipelines < 380 {
+		t.Errorf("pandas pipelines = %d/400", top[0].Pipelines)
+	}
+	counts := map[string]int{}
+	for _, lc := range pipeline.TopLibraries(abss, 0) {
+		counts[lc.Library] = lc.Pipelines
+	}
+	if counts["matplotlib"] < 250 || counts["matplotlib"] > 380 {
+		t.Errorf("matplotlib = %d/400, want ~324", counts["matplotlib"])
+	}
+	if counts["xgboost"] > counts["sklearn"] {
+		t.Error("xgboost should trail sklearn")
+	}
+}
+
+func TestOpsDistribution(t *testing.T) {
+	corpus := Generate(Options{NumPipelines: 300, Datasets: testDatasets(), Seed: 4})
+	cleanCounts := map[string]int{}
+	scalerCounts := map[string]int{}
+	for _, g := range corpus {
+		cleanCounts[string(g.Ops.Cleaning)]++
+		scalerCounts[string(g.Ops.Scaler)]++
+	}
+	if len(cleanCounts) != 5 {
+		t.Errorf("cleaning ops seen = %v", cleanCounts)
+	}
+	if len(scalerCounts) != 3 {
+		t.Errorf("scaler ops seen = %v", scalerCounts)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(Options{NumPipelines: 20, Datasets: testDatasets(), Seed: 5})
+	b := Generate(Options{NumPipelines: 20, Datasets: testDatasets(), Seed: 5})
+	for i := range a {
+		if a[i].Script.Source != b[i].Script.Source {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestFrameDataset(t *testing.T) {
+	ds := testDatasets()[0]
+	if ds.Target != "Survived" {
+		t.Skip("shape only")
+	}
+}

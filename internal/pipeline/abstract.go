@@ -1,0 +1,618 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+
+	"kglids/internal/pyast"
+)
+
+// Metadata is the per-pipeline metadata (the M_D input of Algorithm 1):
+// dataset used, author, votes, score, and associated ML task.
+type Metadata struct {
+	Author  string
+	Dataset string
+	Task    string
+	Votes   int
+	Score   float64
+}
+
+// Script is one pipeline script to abstract.
+type Script struct {
+	ID     string // e.g. "kaggle/titanic/user1/notebook.py"
+	Source string
+	Meta   Metadata
+}
+
+// Param is a call parameter after documentation enrichment. Implicit marks
+// a positional argument whose name was inferred from the docs; Default
+// marks a documented parameter the call did not specify.
+type Param struct {
+	Name     string
+	Value    string
+	Implicit bool
+	Default  bool
+}
+
+// CallInfo is one resolved library call within a statement.
+type CallInfo struct {
+	Qualified  string // e.g. "sklearn.ensemble.RandomForestClassifier"
+	Library    string // top-level library, e.g. "sklearn"
+	Params     []Param
+	ReturnType string
+}
+
+// Statement is the abstraction of one pipeline statement: its text,
+// control-flow type, resolved calls, variable def/use sets, predicted
+// dataset usage, and data-flow edges.
+type Statement struct {
+	Index       int
+	Line        int
+	Text        string
+	Flow        string // rdf.Flow* values
+	Calls       []CallInfo
+	DefinedVars []string
+	UsedVars    []string
+	TableReads  []string // dataset paths passed to read_csv & friends
+	ColumnReads []string // column names accessed via DataFrame subscripts
+	DataFlowTo  []int    // statement indexes that consume variables defined here
+}
+
+// Abstraction is the result of abstracting one script: the statement graph
+// plus the set of qualified library calls for the library graph.
+type Abstraction struct {
+	Script     Script
+	Statements []*Statement
+	// CallCounts maps qualified call names to the number of statements
+	// calling them, feeding the library graph and Figure 4.
+	CallCounts map[string]int
+	// ParseError records scripts that failed static analysis (skipped, as
+	// the original system skips unparseable pipelines).
+	ParseError error
+}
+
+// Abstractor runs static code analysis + documentation analysis + dataset
+// usage analysis (Algorithm 1 worker body).
+type Abstractor struct {
+	Docs *Docs
+}
+
+// NewAbstractor returns an abstractor over the built-in docs corpus.
+func NewAbstractor() *Abstractor { return &Abstractor{Docs: BuiltinDocs()} }
+
+// Abstract analyzes one script.
+func (a *Abstractor) Abstract(s Script) *Abstraction {
+	out := &Abstraction{Script: s, CallCounts: map[string]int{}}
+	mod, err := pyast.Parse(s.Source)
+	if err != nil {
+		out.ParseError = err
+		return out
+	}
+	w := &walker{
+		docs:    a.Docs,
+		abs:     out,
+		aliases: map[string]string{},
+		env:     map[string]string{},
+		lastDef: map[string]int{},
+	}
+	w.walkBody(mod.Body, "")
+	return out
+}
+
+// walker carries the static-analysis state through the statement walk.
+type walker struct {
+	docs    *Docs
+	abs     *Abstraction
+	aliases map[string]string // import alias -> qualified module/function
+	env     map[string]string // variable -> inferred qualified type
+	lastDef map[string]int    // variable -> statement index of last definition
+}
+
+func (w *walker) walkBody(body []pyast.Stmt, flow string) {
+	for _, st := range body {
+		w.walkStmt(st, flow)
+	}
+}
+
+func flowOr(flow, def string) string {
+	if flow != "" {
+		return flow
+	}
+	return def
+}
+
+func (w *walker) walkStmt(st pyast.Stmt, flow string) {
+	switch x := st.(type) {
+	case *pyast.ImportStmt:
+		for _, al := range x.Names {
+			w.aliases[al.Bound()] = al.Name
+		}
+		w.emit(st, flowOr(flow, "import"), nil, nil, nil, nil)
+	case *pyast.FromImportStmt:
+		for _, al := range x.Names {
+			if al.Name == "*" {
+				continue
+			}
+			w.aliases[al.Bound()] = x.Module + "." + al.Name
+		}
+		w.emit(st, flowOr(flow, "import"), nil, nil, nil, nil)
+	case *pyast.AssignStmt:
+		w.walkAssign(x, flowOr(flow, "straight"))
+	case *pyast.ExprStmt:
+		// Discard statements whose outermost call is insignificant
+		// (print(...), df.head(), ...), per Section 3.1; the paper's
+		// Figure 2 drops the whole evaluation print line.
+		if call, ok := x.X.(*pyast.Call); ok {
+			if q, _ := w.resolveCallable(call.Func); IsInsignificant(q) {
+				return
+			}
+			if typ, method, ok := w.splitMethod(call.Func); ok {
+				if IsInsignificant(typ + "." + method) {
+					return
+				}
+			}
+		}
+		calls, tables, cols, used := w.analyzeExpr(x.X)
+		// A bare call can still mutate its receiver (e.g. clf.fit(X, y));
+		// model receivers as used.
+		w.emit(st, flowOr(flow, "straight"), calls, tables, cols, used)
+	case *pyast.IfStmt:
+		w.emitControl(st, flowOr(flow, "conditional"), x.Cond)
+		w.walkBody(x.Body, "conditional")
+		w.walkBody(x.Orelse, "conditional")
+	case *pyast.ForStmt:
+		w.emitControl(st, flowOr(flow, "loop"), x.Iter)
+		// Loop targets are defined by the loop header.
+		idx := len(w.abs.Statements) - 1
+		for _, v := range targetVars(x.Target) {
+			w.env[v] = ""
+			w.lastDef[v] = idx
+			w.abs.Statements[idx].DefinedVars = append(w.abs.Statements[idx].DefinedVars, v)
+		}
+		w.walkBody(x.Body, "loop")
+	case *pyast.WhileStmt:
+		w.emitControl(st, flowOr(flow, "loop"), x.Cond)
+		w.walkBody(x.Body, "loop")
+	case *pyast.FuncDef:
+		w.emitControl(st, "user_defined_function", nil)
+		// Function parameters shadow the environment inside the body.
+		saved := map[string]string{}
+		for _, p := range x.Params {
+			if t, ok := w.env[p]; ok {
+				saved[p] = t
+			}
+			w.env[p] = ""
+		}
+		w.walkBody(x.Body, "user_defined_function")
+		for _, p := range x.Params {
+			if t, ok := saved[p]; ok {
+				w.env[p] = t
+			} else {
+				delete(w.env, p)
+			}
+		}
+	case *pyast.ReturnStmt:
+		var calls []CallInfo
+		var tables, cols, used []string
+		if x.Value != nil {
+			calls, tables, cols, used = w.analyzeExpr(x.Value)
+		}
+		w.emit(st, flowOr(flow, "user_defined_function"), calls, tables, cols, used)
+	case *pyast.WithStmt:
+		calls, tables, cols, used := w.analyzeExpr(x.Context)
+		w.emit(st, flowOr(flow, "straight"), calls, tables, cols, used)
+		if x.AsName != "" {
+			idx := len(w.abs.Statements) - 1
+			w.lastDef[x.AsName] = idx
+			w.abs.Statements[idx].DefinedVars = append(w.abs.Statements[idx].DefinedVars, x.AsName)
+		}
+		w.walkBody(x.Body, flow)
+	case *pyast.TryStmt:
+		w.walkBody(x.Body, flow)
+		w.walkBody(x.Handler, flowOr(flow, "conditional"))
+		w.walkBody(x.Final, flow)
+	case *pyast.SimpleStmt:
+		// pass/break/continue carry no pipeline semantics.
+	}
+}
+
+// emitControl records a control statement (if/for/while/def header).
+func (w *walker) emitControl(st pyast.Stmt, flow string, cond pyast.Expr) {
+	var calls []CallInfo
+	var tables, cols, used []string
+	if cond != nil {
+		calls, tables, cols, used = w.analyzeExpr(cond)
+	}
+	w.emit(st, flow, calls, tables, cols, used)
+}
+
+func (w *walker) walkAssign(x *pyast.AssignStmt, flow string) {
+	calls, tables, cols, used := w.analyzeExpr(x.Value)
+	// Subscript/attribute targets also read (mutate) their base variable
+	// and may predict column writes (e.g. X['NormalizedAge'] = ...).
+	var defined []string
+	for _, tgt := range x.Targets {
+		switch t := tgt.(type) {
+		case *pyast.Name:
+			defined = append(defined, t.ID)
+		case *pyast.TupleLit:
+			defined = append(defined, targetVars(t)...)
+		case *pyast.ListLit:
+			for _, e := range t.Elts {
+				defined = append(defined, targetVars(e)...)
+			}
+		case *pyast.Subscript:
+			_, tTables, tCols, tUsed := w.analyzeExpr(t)
+			tables = append(tables, tTables...)
+			cols = append(cols, tCols...)
+			used = append(used, tUsed...)
+			defined = append(defined, targetVars(t.Value)...)
+		case *pyast.Attribute:
+			defined = append(defined, targetVars(t.Value)...)
+		}
+	}
+	// Augmented assignment reads its targets too.
+	if x.Op != "=" {
+		used = append(used, defined...)
+	}
+	w.emit(x, flow, calls, tables, cols, used)
+	idx := len(w.abs.Statements) - 1
+	st := w.abs.Statements[idx]
+	st.DefinedVars = append(st.DefinedVars, dedup(defined)...)
+
+	// Type propagation for documentation analysis: single name target takes
+	// the value's inferred type; tuple targets of a tuple value map
+	// pairwise.
+	if x.Op == "=" && len(x.Targets) >= 1 {
+		w.propagateTypes(x.Targets[len(x.Targets)-1+0], x.Value, calls)
+		// Chained assignment a = b = v: every target gets the same type.
+		for _, tgt := range x.Targets {
+			w.propagateTypes(tgt, x.Value, calls)
+		}
+	}
+	for _, v := range st.DefinedVars {
+		w.lastDef[v] = idx
+	}
+}
+
+func (w *walker) propagateTypes(target, value pyast.Expr, calls []CallInfo) {
+	typ := w.exprType(value, calls)
+	switch t := target.(type) {
+	case *pyast.Name:
+		w.env[t.ID] = typ
+	case *pyast.TupleLit:
+		if vt, ok := value.(*pyast.TupleLit); ok && len(vt.Elts) == len(t.Elts) {
+			for i := range t.Elts {
+				if n, ok := t.Elts[i].(*pyast.Name); ok {
+					w.env[n.ID] = w.exprType(vt.Elts[i], nil)
+				}
+			}
+			return
+		}
+		// Tuple unpacking of a call (e.g. train_test_split): element types
+		// unknown, but keep DataFrame propagation for common splits.
+		for i := range t.Elts {
+			if n, ok := t.Elts[i].(*pyast.Name); ok {
+				w.env[n.ID] = ""
+			}
+		}
+	}
+}
+
+// exprType infers the qualified type of an expression for documentation
+// analysis.
+func (w *walker) exprType(e pyast.Expr, calls []CallInfo) string {
+	switch x := e.(type) {
+	case *pyast.Name:
+		return w.env[x.ID]
+	case *pyast.Call:
+		if q, ok := w.resolveCallable(x.Func); ok {
+			if doc, ok := w.docs.Lookup(q); ok {
+				return doc.ReturnType
+			}
+			if typ, method, ok := w.splitMethod(x.Func); ok {
+				if doc, ok := w.docs.LookupMethod(typ, method); ok {
+					_ = doc
+					return doc.ReturnType
+				}
+			}
+			return ""
+		}
+		if typ, method, ok := w.splitMethod(x.Func); ok {
+			if doc, ok := w.docs.LookupMethod(typ, method); ok {
+				return doc.ReturnType
+			}
+		}
+		return ""
+	case *pyast.Subscript:
+		// df['col'] yields a Series.
+		if w.exprType(x.Value, nil) == "pandas.DataFrame" {
+			if _, isStr := x.Index.(*pyast.Str); isStr {
+				return "pandas.Series"
+			}
+			if _, isList := x.Index.(*pyast.ListLit); isList {
+				return "pandas.DataFrame"
+			}
+		}
+		return ""
+	case *pyast.Attribute:
+		// Attribute of a typed value without call: unknown.
+		return ""
+	}
+	return ""
+}
+
+// resolveCallable resolves a call-function expression to a fully qualified
+// library name using the import aliases ("pd.read_csv" →
+// "pandas.read_csv"; from-imported "SimpleImputer" →
+// "sklearn.impute.SimpleImputer").
+func (w *walker) resolveCallable(f pyast.Expr) (string, bool) {
+	switch x := f.(type) {
+	case *pyast.Name:
+		if q, ok := w.aliases[x.ID]; ok {
+			return q, true
+		}
+		return x.ID, false
+	case *pyast.Attribute:
+		base, ok := w.resolveCallable(x.Value)
+		if ok {
+			return base + "." + x.Attr, true
+		}
+		return base + "." + x.Attr, false
+	}
+	return "", false
+}
+
+// splitMethod resolves "receiver.method" where the receiver is a variable
+// with an inferred type.
+func (w *walker) splitMethod(f pyast.Expr) (typ, method string, ok bool) {
+	attr, isAttr := f.(*pyast.Attribute)
+	if !isAttr {
+		return "", "", false
+	}
+	recvType := w.exprType(attr.Value, nil)
+	if recvType == "" {
+		if n, isName := attr.Value.(*pyast.Name); isName {
+			recvType = w.env[n.ID]
+		}
+	}
+	if recvType == "" {
+		return "", "", false
+	}
+	return recvType, attr.Attr, true
+}
+
+// analyzeExpr walks an expression collecting resolved calls, predicted
+// dataset reads (tables and columns), and used variables.
+func (w *walker) analyzeExpr(e pyast.Expr) (calls []CallInfo, tables, cols, used []string) {
+	var walk func(pyast.Expr)
+	walk = func(e pyast.Expr) {
+		switch x := e.(type) {
+		case *pyast.Name:
+			if _, isAlias := w.aliases[x.ID]; !isAlias {
+				used = append(used, x.ID)
+			}
+		case *pyast.Attribute:
+			walk(x.Value)
+		case *pyast.Call:
+			if ci, ok := w.resolveCall(x); ok {
+				calls = append(calls, ci)
+				// Dataset usage analysis (Algorithm 1 lines 14-15).
+				if isReadCall(ci.Qualified) && len(x.Args) > 0 {
+					if s, isStr := x.Args[0].(*pyast.Str); isStr {
+						tables = append(tables, s.Value)
+					}
+				}
+			}
+			// Function position: only walk non-Name/Attribute funcs
+			// (e.g. computed) to avoid treating the library as a var.
+			if _, isName := x.Func.(*pyast.Name); !isName {
+				if attr, isAttr := x.Func.(*pyast.Attribute); isAttr {
+					walk(attr.Value)
+				} else {
+					walk(x.Func)
+				}
+			} else {
+				n := x.Func.(*pyast.Name)
+				if _, isAlias := w.aliases[n.ID]; !isAlias {
+					if _, isVar := w.env[n.ID]; isVar {
+						used = append(used, n.ID)
+					}
+				}
+			}
+			for _, a := range x.Args {
+				walk(a)
+			}
+			for _, k := range x.Keywords {
+				walk(k.Value)
+			}
+		case *pyast.Subscript:
+			// Column usage analysis (Algorithm 1 lines 16-17): string
+			// subscripts over DataFrame-typed variables predict column
+			// reads.
+			vt := w.exprType(x.Value, nil)
+			if vt == "pandas.DataFrame" || vt == "pandas.Series" {
+				switch idx := x.Index.(type) {
+				case *pyast.Str:
+					cols = append(cols, idx.Value)
+				case *pyast.ListLit:
+					for _, el := range idx.Elts {
+						if s, isStr := el.(*pyast.Str); isStr {
+							cols = append(cols, s.Value)
+						}
+					}
+				}
+			}
+			walk(x.Value)
+			if x.Index != nil {
+				walk(x.Index)
+			}
+		case *pyast.BinOp:
+			walk(x.Left)
+			walk(x.Right)
+		case *pyast.UnaryOp:
+			walk(x.X)
+		case *pyast.ListLit:
+			for _, el := range x.Elts {
+				walk(el)
+			}
+		case *pyast.TupleLit:
+			for _, el := range x.Elts {
+				walk(el)
+			}
+		case *pyast.DictLit:
+			for i := range x.Keys {
+				walk(x.Keys[i])
+				walk(x.Values[i])
+			}
+		case *pyast.Lambda:
+			walk(x.Body)
+		case *pyast.SliceExpr:
+			if x.Lo != nil {
+				walk(x.Lo)
+			}
+			if x.Hi != nil {
+				walk(x.Hi)
+			}
+		}
+	}
+	walk(e)
+	return calls, dedup(tables), dedup(cols), dedup(used)
+}
+
+// resolveCall resolves one call and performs documentation analysis
+// (Algorithm 1 lines 9-13): parameter-name inference for positional
+// arguments and default-parameter completion.
+func (w *walker) resolveCall(c *pyast.Call) (CallInfo, bool) {
+	var doc *FuncDoc
+	var qualified string
+	if q, ok := w.resolveCallable(c.Func); ok {
+		qualified = q
+		doc, _ = w.docs.Lookup(q)
+	}
+	if doc == nil {
+		if typ, method, ok := w.splitMethod(c.Func); ok {
+			if d, found := w.docs.LookupMethod(typ, method); found {
+				doc = d
+				qualified = d.Qualified
+			}
+		}
+	}
+	if doc == nil {
+		if qualified == "" {
+			return CallInfo{}, false
+		}
+		// Unknown library call: keep the qualified name without enrichment.
+		ci := CallInfo{Qualified: qualified, Library: topLevel(qualified)}
+		for i, a := range c.Args {
+			ci.Params = append(ci.Params, Param{Name: fmt.Sprintf("arg%d", i), Value: exprValue(a), Implicit: true})
+		}
+		for _, k := range c.Keywords {
+			ci.Params = append(ci.Params, Param{Name: k.Name, Value: exprValue(k.Value)})
+		}
+		w.abs.CallCounts[qualified]++
+		return ci, true
+	}
+	ci := CallInfo{Qualified: qualified, Library: topLevel(qualified), ReturnType: doc.ReturnType}
+	specified := map[string]bool{}
+	// Positional arguments: names inferred from the documentation order
+	// (implicit parameters, e.g. n_estimators for RandomForest's first
+	// positional argument).
+	for i, a := range c.Args {
+		name := fmt.Sprintf("arg%d", i)
+		if i < len(doc.Params) {
+			name = doc.Params[i].Name
+		}
+		specified[name] = true
+		ci.Params = append(ci.Params, Param{Name: name, Value: exprValue(a), Implicit: true})
+	}
+	for _, k := range c.Keywords {
+		specified[k.Name] = true
+		ci.Params = append(ci.Params, Param{Name: k.Name, Value: exprValue(k.Value)})
+	}
+	// Default parameters not specified in the call (Algorithm 1 line 12).
+	for _, p := range doc.Params {
+		if !specified[p.Name] && p.Default != "" {
+			ci.Params = append(ci.Params, Param{Name: p.Name, Value: p.Default, Default: true})
+		}
+	}
+	w.abs.CallCounts[qualified]++
+	return ci, true
+}
+
+// emit appends a Statement and wires code/data-flow edges.
+func (w *walker) emit(st pyast.Stmt, flow string, calls []CallInfo, tables, cols, used []string) {
+	idx := len(w.abs.Statements)
+	stmt := &Statement{
+		Index:       idx,
+		Line:        st.Pos(),
+		Text:        pyast.StmtText(st),
+		Flow:        flow,
+		Calls:       calls,
+		TableReads:  tables,
+		ColumnReads: cols,
+		UsedVars:    used,
+	}
+	w.abs.Statements = append(w.abs.Statements, stmt)
+	// Data flow: each used variable links from its defining statement.
+	seen := map[int]bool{}
+	for _, v := range used {
+		if def, ok := w.lastDef[v]; ok && def != idx && !seen[def] {
+			seen[def] = true
+			w.abs.Statements[def].DataFlowTo = append(w.abs.Statements[def].DataFlowTo, idx)
+		}
+	}
+}
+
+func targetVars(e pyast.Expr) []string {
+	switch x := e.(type) {
+	case *pyast.Name:
+		return []string{x.ID}
+	case *pyast.TupleLit:
+		var out []string
+		for _, el := range x.Elts {
+			out = append(out, targetVars(el)...)
+		}
+		return out
+	case *pyast.ListLit:
+		var out []string
+		for _, el := range x.Elts {
+			out = append(out, targetVars(el)...)
+		}
+		return out
+	case *pyast.Subscript:
+		return targetVars(x.Value)
+	case *pyast.Attribute:
+		return targetVars(x.Value)
+	}
+	return nil
+}
+
+func dedup(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func topLevel(qualified string) string {
+	if i := strings.IndexByte(qualified, '.'); i >= 0 {
+		return qualified[:i]
+	}
+	return qualified
+}
+
+func isReadCall(qualified string) bool {
+	switch qualified {
+	case "pandas.read_csv", "pandas.read_json", "pandas.read_excel":
+		return true
+	}
+	return false
+}
+
+func exprValue(e pyast.Expr) string { return e.String() }

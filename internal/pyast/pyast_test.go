@@ -1,0 +1,332 @@
+package pyast
+
+import (
+	"strings"
+	"testing"
+)
+
+// The paper's Figure 3 running example.
+const figure3 = `# Imports ...
+import pandas as pd
+from sklearn.impute import SimpleImputer
+from sklearn.preprocessing import StandardScaler
+from sklearn.model_selection import train_test_split
+from sklearn.ensemble import RandomForestClassifier
+from sklearn.metrics import accuracy_score
+
+# Read the dataset
+df = pd.read_csv('titanic/train.csv')
+X, y = df.drop('Survived', axis=1), df['Survived']
+imputer = SimpleImputer(strategy='most_frequent')
+X['Sex'] = imputer.fit_transform(X['Sex'])   # Cleaning
+scaler = StandardScaler()
+X['NormalizedAge'] = scaler.fit_transform(X['Age'])
+# Split to train and test
+X_train, y_train, X_test, y_test = train_test_split(X, y, 0.2)
+# Train an RF classifier
+clf = RandomForestClassifier(50, max_depth=10)
+clf.fit(X_train, y_train)
+# Evaluate the classifier
+print(accuracy_score(y_test, clf.predict(X_test)))
+`
+
+func mustParse(t *testing.T, src string) *Module {
+	t.Helper()
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse failed: %v", err)
+	}
+	return m
+}
+
+func TestParseFigure3(t *testing.T) {
+	m := mustParse(t, figure3)
+	if len(m.Body) != 16 {
+		for _, s := range m.Body {
+			t.Logf("line %d: %s", s.Pos(), StmtText(s))
+		}
+		t.Fatalf("statements = %d, want 16", len(m.Body))
+	}
+	// Statement 1: import pandas as pd.
+	imp, ok := m.Body[0].(*ImportStmt)
+	if !ok || imp.Names[0].Name != "pandas" || imp.Names[0].AsName != "pd" {
+		t.Errorf("stmt 0 = %v", StmtText(m.Body[0]))
+	}
+	if imp.Names[0].Bound() != "pd" {
+		t.Errorf("bound = %q", imp.Names[0].Bound())
+	}
+	// df = pd.read_csv(...)
+	assign, ok := m.Body[6].(*AssignStmt)
+	if !ok {
+		t.Fatalf("stmt 6 = %T", m.Body[6])
+	}
+	call, ok := assign.Value.(*Call)
+	if !ok {
+		t.Fatalf("assign value = %T", assign.Value)
+	}
+	if call.Func.String() != "pd.read_csv" {
+		t.Errorf("call func = %q", call.Func.String())
+	}
+	if s, ok := call.Args[0].(*Str); !ok || s.Value != "titanic/train.csv" {
+		t.Errorf("call arg = %v", call.Args[0])
+	}
+	// Tuple assignment X, y = ...
+	tassign := m.Body[7].(*AssignStmt)
+	if _, ok := tassign.Targets[0].(*TupleLit); !ok {
+		t.Errorf("tuple target = %T", tassign.Targets[0])
+	}
+	if _, ok := tassign.Value.(*TupleLit); !ok {
+		t.Errorf("tuple value = %T", tassign.Value)
+	}
+	// RandomForestClassifier(50, max_depth=10): positional + keyword.
+	rf := m.Body[13].(*AssignStmt).Value.(*Call)
+	if len(rf.Args) != 1 || len(rf.Keywords) != 1 {
+		t.Errorf("RF call args = %d, kwargs = %d", len(rf.Args), len(rf.Keywords))
+	}
+	if rf.Keywords[0].Name != "max_depth" {
+		t.Errorf("kwarg = %q", rf.Keywords[0].Name)
+	}
+	// Line numbers survive.
+	if m.Body[6].Pos() != 10 {
+		t.Errorf("read_csv line = %d, want 10", m.Body[6].Pos())
+	}
+}
+
+func TestParseSubscripts(t *testing.T) {
+	m := mustParse(t, "x = df['Survived']\ny = df[0]\nz = df[1:3]\nw = df[:5]\n")
+	sub := m.Body[0].(*AssignStmt).Value.(*Subscript)
+	if s, ok := sub.Index.(*Str); !ok || s.Value != "Survived" {
+		t.Errorf("string index = %v", sub.Index)
+	}
+	if _, ok := m.Body[2].(*AssignStmt).Value.(*Subscript).Index.(*SliceExpr); !ok {
+		t.Error("slice index not parsed")
+	}
+	if _, ok := m.Body[3].(*AssignStmt).Value.(*Subscript).Index.(*SliceExpr); !ok {
+		t.Error("leading-colon slice not parsed")
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	src := `for i in range(10):
+    x = i * 2
+    if x > 5:
+        y = x
+    elif x > 2:
+        y = 0
+    else:
+        y = -1
+while y > 0:
+    y -= 1
+
+def helper(a, b=2):
+    return a + b
+`
+	m := mustParse(t, src)
+	if len(m.Body) != 3 {
+		t.Fatalf("top-level statements = %d, want 3", len(m.Body))
+	}
+	f := m.Body[0].(*ForStmt)
+	if len(f.Body) != 2 {
+		t.Errorf("for body = %d", len(f.Body))
+	}
+	ifs := f.Body[1].(*IfStmt)
+	if len(ifs.Body) != 1 || len(ifs.Orelse) != 1 {
+		t.Errorf("if shape: body=%d orelse=%d", len(ifs.Body), len(ifs.Orelse))
+	}
+	if _, ok := ifs.Orelse[0].(*IfStmt); !ok {
+		t.Error("elif not nested as IfStmt")
+	}
+	w := m.Body[1].(*WhileStmt)
+	if aug := w.Body[0].(*AssignStmt); aug.Op != "-=" {
+		t.Errorf("augmented op = %q", aug.Op)
+	}
+	def := m.Body[2].(*FuncDef)
+	if def.Name != "helper" || len(def.Params) != 2 {
+		t.Errorf("def = %q params %v", def.Name, def.Params)
+	}
+	if _, ok := def.Body[0].(*ReturnStmt); !ok {
+		t.Error("return not parsed")
+	}
+}
+
+func TestParseFromImport(t *testing.T) {
+	m := mustParse(t, "from sklearn.linear_model import LogisticRegression, Ridge as R\n")
+	fi := m.Body[0].(*FromImportStmt)
+	if fi.Module != "sklearn.linear_model" {
+		t.Errorf("module = %q", fi.Module)
+	}
+	if len(fi.Names) != 2 || fi.Names[1].AsName != "R" {
+		t.Errorf("names = %v", fi.Names)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	src := "a = [1, 2.5, 'x']\nb = {'k': 1, 'j': 2}\nc = (1, 2)\nd = True\ne = None\nf = -3\n"
+	m := mustParse(t, src)
+	lst := m.Body[0].(*AssignStmt).Value.(*ListLit)
+	if len(lst.Elts) != 3 {
+		t.Errorf("list = %v", lst)
+	}
+	d := m.Body[1].(*AssignStmt).Value.(*DictLit)
+	if len(d.Keys) != 2 {
+		t.Errorf("dict = %v", d)
+	}
+	tu := m.Body[2].(*AssignStmt).Value.(*TupleLit)
+	if len(tu.Elts) != 2 {
+		t.Errorf("tuple = %v", tu)
+	}
+	if b := m.Body[3].(*AssignStmt).Value.(*BoolLit); !b.Value {
+		t.Error("True literal")
+	}
+	if _, ok := m.Body[4].(*AssignStmt).Value.(*NoneLit); !ok {
+		t.Error("None literal")
+	}
+	if u := m.Body[5].(*AssignStmt).Value.(*UnaryOp); u.Op != "-" {
+		t.Error("unary minus")
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	m := mustParse(t, "x = a + b * c ** 2\ny = a == b and c != d or not e\nz = a in b\n")
+	add := m.Body[0].(*AssignStmt).Value.(*BinOp)
+	if add.Op != "+" {
+		t.Errorf("top op = %q", add.Op)
+	}
+	mul := add.Right.(*BinOp)
+	if mul.Op != "*" {
+		t.Errorf("mul op = %q", mul.Op)
+	}
+	if pow := mul.Right.(*BinOp); pow.Op != "**" {
+		t.Errorf("pow op = %q", pow.Op)
+	}
+	or := m.Body[1].(*AssignStmt).Value.(*BinOp)
+	if or.Op != "or" {
+		t.Errorf("bool op = %q", or.Op)
+	}
+	if in := m.Body[2].(*AssignStmt).Value.(*BinOp); in.Op != "in" {
+		t.Errorf("in op = %q", in.Op)
+	}
+}
+
+func TestMultilineCall(t *testing.T) {
+	src := `model = RandomForestClassifier(
+    n_estimators=100,
+    max_depth=5,
+)
+`
+	m := mustParse(t, src)
+	call := m.Body[0].(*AssignStmt).Value.(*Call)
+	if len(call.Keywords) != 2 {
+		t.Errorf("kwargs = %d", len(call.Keywords))
+	}
+}
+
+func TestTripleQuotedAndFStrings(t *testing.T) {
+	src := "doc = \"\"\"hello\nworld\"\"\"\nmsg = f'value is {x}'\n"
+	m := mustParse(t, src)
+	if s := m.Body[0].(*AssignStmt).Value.(*Str); !strings.Contains(s.Value, "hello") {
+		t.Errorf("triple string = %q", s.Value)
+	}
+	if _, ok := m.Body[1].(*AssignStmt).Value.(*Str); !ok {
+		t.Error("f-string not treated as string")
+	}
+}
+
+func TestComprehensionsAbsorbed(t *testing.T) {
+	src := "xs = [i * 2 for i in range(10)]\nys = sorted(x for x in xs)\n"
+	m := mustParse(t, src)
+	if len(m.Body) != 2 {
+		t.Fatalf("statements = %d", len(m.Body))
+	}
+}
+
+func TestWithAndTry(t *testing.T) {
+	src := `with open('f.csv') as f:
+    data = f.read()
+try:
+    x = 1
+except ValueError as e:
+    x = 2
+finally:
+    y = 3
+`
+	m := mustParse(t, src)
+	w := m.Body[0].(*WithStmt)
+	if w.AsName != "f" || len(w.Body) != 1 {
+		t.Errorf("with = %+v", w)
+	}
+	tr := m.Body[1].(*TryStmt)
+	if len(tr.Body) != 1 || len(tr.Handler) != 1 || len(tr.Final) != 1 {
+		t.Errorf("try shape: %d/%d/%d", len(tr.Body), len(tr.Handler), len(tr.Final))
+	}
+}
+
+func TestChainedAssignment(t *testing.T) {
+	m := mustParse(t, "a = b = compute()\n")
+	as := m.Body[0].(*AssignStmt)
+	if len(as.Targets) != 2 {
+		t.Errorf("targets = %d", len(as.Targets))
+	}
+}
+
+func TestStmtText(t *testing.T) {
+	m := mustParse(t, figure3)
+	texts := map[int]string{
+		0: "import pandas as pd",
+		6: "df = pd.read_csv('titanic/train.csv')",
+	}
+	for i, want := range texts {
+		if got := StmtText(m.Body[i]); got != want {
+			t.Errorf("StmtText[%d] = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"x = 'unterminated\n",
+		"def f(:\n",
+		"x = )\n",
+		"from import y\n",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestEmptyAndCommentsOnly(t *testing.T) {
+	m := mustParse(t, "\n# just a comment\n\n   \n")
+	if len(m.Body) != 0 {
+		t.Errorf("statements = %d", len(m.Body))
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	src := `if a:
+    if b:
+        if c:
+            x = 1
+        y = 2
+    z = 3
+w = 4
+`
+	m := mustParse(t, src)
+	if len(m.Body) != 2 {
+		t.Fatalf("top = %d", len(m.Body))
+	}
+	lvl1 := m.Body[0].(*IfStmt)
+	lvl2 := lvl1.Body[0].(*IfStmt)
+	lvl3 := lvl2.Body[0].(*IfStmt)
+	if len(lvl3.Body) != 1 || len(lvl2.Body) != 2 || len(lvl1.Body) != 2 {
+		t.Error("nesting structure wrong")
+	}
+}
+
+func TestLineContinuation(t *testing.T) {
+	m := mustParse(t, "x = 1 + \\\n    2\n")
+	if len(m.Body) != 1 {
+		t.Fatalf("statements = %d", len(m.Body))
+	}
+}

@@ -1,0 +1,80 @@
+package rdf
+
+// The LiDS ontology (paper Section 2.1): 13 classes, 19 object properties,
+// and 22 data properties conceptualizing datasets, tables, columns,
+// libraries, pipelines, and statements.
+
+// Classes of the LiDS ontology.
+var (
+	ClassSource    = Ontology("Source")
+	ClassDataset   = Ontology("Dataset")
+	ClassTable     = Ontology("Table")
+	ClassColumn    = Ontology("Column")
+	ClassLibrary   = Ontology("Library")
+	ClassPackage   = Ontology("Package")
+	ClassClass     = Ontology("Class")
+	ClassFunction  = Ontology("Function")
+	ClassPipeline  = Ontology("Pipeline")
+	ClassStatement = Ontology("Statement")
+	ClassParameter = Ontology("Parameter")
+	ClassModel     = Ontology("Model")
+	ClassUser      = Ontology("User")
+)
+
+// Object properties of the LiDS ontology.
+var (
+	PropIsPartOf          = Ontology("isPartOf")
+	PropHasTable          = Ontology("hasTable")
+	PropHasColumn         = Ontology("hasColumn")
+	PropColumnSimilarity  = Ontology("columnSimilarity")  // content similarity
+	PropLabelSimilarity   = Ontology("labelSimilarity")   // column-name similarity
+	PropContentSimilarity = Ontology("contentSimilarity") // value/embedding similarity
+	PropReads             = Ontology("reads")
+	PropReadsColumn       = Ontology("readsColumn")
+	PropCallsLibrary      = Ontology("callsLibrary")
+	PropCallsFunction     = Ontology("callsFunction")
+	PropCodeFlow          = Ontology("nextStatement") // code flow edge
+	PropDataFlow          = Ontology("hasDataFlowTo") // data flow edge
+	PropHasParameter      = Ontology("hasParameter")
+	PropIsWrittenBy       = Ontology("isWrittenBy")
+	PropUsesDataset       = Ontology("usesDataset")
+	PropSubLibraryOf      = Ontology("isSubLibraryOf")
+	PropAppliedTo         = Ontology("appliedTo") // operation → column/table
+	PropHasModel          = Ontology("hasModel")
+	PropTrainedOn         = Ontology("trainedOn")
+)
+
+// Data properties of the LiDS ontology.
+var (
+	PropName            = Ontology("name")
+	PropPath            = Ontology("path")
+	PropDataType        = Ontology("dataType") // fine-grained type
+	PropTotalValues     = Ontology("totalValueCount")
+	PropDistinctValues  = Ontology("distinctValueCount")
+	PropMissingValues   = Ontology("missingValueCount")
+	PropMinValue        = Ontology("minValue")
+	PropMaxValue        = Ontology("maxValue")
+	PropMeanValue       = Ontology("meanValue")
+	PropStdDev          = Ontology("standardDeviation")
+	PropTrueRatio       = Ontology("trueRatio")
+	PropCertainty       = Ontology("withCertainty") // RDF-star score annotation
+	PropStatementText   = Ontology("statementText")
+	PropControlFlowType = Ontology("controlFlow")
+	PropLineNumber      = Ontology("lineNumber")
+	PropParameterValue  = Ontology("parameterValue")
+	PropReturnType      = Ontology("returnType")
+	PropVotes           = Ontology("votes")
+	PropScore           = Ontology("score")
+	PropAuthor          = Ontology("author")
+	PropTask            = Ontology("task")
+	PropRowCount        = Ontology("rowCount")
+)
+
+// Control-flow type literal values (paper Section 3.1).
+const (
+	FlowLoop        = "loop"
+	FlowConditional = "conditional"
+	FlowImport      = "import"
+	FlowFunctionDef = "user_defined_function"
+	FlowStraight    = "straight"
+)

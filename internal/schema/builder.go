@@ -1,0 +1,336 @@
+// Package schema implements the Data Global Schema Builder and the Global
+// Graph Linker (paper Section 3.3, Algorithm 3): it turns column profiles
+// into the dataset graph — metadata subgraphs plus label- and content-
+// similarity edges between same-type columns, annotated RDF-star style with
+// certainty scores — and verifies predicted dataset reads from pipeline
+// abstraction against the global schema.
+package schema
+
+import (
+	"fmt"
+	"net/url"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"kglids/internal/embed"
+	"kglids/internal/profiler"
+	"kglids/internal/rdf"
+	"kglids/internal/store"
+)
+
+// Thresholds are the user-defined similarity thresholds of Algorithm 3:
+// Alpha for label similarity, Beta for boolean true-ratio similarity, and
+// Theta for content (embedding) similarity.
+type Thresholds struct {
+	Alpha float64
+	Beta  float64
+	Theta float64
+}
+
+// DefaultThresholds matches the high-precision setting discussed in the
+// paper (high thresholds → fewer but more accurate edges).
+func DefaultThresholds() Thresholds { return Thresholds{Alpha: 0.75, Beta: 0.90, Theta: 0.85} }
+
+// Edge is one materialized similarity relationship between two columns.
+type Edge struct {
+	A, B  string // column IDs "dataset/table/column"
+	Kind  string // "LabelSimilarity" or "ContentSimilarity"
+	Score float64
+}
+
+// Builder runs Algorithm 3 over a set of column profiles.
+type Builder struct {
+	Thresholds Thresholds
+	Words      *embed.WordModel
+	Workers    int
+	// SkipLabels disables label-similarity edges (the "Fine-Grained" only
+	// configuration of the Figure 6 ablation).
+	SkipLabels bool
+}
+
+// NewBuilder returns a builder with default thresholds.
+func NewBuilder() *Builder {
+	return &Builder{Thresholds: DefaultThresholds(), Words: embed.NewWordModel(), Workers: runtime.NumCPU()}
+}
+
+// labelCache memoizes per-column label embeddings and normalized forms so
+// the pairwise loop costs one cosine per pair instead of re-embedding.
+type labelCache struct {
+	vecs  []embed.Vector
+	norms []string
+}
+
+func (b *Builder) buildLabelCache(profiles []*profiler.ColumnProfile) *labelCache {
+	lc := &labelCache{vecs: make([]embed.Vector, len(profiles)), norms: make([]string, len(profiles))}
+	memo := map[string]embed.Vector{}
+	for i, cp := range profiles {
+		lc.norms[i] = normalizeLabel(cp.Column)
+		v, ok := memo[cp.Column]
+		if !ok {
+			v = b.Words.EmbedLabel(cp.Column)
+			memo[cp.Column] = v
+		}
+		lc.vecs[i] = v
+	}
+	return lc
+}
+
+func (lc *labelCache) similarity(i, j int) float64 {
+	if lc.norms[i] == lc.norms[j] {
+		return 1.0
+	}
+	return embed.Cosine(lc.vecs[i], lc.vecs[j])
+}
+
+func normalizeLabel(s string) string {
+	return strings.Join(embed.TokenizeLabel(s), " ")
+}
+
+// SimilarityEdges performs the pairwise comparison of Algorithm 3 (lines
+// 7-19): all column pairs with the same fine-grained type in different
+// tables, compared for label and content similarity in parallel.
+func (b *Builder) SimilarityEdges(profiles []*profiler.ColumnProfile) []Edge {
+	labels := b.buildLabelCache(profiles)
+	// Group column indexes by fine-grained type (the pruning that
+	// Section 3.2 credits for cutting false positives and cost).
+	byType := map[embed.Type][]int{}
+	for i, cp := range profiles {
+		byType[cp.Type] = append(byType[cp.Type], i)
+	}
+	type pair struct{ i, j int }
+	var pairs []pair
+	for _, idxs := range byType {
+		for a := 0; a < len(idxs); a++ {
+			for c := a + 1; c < len(idxs); c++ {
+				pi, pj := profiles[idxs[a]], profiles[idxs[c]]
+				if pi.TableID() == pj.TableID() {
+					continue // only cross-table edges
+				}
+				pairs = append(pairs, pair{i: idxs[a], j: idxs[c]})
+			}
+		}
+	}
+	workers := b.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([][]Edge, workers)
+	var wg sync.WaitGroup
+	chunk := (len(pairs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(pairs) {
+			break
+		}
+		hi := min(lo+chunk, len(pairs))
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var out []Edge
+			for _, pr := range pairs[lo:hi] {
+				out = append(out, b.comparePair(profiles[pr.i], profiles[pr.j], labels.similarity(pr.i, pr.j))...)
+			}
+			results[w] = out
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var edges []Edge
+	for _, r := range results {
+		edges = append(edges, r...)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].A != edges[j].A {
+			return edges[i].A < edges[j].A
+		}
+		if edges[i].B != edges[j].B {
+			return edges[i].B < edges[j].B
+		}
+		return edges[i].Kind < edges[j].Kind
+	})
+	return edges
+}
+
+// comparePair is the worker body of Algorithm 3 (lines 9-19); labelSim is
+// the precomputed label-embedding similarity for the pair.
+func (b *Builder) comparePair(a, c *profiler.ColumnProfile, labelSim float64) []Edge {
+	var out []Edge
+	if !b.SkipLabels && labelSim >= b.Thresholds.Alpha {
+		out = append(out, Edge{A: a.ID(), B: c.ID(), Kind: "LabelSimilarity", Score: labelSim})
+	}
+	if a.Type == embed.TypeBoolean {
+		sim := 1 - abs(a.Stats.TrueRatio-c.Stats.TrueRatio)
+		if sim >= b.Thresholds.Beta {
+			out = append(out, Edge{A: a.ID(), B: c.ID(), Kind: "ContentSimilarity", Score: sim})
+		}
+		return out
+	}
+	if sim := embed.Cosine(a.Embed, c.Embed); sim >= b.Thresholds.Theta {
+		out = append(out, Edge{A: a.ID(), B: c.ID(), Kind: "ContentSimilarity", Score: sim})
+	}
+	return out
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+// ColumnIRI returns the LiDS resource IRI for a column ID.
+func ColumnIRI(id string) rdf.Term { return rdf.Resource(escapePath(id)) }
+
+// TableIRI returns the LiDS resource IRI for "dataset/table".
+func TableIRI(id string) rdf.Term { return rdf.Resource(escapePath(id)) }
+
+// DatasetIRI returns the LiDS resource IRI for a dataset.
+func DatasetIRI(id string) rdf.Term { return rdf.Resource(escapePath(id)) }
+
+func escapePath(p string) string {
+	parts := strings.Split(p, "/")
+	for i, s := range parts {
+		parts[i] = url.PathEscape(s)
+	}
+	return strings.Join(parts, "/")
+}
+
+// BuildGraph constructs the dataset graph in st: per-column metadata
+// subgraphs (Algorithm 3 lines 3-5) and similarity edges annotated with
+// certainty scores, then returns the edges.
+func (b *Builder) BuildGraph(st *store.Store, profiles []*profiler.ColumnProfile) []Edge {
+	datasetsSeen := map[string]bool{}
+	tablesSeen := map[string]bool{}
+	var quads []rdf.Quad
+	add := func(t rdf.Triple) { quads = append(quads, rdf.Quad{Triple: t, Graph: rdf.DefaultGraph}) }
+	for _, cp := range profiles {
+		col := ColumnIRI(cp.ID())
+		table := TableIRI(cp.TableID())
+		ds := DatasetIRI(cp.Dataset)
+		if !datasetsSeen[cp.Dataset] {
+			datasetsSeen[cp.Dataset] = true
+			add(rdf.T(ds, rdf.RDFType, rdf.ClassDataset))
+			add(rdf.T(ds, rdf.PropName, rdf.String(cp.Dataset)))
+			add(rdf.T(ds, rdf.RDFSLabel, rdf.String(cp.Dataset)))
+		}
+		if !tablesSeen[cp.TableID()] {
+			tablesSeen[cp.TableID()] = true
+			add(rdf.T(table, rdf.RDFType, rdf.ClassTable))
+			add(rdf.T(table, rdf.PropName, rdf.String(cp.Table)))
+			add(rdf.T(table, rdf.RDFSLabel, rdf.String(cp.Table)))
+			add(rdf.T(table, rdf.PropIsPartOf, ds))
+			add(rdf.T(ds, rdf.PropHasTable, table))
+			add(rdf.T(table, rdf.PropRowCount, rdf.Integer(int64(cp.Stats.Total))))
+		}
+		add(rdf.T(col, rdf.RDFType, rdf.ClassColumn))
+		add(rdf.T(col, rdf.PropName, rdf.String(cp.Column)))
+		add(rdf.T(col, rdf.RDFSLabel, rdf.String(cp.Column)))
+		add(rdf.T(col, rdf.PropIsPartOf, table))
+		add(rdf.T(table, rdf.PropHasColumn, col))
+		add(rdf.T(col, rdf.PropDataType, rdf.String(string(cp.Type))))
+		add(rdf.T(col, rdf.PropTotalValues, rdf.Integer(int64(cp.Stats.Total))))
+		add(rdf.T(col, rdf.PropDistinctValues, rdf.Integer(int64(cp.Stats.Distinct))))
+		add(rdf.T(col, rdf.PropMissingValues, rdf.Integer(int64(cp.Stats.Missing))))
+		switch cp.Type {
+		case embed.TypeInt, embed.TypeFloat:
+			add(rdf.T(col, rdf.PropMinValue, rdf.Float(cp.Stats.Min)))
+			add(rdf.T(col, rdf.PropMaxValue, rdf.Float(cp.Stats.Max)))
+			add(rdf.T(col, rdf.PropMeanValue, rdf.Float(cp.Stats.Mean)))
+			add(rdf.T(col, rdf.PropStdDev, rdf.Float(cp.Stats.Std)))
+		case embed.TypeBoolean:
+			add(rdf.T(col, rdf.PropTrueRatio, rdf.Float(cp.Stats.TrueRatio)))
+		}
+	}
+	st.AddBatch(quads)
+
+	edges := b.SimilarityEdges(profiles)
+	quads = quads[:0]
+	for _, e := range edges {
+		pred := rdf.PropLabelSimilarity
+		if e.Kind == "ContentSimilarity" {
+			pred = rdf.PropContentSimilarity
+		}
+		// Similarity is symmetric; materialize both directions with the
+		// RDF-star certainty annotation.
+		score := rdf.Float(e.Score)
+		ta := rdf.T(ColumnIRI(e.A), pred, ColumnIRI(e.B))
+		tb := rdf.T(ColumnIRI(e.B), pred, ColumnIRI(e.A))
+		quads = append(quads,
+			rdf.Quad{Triple: ta, Graph: rdf.DefaultGraph},
+			rdf.Quad{Triple: rdf.T(rdf.QuotedTriple(ta), rdf.PropCertainty, score), Graph: rdf.DefaultGraph},
+			rdf.Quad{Triple: tb, Graph: rdf.DefaultGraph},
+			rdf.Quad{Triple: rdf.T(rdf.QuotedTriple(tb), rdf.PropCertainty, score), Graph: rdf.DefaultGraph},
+		)
+	}
+	st.AddBatch(quads)
+	return edges
+}
+
+// Linker is the Global Graph Linker: it verifies predicted dataset-usage
+// nodes from pipeline abstraction against the data global schema
+// (Section 3.1, "Predicting Dataset Usage and Graph Linker").
+type Linker struct {
+	tables  map[string]bool            // "dataset/table"
+	columns map[string]map[string]bool // table ID -> column name set
+}
+
+// NewLinker indexes the global schema from profiles.
+func NewLinker(profiles []*profiler.ColumnProfile) *Linker {
+	l := &Linker{tables: map[string]bool{}, columns: map[string]map[string]bool{}}
+	for _, cp := range profiles {
+		tid := cp.TableID()
+		l.tables[tid] = true
+		if l.columns[tid] == nil {
+			l.columns[tid] = map[string]bool{}
+		}
+		l.columns[tid][cp.Column] = true
+	}
+	return l
+}
+
+// VerifyTable resolves a table path mentioned in a pipeline (e.g.
+// "titanic/train.csv") to a table ID in the schema, trying both the raw
+// path and a dataset-qualified suffix match.
+func (l *Linker) VerifyTable(path string) (string, bool) {
+	p := strings.TrimPrefix(path, "./")
+	p = strings.TrimPrefix(p, "../input/")
+	p = strings.TrimPrefix(p, "input/")
+	if l.tables[p] {
+		return p, true
+	}
+	// Suffix match: any table whose "dataset/table" ends with the path.
+	for tid := range l.tables {
+		if strings.HasSuffix(tid, "/"+p) || tid == p {
+			return tid, true
+		}
+	}
+	// Bare filename match.
+	base := p
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		base = p[i+1:]
+	}
+	for tid := range l.tables {
+		if strings.HasSuffix(tid, "/"+base) {
+			return tid, true
+		}
+	}
+	return "", false
+}
+
+// VerifyColumn reports whether a column name exists in the given table.
+// Predicted column reads that fail verification are dropped from the graph
+// (e.g. the user-defined NormalizedAge column in the paper's Figure 3).
+func (l *Linker) VerifyColumn(tableID, column string) bool {
+	cols, ok := l.columns[tableID]
+	return ok && cols[column]
+}
+
+// String summarizes the linker's schema coverage.
+func (l *Linker) String() string {
+	nc := 0
+	for _, cols := range l.columns {
+		nc += len(cols)
+	}
+	return fmt.Sprintf("Linker{%d tables, %d columns}", len(l.tables), nc)
+}

@@ -1,0 +1,98 @@
+package sparql
+
+import "kglids/internal/rdf"
+
+// Query is a parsed SELECT query.
+type Query struct {
+	Prefixes   map[string]string
+	Distinct   bool
+	Star       bool // SELECT *
+	Projection []Projection
+	Where      *GroupPattern
+	GroupBy    []string
+	OrderBy    []OrderKey
+	Limit      int // -1 means unset
+	Offset     int
+}
+
+// Projection is a projected variable or aggregate.
+type Projection struct {
+	Var string // result name
+	Agg *Aggregate
+}
+
+// Aggregate is COUNT/SUM/AVG/MIN/MAX over a variable ("*" for COUNT(*)).
+type Aggregate struct {
+	Fn       string // COUNT, SUM, AVG, MIN, MAX
+	Var      string // "*" allowed for COUNT
+	Distinct bool
+}
+
+// OrderKey is one ORDER BY criterion.
+type OrderKey struct {
+	Var  string
+	Desc bool
+}
+
+// GroupPattern is a { ... } block: triple patterns plus nested blocks.
+type GroupPattern struct {
+	Triples   []TriplePattern
+	Filters   []Expr
+	Optionals []*GroupPattern
+	Graphs    []*GraphPattern
+	Unions    [][]*GroupPattern // each union is a list of alternative groups
+}
+
+// GraphPattern is GRAPH <g>/?g { ... }.
+type GraphPattern struct {
+	Graph   NodePattern
+	Pattern *GroupPattern
+}
+
+// NodePattern is a term or a variable in a triple pattern position.
+type NodePattern struct {
+	Var  string // non-empty means variable
+	Term rdf.Term
+}
+
+// IsVar reports whether the pattern position is a variable.
+func (n NodePattern) IsVar() bool { return n.Var != "" }
+
+// TriplePattern is one s-p-o pattern.
+type TriplePattern struct {
+	S, P, O NodePattern
+}
+
+// Expr is a FILTER expression node.
+type Expr interface{ isExpr() }
+
+// BinaryExpr applies Op to Left and Right (comparisons, &&, ||, arithmetic).
+type BinaryExpr struct {
+	Op          string
+	Left, Right Expr
+}
+
+// UnaryExpr applies Op ("!" or "-") to X.
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+// VarExpr references a variable binding.
+type VarExpr struct{ Name string }
+
+// LitExpr is a constant term.
+type LitExpr struct{ Term rdf.Term }
+
+// CallExpr is a builtin call: CONTAINS, STRSTARTS, REGEX, STR, BOUND,
+// LCASE, UCASE.
+type CallExpr struct {
+	Fn   string
+	Args []Expr
+}
+
+func (*BinaryExpr) isExpr() {}
+func (*UnaryExpr) isExpr()  {}
+func (*VarExpr) isExpr()    {}
+func (*LitExpr) isExpr()    {}
+func (*CallExpr) isExpr()   {}

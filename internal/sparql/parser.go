@@ -1,0 +1,541 @@
+package sparql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"kglids/internal/rdf"
+)
+
+// Parse parses a SELECT query in the supported SPARQL subset.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, q: &Query{Prefixes: builtinPrefixes(), Limit: -1}}
+	if err := p.parseQuery(); err != nil {
+		return nil, err
+	}
+	return p.q, nil
+}
+
+func builtinPrefixes() map[string]string {
+	return map[string]string{
+		"kglids": rdf.OntologyNS,
+		"data":   rdf.ResourceNS,
+		"rdf":    rdf.RDFNS,
+		"rdfs":   rdf.RDFSNS,
+		"xsd":    rdf.XSDNS,
+	}
+}
+
+type parser struct {
+	toks []token
+	i    int
+	q    *Query
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	t := p.cur()
+	if t.kind == kind && (text == "" || t.text == text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	t := p.cur()
+	if t.kind != kind || (text != "" && t.text != text) {
+		return t, fmt.Errorf("sparql: expected %q, got %q at %d", text, t.text, t.pos)
+	}
+	p.i++
+	return t, nil
+}
+
+func (p *parser) parseQuery() error {
+	for p.accept(tokKeyword, "PREFIX") {
+		pref, err := p.expect(tokPrefixed, "")
+		if err != nil {
+			// allow "PREFIX foo: <iri>" lexed as keyword-ish name; re-try as error
+			return err
+		}
+		name := strings.TrimSuffix(pref.text, ":")
+		if i := strings.IndexByte(name, ':'); i >= 0 {
+			name = name[:i]
+		}
+		iri, err := p.expect(tokIRI, "")
+		if err != nil {
+			return err
+		}
+		p.q.Prefixes[name] = iri.text
+	}
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return err
+	}
+	if p.accept(tokKeyword, "DISTINCT") {
+		p.q.Distinct = true
+	}
+	if err := p.parseProjection(); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokKeyword, "WHERE"); err != nil {
+		return err
+	}
+	grp, err := p.parseGroup()
+	if err != nil {
+		return err
+	}
+	p.q.Where = grp
+	return p.parseModifiers()
+}
+
+func (p *parser) parseProjection() error {
+	if p.accept(tokPunct, "*") {
+		p.q.Star = true
+		return nil
+	}
+	for {
+		t := p.cur()
+		switch {
+		case t.kind == tokVar:
+			p.i++
+			p.q.Projection = append(p.q.Projection, Projection{Var: t.text})
+		case t.kind == tokPunct && t.text == "(":
+			p.i++
+			agg, name, err := p.parseAggregateAs()
+			if err != nil {
+				return err
+			}
+			p.q.Projection = append(p.q.Projection, Projection{Var: name, Agg: agg})
+		default:
+			if len(p.q.Projection) == 0 {
+				return fmt.Errorf("sparql: empty projection at %d", t.pos)
+			}
+			return nil
+		}
+	}
+}
+
+func (p *parser) parseAggregateAs() (*Aggregate, string, error) {
+	fn, err := p.expect(tokKeyword, "")
+	if err != nil {
+		return nil, "", err
+	}
+	switch fn.text {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+	default:
+		return nil, "", fmt.Errorf("sparql: unknown aggregate %q", fn.text)
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, "", err
+	}
+	agg := &Aggregate{Fn: fn.text}
+	if p.accept(tokKeyword, "DISTINCT") {
+		agg.Distinct = true
+	}
+	if p.accept(tokPunct, "*") {
+		agg.Var = "*"
+	} else {
+		v, err := p.expect(tokVar, "")
+		if err != nil {
+			return nil, "", err
+		}
+		agg.Var = v.text
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, "", err
+	}
+	if _, err := p.expect(tokKeyword, "AS"); err != nil {
+		return nil, "", err
+	}
+	v, err := p.expect(tokVar, "")
+	if err != nil {
+		return nil, "", err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, "", err
+	}
+	return agg, v.text, nil
+}
+
+func (p *parser) parseGroup() (*GroupPattern, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	g := &GroupPattern{}
+	for {
+		t := p.cur()
+		switch {
+		case t.kind == tokPunct && t.text == "}":
+			p.i++
+			return g, nil
+		case t.kind == tokKeyword && t.text == "FILTER":
+			p.i++
+			e, err := p.parseParenExpr()
+			if err != nil {
+				return nil, err
+			}
+			g.Filters = append(g.Filters, e)
+		case t.kind == tokKeyword && t.text == "OPTIONAL":
+			p.i++
+			sub, err := p.parseGroup()
+			if err != nil {
+				return nil, err
+			}
+			g.Optionals = append(g.Optionals, sub)
+		case t.kind == tokKeyword && t.text == "GRAPH":
+			p.i++
+			node, err := p.parseNode()
+			if err != nil {
+				return nil, err
+			}
+			sub, err := p.parseGroup()
+			if err != nil {
+				return nil, err
+			}
+			g.Graphs = append(g.Graphs, &GraphPattern{Graph: node, Pattern: sub})
+		case t.kind == tokPunct && t.text == "{":
+			// { A } UNION { B } [UNION { C }]
+			first, err := p.parseGroup()
+			if err != nil {
+				return nil, err
+			}
+			alts := []*GroupPattern{first}
+			for p.accept(tokKeyword, "UNION") {
+				alt, err := p.parseGroup()
+				if err != nil {
+					return nil, err
+				}
+				alts = append(alts, alt)
+			}
+			g.Unions = append(g.Unions, alts)
+		case t.kind == tokPunct && t.text == ".":
+			p.i++
+		case t.kind == tokEOF:
+			return nil, fmt.Errorf("sparql: unexpected EOF in group")
+		default:
+			if err := p.parseTripleBlock(g); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// parseTripleBlock parses "s p o [; p o]* [, o]* ."
+func (p *parser) parseTripleBlock(g *GroupPattern) error {
+	s, err := p.parseNode()
+	if err != nil {
+		return err
+	}
+	for {
+		pred, err := p.parseNode()
+		if err != nil {
+			return err
+		}
+		for {
+			o, err := p.parseNode()
+			if err != nil {
+				return err
+			}
+			g.Triples = append(g.Triples, TriplePattern{S: s, P: pred, O: o})
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		if !p.accept(tokPunct, ";") {
+			break
+		}
+		// Allow trailing "; }" permissively.
+		if t := p.cur(); t.kind == tokPunct && (t.text == "}" || t.text == ".") {
+			break
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseNode() (NodePattern, error) {
+	t := p.next()
+	switch t.kind {
+	case tokVar:
+		return NodePattern{Var: t.text}, nil
+	case tokIRI:
+		return NodePattern{Term: rdf.IRI(t.text)}, nil
+	case tokPrefixed:
+		term, err := p.resolvePrefixed(t.text)
+		if err != nil {
+			return NodePattern{}, err
+		}
+		return NodePattern{Term: term}, nil
+	case tokString:
+		return NodePattern{Term: rdf.String(t.text)}, nil
+	case tokNumber:
+		return NodePattern{Term: numberTerm(t.text)}, nil
+	case tokKeyword:
+		switch t.text {
+		case "A": // "a" shorthand for rdf:type
+			return NodePattern{Term: rdf.RDFType}, nil
+		case "TRUE":
+			return NodePattern{Term: rdf.Bool(true)}, nil
+		case "FALSE":
+			return NodePattern{Term: rdf.Bool(false)}, nil
+		}
+	}
+	return NodePattern{}, fmt.Errorf("sparql: unexpected token %q at %d in triple pattern", t.text, t.pos)
+}
+
+func (p *parser) resolvePrefixed(name string) (rdf.Term, error) {
+	i := strings.IndexByte(name, ':')
+	pref, local := name[:i], name[i+1:]
+	base, ok := p.q.Prefixes[pref]
+	if !ok {
+		return rdf.Term{}, fmt.Errorf("sparql: unknown prefix %q", pref)
+	}
+	return rdf.IRI(base + local), nil
+}
+
+func numberTerm(text string) rdf.Term {
+	if strings.Contains(text, ".") {
+		f, _ := strconv.ParseFloat(text, 64)
+		return rdf.Float(f)
+	}
+	n, _ := strconv.ParseInt(text, 10, 64)
+	return rdf.Integer(n)
+}
+
+// parseParenExpr parses "( expr )".
+func (p *parser) parseParenExpr() (Expr, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Expression grammar: or → and → not → comparison → additive → primary.
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokOp, "||") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "||", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokOp, "&&") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "&&", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(tokOp, "!") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "!", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind == tokOp {
+		switch t.text {
+		case "=", "!=", "<", "<=", ">", ">=":
+			p.i++
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: t.text, Left: left, Right: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		isArith := (t.kind == tokOp && (t.text == "+" || t.text == "-" || t.text == "/")) ||
+			(t.kind == tokPunct && t.text == "*")
+		if !isArith {
+			return left, nil
+		}
+		p.i++
+		right, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: t.text, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokVar:
+		return &VarExpr{Name: t.text}, nil
+	case tokString:
+		return &LitExpr{Term: rdf.String(t.text)}, nil
+	case tokNumber:
+		return &LitExpr{Term: numberTerm(t.text)}, nil
+	case tokIRI:
+		return &LitExpr{Term: rdf.IRI(t.text)}, nil
+	case tokPrefixed:
+		term, err := p.resolvePrefixed(t.text)
+		if err != nil {
+			return nil, err
+		}
+		return &LitExpr{Term: term}, nil
+	case tokPunct:
+		if t.text == "(" {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tokOp:
+		if t.text == "-" {
+			x, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			return &UnaryExpr{Op: "-", X: x}, nil
+		}
+	case tokKeyword:
+		switch t.text {
+		case "TRUE":
+			return &LitExpr{Term: rdf.Bool(true)}, nil
+		case "FALSE":
+			return &LitExpr{Term: rdf.Bool(false)}, nil
+		case "CONTAINS", "STRSTARTS", "REGEX", "STR", "BOUND", "LCASE", "UCASE":
+			if _, err := p.expect(tokPunct, "("); err != nil {
+				return nil, err
+			}
+			call := &CallExpr{Fn: t.text}
+			for {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if !p.accept(tokPunct, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+	}
+	return nil, fmt.Errorf("sparql: unexpected token %q at %d in expression", t.text, t.pos)
+}
+
+func (p *parser) parseModifiers() error {
+	for {
+		t := p.cur()
+		if t.kind != tokKeyword {
+			break
+		}
+		switch t.text {
+		case "GROUP":
+			p.i++
+			if _, err := p.expect(tokKeyword, "BY"); err != nil {
+				return err
+			}
+			for p.cur().kind == tokVar {
+				p.q.GroupBy = append(p.q.GroupBy, p.next().text)
+			}
+		case "ORDER":
+			p.i++
+			if _, err := p.expect(tokKeyword, "BY"); err != nil {
+				return err
+			}
+			for {
+				tt := p.cur()
+				if tt.kind == tokKeyword && (tt.text == "ASC" || tt.text == "DESC") {
+					p.i++
+					if _, err := p.expect(tokPunct, "("); err != nil {
+						return err
+					}
+					v, err := p.expect(tokVar, "")
+					if err != nil {
+						return err
+					}
+					if _, err := p.expect(tokPunct, ")"); err != nil {
+						return err
+					}
+					p.q.OrderBy = append(p.q.OrderBy, OrderKey{Var: v.text, Desc: tt.text == "DESC"})
+				} else if tt.kind == tokVar {
+					p.i++
+					p.q.OrderBy = append(p.q.OrderBy, OrderKey{Var: tt.text})
+				} else {
+					break
+				}
+			}
+		case "LIMIT":
+			p.i++
+			n, err := p.expect(tokNumber, "")
+			if err != nil {
+				return err
+			}
+			p.q.Limit, _ = strconv.Atoi(n.text)
+		case "OFFSET":
+			p.i++
+			n, err := p.expect(tokNumber, "")
+			if err != nil {
+				return err
+			}
+			p.q.Offset, _ = strconv.Atoi(n.text)
+		default:
+			return fmt.Errorf("sparql: unexpected keyword %q at %d", t.text, t.pos)
+		}
+	}
+	if t := p.cur(); t.kind != tokEOF {
+		return fmt.Errorf("sparql: trailing input %q at %d", t.text, t.pos)
+	}
+	return nil
+}

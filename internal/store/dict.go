@@ -1,0 +1,70 @@
+// Package store implements the KGLiDS Storage substrate (paper Section 2.2):
+// a dictionary-encoded, index-backed RDF-star quad store with named graphs.
+// It substitutes for GraphDB in the original system.
+package store
+
+import (
+	"sync"
+
+	"kglids/internal/rdf"
+)
+
+// TermID is a dense integer handle for an interned term. ID 0 is reserved
+// for "unbound".
+type TermID uint32
+
+// Dictionary interns terms to dense integer IDs and back. It is safe for
+// concurrent use.
+type Dictionary struct {
+	mu    sync.RWMutex
+	byKey map[string]TermID
+	terms []rdf.Term // terms[id-1] is the term for id
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{byKey: make(map[string]TermID)}
+}
+
+// Intern returns the ID for t, assigning a new one if needed.
+func (d *Dictionary) Intern(t rdf.Term) TermID {
+	key := t.Key()
+	d.mu.RLock()
+	id, ok := d.byKey[key]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok = d.byKey[key]; ok {
+		return id
+	}
+	d.terms = append(d.terms, t)
+	id = TermID(len(d.terms))
+	d.byKey[key] = id
+	return id
+}
+
+// Lookup returns the ID for t without interning. The second result reports
+// whether the term is known.
+func (d *Dictionary) Lookup(t rdf.Term) (TermID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.byKey[t.Key()]
+	return id, ok
+}
+
+// Term returns the term for a previously interned ID.
+func (d *Dictionary) Term(id TermID) rdf.Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.terms[id-1]
+}
+
+// Len returns the number of interned terms.
+func (d *Dictionary) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.terms)
+}

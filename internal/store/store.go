@@ -1,0 +1,246 @@
+package store
+
+import (
+	"sort"
+	"sync"
+
+	"kglids/internal/rdf"
+)
+
+// encQuad is a dictionary-encoded quad.
+type encQuad struct {
+	s, p, o, g TermID
+}
+
+// Store is an in-memory RDF-star quad store. Triples are dictionary-encoded
+// and indexed by SPO, POS, and OSP orderings, each partitioned by named
+// graph, matching the built-in index behaviour of RDF engines the paper's
+// SPARQL queries rely on (Section 6.1.2).
+//
+// RDF-star edge annotations (e.g. similarity certainty scores) are stored as
+// ordinary triples whose subject is a quoted-triple term; AddAnnotated is a
+// convenience for the common pattern.
+type Store struct {
+	mu   sync.RWMutex
+	dict *Dictionary
+
+	// spo[g][s][p] -> sorted []o, and so on. Graph 0 indexes the union of
+	// all graphs for cross-graph pattern matching.
+	spo map[TermID]map[TermID]map[TermID][]TermID
+	pos map[TermID]map[TermID]map[TermID][]TermID
+	osp map[TermID]map[TermID]map[TermID][]TermID
+
+	// quadGraphs records, for every (s,p,o) in the union index, the set of
+	// named graphs containing it. Key layout matches encQuad with g==0.
+	graphsOf map[encQuad]map[TermID]struct{}
+
+	count  int // total quads (union, deduplicated per graph)
+	graphs map[TermID]int
+}
+
+// unionGraph is the pseudo-graph ID under which the union of all named
+// graphs (plus the default graph) is indexed.
+const unionGraph TermID = 0
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		dict:     NewDictionary(),
+		spo:      map[TermID]map[TermID]map[TermID][]TermID{},
+		pos:      map[TermID]map[TermID]map[TermID][]TermID{},
+		osp:      map[TermID]map[TermID]map[TermID][]TermID{},
+		graphsOf: map[encQuad]map[TermID]struct{}{},
+		graphs:   map[TermID]int{},
+	}
+}
+
+// Dict exposes the term dictionary (read-mostly; used by the SPARQL engine).
+func (st *Store) Dict() *Dictionary { return st.dict }
+
+// Add inserts a triple into the default graph.
+func (st *Store) Add(t rdf.Triple) { st.AddQuad(rdf.Quad{Triple: t, Graph: rdf.DefaultGraph}) }
+
+// AddToGraph inserts a triple into the named graph g.
+func (st *Store) AddToGraph(t rdf.Triple, g rdf.Term) { st.AddQuad(rdf.Quad{Triple: t, Graph: g}) }
+
+// AddQuad inserts a quad. Duplicate quads are ignored.
+func (st *Store) AddQuad(q rdf.Quad) {
+	s := st.dict.Intern(q.Subject)
+	p := st.dict.Intern(q.Predicate)
+	o := st.dict.Intern(q.Object)
+	var g TermID = unionGraph
+	if q.Graph.Value != "" {
+		g = st.dict.Intern(q.Graph)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.addEncoded(s, p, o, g)
+}
+
+// AddBatch inserts many quads under a single lock acquisition.
+func (st *Store) AddBatch(quads []rdf.Quad) {
+	enc := make([]encQuad, len(quads))
+	for i, q := range quads {
+		var g TermID = unionGraph
+		if q.Graph.Value != "" {
+			g = st.dict.Intern(q.Graph)
+		}
+		enc[i] = encQuad{
+			s: st.dict.Intern(q.Subject),
+			p: st.dict.Intern(q.Predicate),
+			o: st.dict.Intern(q.Object),
+			g: g,
+		}
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, e := range enc {
+		st.addEncoded(e.s, e.p, e.o, e.g)
+	}
+}
+
+func (st *Store) addEncoded(s, p, o, g TermID) {
+	key := encQuad{s: s, p: p, o: o}
+	set := st.graphsOf[key]
+	if set == nil {
+		set = map[TermID]struct{}{}
+		st.graphsOf[key] = set
+	}
+	if _, dup := set[g]; dup {
+		return
+	}
+	set[g] = struct{}{}
+	st.count++
+	st.graphs[g]++
+
+	insert := func(idx map[TermID]map[TermID]map[TermID][]TermID, a, b, c, g TermID) {
+		l1 := idx[g]
+		if l1 == nil {
+			l1 = map[TermID]map[TermID][]TermID{}
+			idx[g] = l1
+		}
+		l2 := l1[a]
+		if l2 == nil {
+			l2 = map[TermID][]TermID{}
+			l1[a] = l2
+		}
+		l2[b] = insertSorted(l2[b], c)
+	}
+	// Index in the specific graph and, if it is a named graph, also in the
+	// union pseudo-graph; triples added straight to the default graph are
+	// indexed once (g == unionGraph already).
+	insert(st.spo, s, p, o, g)
+	insert(st.pos, p, o, s, g)
+	insert(st.osp, o, s, p, g)
+	if g != unionGraph {
+		if _, inUnion := set[unionGraph]; !inUnion {
+			insert(st.spo, s, p, o, unionGraph)
+			insert(st.pos, p, o, s, unionGraph)
+			insert(st.osp, o, s, p, unionGraph)
+		}
+	}
+}
+
+func insertSorted(s []TermID, v TermID) []TermID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// AddAnnotated inserts t into graph g and attaches an RDF-star annotation
+// << t >> pred value, following the paper's use of RDF-star to annotate
+// similarity edges with certainty scores.
+func (st *Store) AddAnnotated(t rdf.Triple, g rdf.Term, pred, value rdf.Term) {
+	st.AddToGraph(t, g)
+	st.AddToGraph(rdf.T(rdf.QuotedTriple(t), pred, value), g)
+}
+
+// Annotation returns the annotation value attached to triple t via pred,
+// if any.
+func (st *Store) Annotation(t rdf.Triple, pred rdf.Term) (rdf.Term, bool) {
+	res := st.Match(rdf.QuotedTriple(t), pred, rdf.Term{}, rdf.DefaultGraph)
+	if len(res) == 0 {
+		return rdf.Term{}, false
+	}
+	return res[0].Object, true
+}
+
+// Len returns the number of stored quads.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.count
+}
+
+// GraphLen returns the number of triples in a named graph.
+func (st *Store) GraphLen(g rdf.Term) int {
+	id, ok := st.dict.Lookup(g)
+	if !ok {
+		return 0
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.graphs[id]
+}
+
+// Graphs returns all named graphs in the store.
+func (st *Store) Graphs() []rdf.Term {
+	st.mu.RLock()
+	ids := make([]TermID, 0, len(st.graphs))
+	for g := range st.graphs {
+		if g != unionGraph {
+			ids = append(ids, g)
+		}
+	}
+	st.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]rdf.Term, len(ids))
+	for i, id := range ids {
+		out[i] = st.dict.Term(id)
+	}
+	return out
+}
+
+// NodeCount returns the number of distinct subjects and objects across all
+// quads (the "unique nodes" statistic of Table 3).
+func (st *Store) NodeCount() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	seen := map[TermID]struct{}{}
+	for q := range st.graphsOf {
+		seen[q.s] = struct{}{}
+		seen[q.o] = struct{}{}
+	}
+	return len(seen)
+}
+
+// PredicateCount returns the number of distinct predicates (the "unique
+// edges" statistic of Table 3).
+func (st *Store) PredicateCount() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	seen := map[TermID]struct{}{}
+	for q := range st.graphsOf {
+		seen[q.p] = struct{}{}
+	}
+	return len(seen)
+}
+
+// ApproxBytes estimates the serialized size of the store in bytes, counting
+// each quad's term strings once per occurrence (an N-Quads-like measure used
+// for the "Size" row of Table 3).
+func (st *Store) ApproxBytes() int64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var total int64
+	for q, gs := range st.graphsOf {
+		line := int64(len(st.dict.Term(q.s).String()) + len(st.dict.Term(q.p).String()) + len(st.dict.Term(q.o).String()) + 6)
+		total += line * int64(len(gs))
+	}
+	return total
+}

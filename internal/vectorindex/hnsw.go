@@ -1,0 +1,218 @@
+package vectorindex
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"kglids/internal/embed"
+)
+
+// HNSW is a Hierarchical Navigable Small World approximate-nearest-
+// neighbour index (Malkov & Yashunin), the structure Starmie uses and that
+// KGLiDS's embedding store exposes for embedding-based discovery.
+type HNSW struct {
+	m              int // max links per node per layer
+	efConstruction int
+	efSearch       int
+
+	nodes  []hnswNode
+	byID   map[string]int
+	entry  int // index of entry point, -1 when empty
+	maxLvl int
+	rng    *rand.Rand
+	levelF float64
+}
+
+type hnswNode struct {
+	id    string
+	vec   embed.Vector
+	links [][]int // links[level] -> neighbour node indexes
+}
+
+// NewHNSW returns an HNSW index with the given connectivity (m) and
+// construction/search beam widths. Typical values: m=16, ef=64.
+func NewHNSW(m, efConstruction, efSearch int) *HNSW {
+	return &HNSW{
+		m:              m,
+		efConstruction: efConstruction,
+		efSearch:       efSearch,
+		byID:           map[string]int{},
+		entry:          -1,
+		rng:            rand.New(rand.NewSource(42)),
+		levelF:         1.0 / math.Log(float64(m)),
+	}
+}
+
+// Len implements Index.
+func (h *HNSW) Len() int { return len(h.nodes) }
+
+// Add implements Index.
+func (h *HNSW) Add(id string, v embed.Vector) {
+	u := v.Clone()
+	u.Normalize()
+	if i, ok := h.byID[id]; ok {
+		h.nodes[i].vec = u
+		return
+	}
+	level := int(math.Floor(-math.Log(h.rng.Float64()+1e-12) * h.levelF))
+	node := hnswNode{id: id, vec: u, links: make([][]int, level+1)}
+	idx := len(h.nodes)
+	h.nodes = append(h.nodes, node)
+	h.byID[id] = idx
+
+	if h.entry < 0 {
+		h.entry = idx
+		h.maxLvl = level
+		return
+	}
+	cur := h.entry
+	// Greedy descent through upper layers.
+	for l := h.maxLvl; l > level; l-- {
+		cur = h.greedyClosest(u, cur, l)
+	}
+	// Insert at each layer from min(level, maxLvl) down to 0.
+	for l := min(level, h.maxLvl); l >= 0; l-- {
+		cands := h.searchLayer(u, cur, h.efConstruction, l)
+		neighbours := h.selectNeighbours(cands, h.m)
+		h.nodes[idx].links[l] = neighbours
+		for _, n := range neighbours {
+			h.nodes[n].links[l] = append(h.nodes[n].links[l], idx)
+			if len(h.nodes[n].links[l]) > h.m*2 {
+				h.pruneLinks(n, l)
+			}
+		}
+		if len(cands) > 0 {
+			cur = cands[0].node
+		}
+	}
+	if level > h.maxLvl {
+		h.maxLvl = level
+		h.entry = idx
+	}
+}
+
+type scored struct {
+	node  int
+	score float64
+}
+
+func (h *HNSW) greedyClosest(q embed.Vector, start, level int) int {
+	cur := start
+	curScore := q.Dot(h.nodes[cur].vec)
+	for {
+		improved := false
+		for _, n := range h.nodes[cur].links[levelIdx(level, len(h.nodes[cur].links))] {
+			if s := q.Dot(h.nodes[n].vec); s > curScore {
+				cur, curScore = n, s
+				improved = true
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// levelIdx clamps a level to the node's available layers.
+func levelIdx(level, nLayers int) int {
+	if level >= nLayers {
+		return nLayers - 1
+	}
+	return level
+}
+
+// searchLayer is the beam search of HNSW within one layer; results are
+// sorted best-first.
+func (h *HNSW) searchLayer(q embed.Vector, entry, ef, level int) []scored {
+	visited := map[int]bool{entry: true}
+	start := scored{node: entry, score: q.Dot(h.nodes[entry].vec)}
+	candidates := []scored{start}
+	results := []scored{start}
+	for len(candidates) > 0 {
+		// Pop best candidate.
+		best := 0
+		for i, c := range candidates {
+			if c.score > candidates[best].score {
+				best = i
+			}
+		}
+		c := candidates[best]
+		candidates = append(candidates[:best], candidates[best+1:]...)
+		// Worst current result.
+		worst := results[len(results)-1].score
+		if c.score < worst && len(results) >= ef {
+			break
+		}
+		node := h.nodes[c.node]
+		if level >= len(node.links) {
+			continue
+		}
+		for _, n := range node.links[level] {
+			if visited[n] {
+				continue
+			}
+			visited[n] = true
+			s := q.Dot(h.nodes[n].vec)
+			if len(results) < ef || s > results[len(results)-1].score {
+				candidates = append(candidates, scored{node: n, score: s})
+				results = append(results, scored{node: n, score: s})
+				sort.Slice(results, func(i, j int) bool { return results[i].score > results[j].score })
+				if len(results) > ef {
+					results = results[:ef]
+				}
+			}
+		}
+	}
+	return results
+}
+
+// selectNeighbours keeps the top-m candidates.
+func (h *HNSW) selectNeighbours(cands []scored, m int) []int {
+	out := make([]int, 0, m)
+	for _, c := range cands {
+		if len(out) >= m {
+			break
+		}
+		out = append(out, c.node)
+	}
+	return out
+}
+
+// pruneLinks trims a node's neighbour list at a layer to the best m.
+func (h *HNSW) pruneLinks(node, level int) {
+	v := h.nodes[node].vec
+	links := h.nodes[node].links[level]
+	sort.Slice(links, func(i, j int) bool {
+		return v.Dot(h.nodes[links[i]].vec) > v.Dot(h.nodes[links[j]].vec)
+	})
+	if len(links) > h.m {
+		h.nodes[node].links[level] = append([]int(nil), links[:h.m]...)
+	}
+}
+
+// Search implements Index.
+func (h *HNSW) Search(q embed.Vector, k int) []Result {
+	if h.entry < 0 {
+		return nil
+	}
+	nq := q.Clone()
+	nq.Normalize()
+	cur := h.entry
+	for l := h.maxLvl; l > 0; l-- {
+		cur = h.greedyClosest(nq, cur, l)
+	}
+	ef := h.efSearch
+	if ef < k {
+		ef = k
+	}
+	cands := h.searchLayer(nq, cur, ef, 0)
+	out := make([]Result, 0, k)
+	for _, c := range cands {
+		if len(out) >= k {
+			break
+		}
+		out = append(out, Result{ID: h.nodes[c.node].id, Score: c.score})
+	}
+	return out
+}

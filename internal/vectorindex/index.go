@@ -1,0 +1,84 @@
+// Package vectorindex is the embedding store of KGLiDS (paper Section 2.2),
+// substituting for Faiss: it indexes column/table embeddings and supports
+// exact and approximate (HNSW) nearest-neighbour search by cosine
+// similarity.
+package vectorindex
+
+import (
+	"fmt"
+	"sort"
+
+	"kglids/internal/embed"
+)
+
+// Result is one nearest-neighbour hit.
+type Result struct {
+	ID    string
+	Score float64 // cosine similarity
+}
+
+// Index is the interface shared by the exact and HNSW implementations.
+type Index interface {
+	// Add inserts a vector under an ID. Adding an existing ID replaces it.
+	Add(id string, v embed.Vector)
+	// Search returns the k entries most similar to q, best first.
+	Search(q embed.Vector, k int) []Result
+	// Len returns the number of indexed vectors.
+	Len() int
+}
+
+// Exact is a brute-force cosine index.
+type Exact struct {
+	ids  []string
+	vecs []embed.Vector
+	pos  map[string]int
+}
+
+// NewExact returns an empty brute-force index.
+func NewExact() *Exact { return &Exact{pos: map[string]int{}} }
+
+// Add implements Index.
+func (e *Exact) Add(id string, v embed.Vector) {
+	u := v.Clone()
+	u.Normalize()
+	if i, ok := e.pos[id]; ok {
+		e.vecs[i] = u
+		return
+	}
+	e.pos[id] = len(e.ids)
+	e.ids = append(e.ids, id)
+	e.vecs = append(e.vecs, u)
+}
+
+// Search implements Index.
+func (e *Exact) Search(q embed.Vector, k int) []Result {
+	nq := q.Clone()
+	nq.Normalize()
+	results := make([]Result, 0, len(e.ids))
+	for i, v := range e.vecs {
+		results = append(results, Result{ID: e.ids[i], Score: nq.Dot(v)})
+	}
+	sort.SliceStable(results, func(i, j int) bool { return results[i].Score > results[j].Score })
+	if k < len(results) {
+		results = results[:k]
+	}
+	return results
+}
+
+// Len implements Index.
+func (e *Exact) Len() int { return len(e.ids) }
+
+// Get returns the stored (normalized) vector for id.
+func (e *Exact) Get(id string) (embed.Vector, bool) {
+	i, ok := e.pos[id]
+	if !ok {
+		return nil, false
+	}
+	return e.vecs[i], true
+}
+
+// IDs returns all indexed IDs in insertion order.
+func (e *Exact) IDs() []string { return append([]string(nil), e.ids...) }
+
+// String renders a result for debugging.
+func (r Result) String() string { return fmt.Sprintf("%s(%.3f)", r.ID, r.Score) }

@@ -1,0 +1,288 @@
+// Package kglids is the public interface of the KGLiDS reproduction — the
+// "KGLiDS Interfaces" library of the paper (Section 5). It exposes the
+// platform's predefined operations (keyword search, unionable columns,
+// join-path discovery, library and pipeline discovery), the on-demand
+// automation APIs (cleaning, transformation, model and hyperparameter
+// recommendation), and ad-hoc SPARQL over the LiDS graph.
+//
+// A typical session bootstraps the platform over a data lake, registers
+// pipeline scripts, trains the automation models, and then issues
+// discovery and recommendation calls:
+//
+//	plat := kglids.Bootstrap(kglids.Options{}, tables)
+//	plat.AddPipelines(scripts)
+//	hits := plat.SearchKeywords([][]string{{"heart", "disease"}, {"patients"}})
+//	cols := plat.FindUnionableColumns(hits[0].Table, hits[1].Table)
+package kglids
+
+import (
+	"time"
+
+	"kglids/internal/automl"
+	"kglids/internal/cleaning"
+	"kglids/internal/core"
+	"kglids/internal/dataframe"
+	"kglids/internal/discovery"
+	"kglids/internal/embed"
+	"kglids/internal/pipeline"
+	"kglids/internal/rdf"
+	"kglids/internal/schema"
+	"kglids/internal/sparql"
+	"kglids/internal/transform"
+)
+
+// Re-exported types so callers need only this package.
+type (
+	// DataFrame is the tabular structure all interfaces exchange.
+	DataFrame = dataframe.DataFrame
+	// Series is one DataFrame column.
+	Series = dataframe.Series
+	// Table pairs a dataset name with a table frame for bootstrapping.
+	Table = core.Table
+	// Script is a pipeline script with metadata.
+	Script = pipeline.Script
+	// Metadata is per-pipeline metadata.
+	Metadata = pipeline.Metadata
+	// TableResult is one ranked table hit.
+	TableResult = discovery.TableResult
+	// ColumnMatch is one unionable-column pair.
+	ColumnMatch = discovery.ColumnMatch
+	// JoinPath is a join-path between tables.
+	JoinPath = discovery.JoinPath
+	// LibraryUsage is one library-popularity row.
+	LibraryUsage = discovery.LibraryUsage
+	// PipelineHit is one pipeline matching a library query.
+	PipelineHit = discovery.PipelineHit
+	// CleaningOp names a cleaning operation.
+	CleaningOp = cleaning.Op
+	// CleaningRecommendation ranks a cleaning operation.
+	CleaningRecommendation = cleaning.Recommendation
+	// ScalerRecommendation ranks a scaling transformation.
+	ScalerRecommendation = transform.ScalerRecommendation
+	// UnaryRecommendation recommends a per-column transformation.
+	UnaryRecommendation = transform.UnaryRecommendation
+	// ModelRecommendation is one recommend_ml_models row.
+	ModelRecommendation = automl.ModelRecommendation
+	// AutoMLResult is the outcome of an AutoML run.
+	AutoMLResult = automl.Result
+	// Stats summarizes the LiDS graph.
+	Stats = core.Stats
+)
+
+// Options configures bootstrapping (see core.Config).
+type Options struct {
+	// Thresholds are Algorithm 3's α/β/θ; zero value uses the defaults.
+	Alpha, Beta, Theta float64
+	// Workers bounds parallelism (0 = NumCPU).
+	Workers int
+}
+
+// Platform is a bootstrapped KGLiDS instance.
+type Platform struct {
+	core       *core.Platform
+	cleaner    *cleaning.Recommender
+	transforms *transform.Recommender
+	automl     *automl.System
+}
+
+// Bootstrap profiles the lake, builds the LiDS dataset graph, and returns
+// a platform ready for discovery queries.
+func Bootstrap(opts Options, tables []Table) *Platform {
+	cfg := core.DefaultConfig()
+	if opts.Alpha > 0 {
+		cfg.Thresholds.Alpha = opts.Alpha
+	}
+	if opts.Beta > 0 {
+		cfg.Thresholds.Beta = opts.Beta
+	}
+	if opts.Theta > 0 {
+		cfg.Thresholds.Theta = opts.Theta
+	}
+	cfg.Workers = opts.Workers
+	return &Platform{core: core.Bootstrap(cfg, tables)}
+}
+
+// AddPipelines abstracts scripts into named graphs linked against the
+// dataset graph (Algorithm 1 + Graph Linker).
+func (p *Platform) AddPipelines(scripts []Script) { p.core.AddPipelines(scripts) }
+
+// Stats returns LiDS graph statistics (the Statistics Manager).
+func (p *Platform) Stats() Stats { return p.core.Stats() }
+
+// Query runs an ad-hoc SPARQL query.
+func (p *Platform) Query(q string) (*sparql.Result, error) { return p.core.Query(q) }
+
+// SearchKeywords finds tables by keyword conditions (outer list OR'd,
+// inner lists AND'd), mirroring search_keywords.
+func (p *Platform) SearchKeywords(conditions [][]string) []TableResult {
+	return p.core.Discovery.SearchKeywords(conditions)
+}
+
+// UnionableTables returns the top-k tables unionable with tableID
+// ("dataset/table").
+func (p *Platform) UnionableTables(tableID string, k int) ([]TableResult, error) {
+	iri, err := p.core.TableIRI(tableID)
+	if err != nil {
+		return nil, err
+	}
+	return p.core.Discovery.UnionableTables(rdf.IRI(iri), k), nil
+}
+
+// FindUnionableColumns returns matched column pairs between two tables,
+// mirroring find_unionable_columns.
+func (p *Platform) FindUnionableColumns(a, b TableResult) []ColumnMatch {
+	return p.core.Discovery.FindUnionableColumns(a.Table, b.Table)
+}
+
+// GetPathToTable finds join paths between two discovered tables within
+// maxHops intermediates, mirroring get_path_to_table.
+func (p *Platform) GetPathToTable(from, to TableResult, maxHops int) []JoinPath {
+	return p.core.Discovery.GetPathToTable(from.Table, to.Table, maxHops)
+}
+
+// GetTopKLibrariesUsed returns the k most used libraries across all
+// pipelines (get_top_k_library_used, Figure 4).
+func (p *Platform) GetTopKLibrariesUsed(k int) ([]LibraryUsage, error) {
+	return p.core.Discovery.TopKLibraries(k)
+}
+
+// GetTopUsedLibraries restricts library popularity to pipelines of a task
+// (get_top_used_libraries).
+func (p *Platform) GetTopUsedLibraries(k int, task string) ([]LibraryUsage, error) {
+	return p.core.Discovery.TopUsedLibrariesForTask(k, task)
+}
+
+// GetPipelinesCallingLibraries returns pipelines calling every given
+// qualified function (get_pipelines_calling_libraries).
+func (p *Platform) GetPipelinesCallingLibraries(qualified ...string) []PipelineHit {
+	return p.core.Discovery.PipelinesCallingLibraries(qualified...)
+}
+
+// TrainCleaningModel fits the on-demand cleaning GNN from examples mined
+// from the LiDS graph (Section 4.2).
+func (p *Platform) TrainCleaningModel(examples []cleaning.Example) {
+	p.cleaner = cleaning.Train(examples)
+}
+
+// TrainTransformModels fits the scaling and unary transformation GNNs
+// (Section 4.3).
+func (p *Platform) TrainTransformModels(scalers []transform.ScalerExample, unaries []transform.UnaryExample) {
+	p.transforms = transform.Train(scalers, unaries)
+}
+
+// TrainAutoML builds the AutoML system from the platform's pipeline
+// abstractions and per-dataset embeddings (Section 4.4). seeded selects
+// the LiDS-enriched hyperparameter seeding.
+func (p *Platform) TrainAutoML(seeded bool) {
+	usages := automl.MineUsages(p.core.Abstractions)
+	byDataset := map[string][]embed.Vector{}
+	for id, emb := range p.core.TableEmbeddings {
+		ds := id
+		if i := indexByte(id, '/'); i >= 0 {
+			ds = id[:i]
+		}
+		byDataset[ds] = append(byDataset[ds], emb)
+	}
+	dsEmb := map[string]embed.Vector{}
+	for ds, vecs := range byDataset {
+		dsEmb[ds] = embed.DatasetEmbedding(vecs)
+	}
+	p.automl = automl.New(usages, dsEmb, seeded)
+}
+
+func indexByte(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// RecommendCleaningOperations ranks cleaning operations for a frame
+// (recommend_cleaning_operations). TrainCleaningModel must run first.
+func (p *Platform) RecommendCleaningOperations(df *DataFrame) []CleaningRecommendation {
+	if p.cleaner == nil {
+		return nil
+	}
+	return p.cleaner.Recommend(df)
+}
+
+// ApplyCleaningOperations applies a recommended cleaning operation
+// (apply_cleaning_operations).
+func (p *Platform) ApplyCleaningOperations(op CleaningOp, df *DataFrame) (*DataFrame, error) {
+	return cleaning.Apply(op, df)
+}
+
+// RecommendTransformations returns the scaling and per-column
+// transformations for a frame (recommend_transformations).
+// TrainTransformModels must run first.
+func (p *Platform) RecommendTransformations(df *DataFrame, target string) ([]ScalerRecommendation, []UnaryRecommendation) {
+	if p.transforms == nil {
+		return nil, nil
+	}
+	return p.transforms.RecommendScaler(df), p.transforms.RecommendUnary(df, target)
+}
+
+// ApplyTransformations runs the two-step transform (scaling then unary)
+// with the trained models.
+func (p *Platform) ApplyTransformations(df *DataFrame, target string) (*DataFrame, error) {
+	if p.transforms == nil {
+		return df.Clone(), nil
+	}
+	out, _, _, err := p.transforms.Transform(df, target)
+	return out, err
+}
+
+// RecommendMLModels returns classifiers used on the most similar dataset
+// (recommend_ml_models). TrainAutoML must run first.
+func (p *Platform) RecommendMLModels(df *DataFrame) []ModelRecommendation {
+	if p.automl == nil {
+		return nil
+	}
+	return p.automl.RecommendModels(p.tableEmbedding(df))
+}
+
+// RecommendHyperparameters returns the KG-mined hyperparameters for a
+// classifier on the most similar dataset (recommend_hyperparameters).
+func (p *Platform) RecommendHyperparameters(df *DataFrame, classifier string) map[string]float64 {
+	if p.automl == nil {
+		return nil
+	}
+	return p.automl.RecommendHyperparameters(p.tableEmbedding(df), classifier)
+}
+
+// AutoML runs the full KGpip-revised pipeline on a dataset under a time
+// budget (Section 4.4).
+func (p *Platform) AutoML(df *DataFrame, target string, budget time.Duration) (AutoMLResult, error) {
+	if p.automl == nil {
+		p.TrainAutoML(true)
+	}
+	return p.automl.Fit(df, target, p.tableEmbedding(df), budget)
+}
+
+func (p *Platform) tableEmbedding(df *DataFrame) embed.Vector {
+	return transform.TableEmbedding(p.core.Profiler(), df)
+}
+
+// SimilarTables finds tables similar to a frame by embedding (the
+// embedding-store search path of get_path_to_table).
+func (p *Platform) SimilarTables(df *DataFrame, k int) []TableResult {
+	hits := p.core.SimilarTablesByEmbedding(df, k)
+	out := make([]TableResult, len(hits))
+	for i, h := range hits {
+		out[i] = TableResult{Table: rdf.IRI(mustIRI(p, h.ID)), Name: h.ID, Score: h.Score}
+	}
+	return out
+}
+
+func mustIRI(p *Platform, id string) string {
+	iri, err := p.core.TableIRI(id)
+	if err != nil {
+		return schema.TableIRI(id).Value
+	}
+	return iri
+}
+
+// Core exposes the underlying platform for advanced use (experiments).
+func (p *Platform) Core() *core.Platform { return p.core }
