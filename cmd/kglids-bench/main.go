@@ -4,25 +4,37 @@
 //
 // Usage:
 //
-//	kglids-bench [-pipelines N] [-training N] [experiment ...]
+//	kglids-bench [-pipelines N] [-training N] [-snapshot F] [-save-snapshot F] [experiment ...]
 //
 // Experiments: table1 table2 figure5 figure6 figure4 table3 table4 table5
-// figure7 table6 figure8 figure9, or "all" (default). Table 2 / Figure 5
-// share one run, as do Table 3 / Table 4 / Figure 4 and Table 5 /
+// figure7 table6 figure8 figure9 snapshot, or "all" (default). Table 2 /
+// Figure 5 share one run, as do Table 3 / Table 4 / Figure 4 and Table 5 /
 // Figure 7 and Table 6 / Figure 8.
+//
+// The snapshot experiment measures persist-once/serve-many startup: it
+// bootstraps the TUS-Small synthetic lake, saves it with the snapshot
+// codec, reloads it, verifies the reloaded graph is identical, and prints
+// the bootstrap-vs-load speedup. -save-snapshot keeps the file for reuse;
+// -snapshot skips the bootstrap and loads an existing file instead.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"time"
 
+	"kglids"
 	"kglids/internal/experiments"
+	"kglids/internal/lakegen"
 )
 
 func main() {
 	pipelines := flag.Int("pipelines", 300, "corpus size for abstraction/AutoML experiments")
 	training := flag.Int("training", 24, "training datasets for the cleaning/transformation GNNs")
+	snapshotPath := flag.String("snapshot", "", "snapshot experiment: load this file instead of bootstrapping")
+	saveSnapshot := flag.String("save-snapshot", "", "snapshot experiment: keep the saved snapshot at this path")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -74,8 +86,87 @@ func main() {
 	if run("figure9") {
 		fmt.Println(experiments.FormatFigure9(experiments.RunFigure9(*pipelines)))
 	}
+	if run("snapshot") {
+		if err := runSnapshot(*snapshotPath, *saveSnapshot); err != nil {
+			fmt.Fprintln(os.Stderr, "snapshot experiment:", err)
+			os.Exit(1)
+		}
+	}
 	if len(want) == 0 {
 		fmt.Fprintln(os.Stderr, "no experiments selected")
 		os.Exit(2)
 	}
+}
+
+// snapshotSpec is the serving-replica lake for the snapshot experiment:
+// realistic per-table row counts (bootstrap cost scales with rows profiled;
+// snapshot load depends only on graph and embedding size, so this is the
+// regime the persist-once/serve-many architecture targets).
+var snapshotSpec = lakegen.Spec{
+	Name: "Serving", Families: 8, TablesPerFamily: 4, NoiseTables: 10,
+	RowsPerTable: 1000, QueryTables: 10, Seed: 81,
+}
+
+// runSnapshot times bootstrap vs snapshot load over the serving replica.
+func runSnapshot(loadPath, savePath string) error {
+	fmt.Println("Snapshot: persist-once/serve-many startup (serving replica, 1000-row tables)")
+
+	if loadPath != "" {
+		start := time.Now()
+		plat, err := kglids.Open(loadPath)
+		if err != nil {
+			return err
+		}
+		s := plat.Stats()
+		fmt.Printf("  loaded %s in %v: %d triples, %d tables, %d similarity edges\n",
+			loadPath, time.Since(start).Round(time.Millisecond), s.Triples, s.Tables, s.SimilarityEdges)
+		return nil
+	}
+
+	lake := lakegen.Generate(snapshotSpec)
+	var tables []kglids.Table
+	for _, df := range lake.Tables {
+		tables = append(tables, kglids.Table{Dataset: lake.Dataset[df.Name], Frame: df})
+	}
+	start := time.Now()
+	plat := kglids.Bootstrap(kglids.Options{}, tables)
+	bootstrap := time.Since(start)
+
+	path := savePath
+	if path == "" {
+		dir, err := os.MkdirTemp("", "kglids-bench-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		path = filepath.Join(dir, "lake.kgs")
+	}
+	start = time.Now()
+	if err := plat.Save(path); err != nil {
+		return err
+	}
+	save := time.Since(start)
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+
+	start = time.Now()
+	reloaded, err := kglids.Open(path)
+	if err != nil {
+		return err
+	}
+	load := time.Since(start)
+	if reloaded.Stats() != plat.Stats() {
+		return fmt.Errorf("reloaded stats %+v differ from bootstrap %+v", reloaded.Stats(), plat.Stats())
+	}
+
+	fmt.Printf("  tables %d | bootstrap %v | save %v | load %v | file %.1f MiB | speedup %.0fx\n",
+		len(tables),
+		bootstrap.Round(time.Millisecond), save.Round(time.Millisecond), load.Round(time.Millisecond),
+		float64(info.Size())/(1<<20), float64(bootstrap)/float64(load))
+	if savePath != "" {
+		fmt.Printf("  snapshot kept at %s (reuse with -snapshot %s)\n", savePath, savePath)
+	}
+	return nil
 }

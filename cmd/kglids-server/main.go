@@ -1,120 +1,154 @@
-// Command kglids-server exposes a bootstrapped KGLiDS platform over HTTP:
-// a SPARQL endpoint plus the predefined discovery operations, mirroring
-// the KGLiDS Interfaces in service form (paper Section 5).
+// Command kglids-server exposes a KGLiDS platform over HTTP: a SPARQL
+// endpoint plus the predefined discovery operations, mirroring the KGLiDS
+// Interfaces in service form (paper Section 5). See docs/SERVER_API.md for
+// the endpoint reference.
 //
-// Endpoints:
+// The platform comes from one of two sources:
 //
-//	GET /stats                         LiDS graph statistics
-//	GET /sparql?query=...              ad-hoc SPARQL (JSON rows)
-//	GET /search?q=kw1,kw2              keyword search (one conjunction)
-//	GET /unionable?table=ds/t.csv&k=5  top-k unionable tables
-//	GET /libraries?k=10                top-k libraries
+//   - -lake DIR      bootstrap from a directory of CSV files (profile,
+//     build the LiDS graph, index embeddings) — minutes for large lakes;
+//   - -snapshot FILE load a snapshot previously written with
+//     -save-snapshot (or kglids.Platform.Save) — milliseconds, with
+//     query results identical to the bootstrap that produced it.
 //
 // Usage:
 //
-//	kglids-server -lake DIR [-addr :8080]
+//	kglids-server -lake DIR [-save-snapshot FILE] [-addr :8080]
+//	kglids-server -snapshot FILE [-addr :8080]
+//
+// -save-snapshot persists the platform after it is ready (from either
+// source), so the next start can skip bootstrapping.
 package main
 
 import (
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
-	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"kglids"
 	"kglids/internal/dataframe"
+	"kglids/internal/server"
 )
 
 func main() {
-	lakeDir := flag.String("lake", "", "data lake directory of CSV files (required)")
+	lakeDir := flag.String("lake", "", "data lake directory of CSV files (bootstrap source)")
+	snapshotPath := flag.String("snapshot", "", "snapshot file to load instead of bootstrapping")
+	saveSnapshot := flag.String("save-snapshot", "", "write the ready platform to this snapshot file")
 	addr := flag.String("addr", ":8080", "listen address")
+	timeout := flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request deadline")
 	flag.Parse()
-	if *lakeDir == "" {
+	if *lakeDir == "" && *snapshotPath == "" {
+		fmt.Fprintln(os.Stderr, "kglids-server: need -lake DIR or -snapshot FILE")
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	plat, err := ready(*lakeDir, *snapshotPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := plat.Stats()
+	log.Printf("LiDS graph ready: %d triples, %d tables, %d similarity edges",
+		stats.Triples, stats.Tables, stats.SimilarityEdges)
+
+	if *saveSnapshot != "" {
+		start := time.Now()
+		if err := plat.Save(*saveSnapshot); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("snapshot saved to %s in %v", *saveSnapshot, time.Since(start).Round(time.Millisecond))
+	}
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: server.New(plat, server.Options{RequestTimeout: *timeout}),
+		// The handler enforces its own per-request deadline; these bound
+		// slow or stalled clients at the connection level.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      *timeout + 10*time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("shutting down...")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("serving on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+}
+
+// ready produces a serving-ready platform, preferring the snapshot fast
+// path when both sources are given.
+func ready(lakeDir, snapshotPath string) (*kglids.Platform, error) {
+	if snapshotPath != "" {
+		if lakeDir != "" {
+			log.Printf("both -lake and -snapshot given; loading snapshot %s", snapshotPath)
+		}
+		start := time.Now()
+		plat, err := kglids.Open(snapshotPath)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("snapshot %s loaded in %v (no re-profiling)",
+			snapshotPath, time.Since(start).Round(time.Millisecond))
+		return plat, nil
+	}
+
+	tables, err := readLake(lakeDir)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("bootstrapping over %d tables...", len(tables))
+	start := time.Now()
+	plat := kglids.Bootstrap(kglids.Options{}, tables)
+	log.Printf("bootstrap finished in %v", time.Since(start).Round(time.Millisecond))
+	return plat, nil
+}
+
+// readLake walks dir for CSV files; each becomes a table whose dataset is
+// its parent directory name. Unreadable files are skipped with a warning.
+func readLake(dir string) ([]kglids.Table, error) {
 	var tables []kglids.Table
-	err := filepath.Walk(*lakeDir, func(path string, info os.FileInfo, err error) error {
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
 		if err != nil || info.IsDir() || !strings.HasSuffix(strings.ToLower(path), ".csv") {
 			return err
 		}
 		df, err := dataframe.ReadCSVFile(path)
 		if err != nil {
+			log.Printf("skipping %s: %v", path, err)
 			return nil
 		}
 		tables = append(tables, kglids.Table{Dataset: filepath.Base(filepath.Dir(path)), Frame: df})
 		return nil
 	})
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
-	log.Printf("bootstrapping over %d tables...", len(tables))
-	plat := kglids.Bootstrap(kglids.Options{}, tables)
-	stats := plat.Stats()
-	log.Printf("LiDS graph ready: %d triples, %d similarity edges", stats.Triples, stats.SimilarityEdges)
-
-	writeJSON := func(w http.ResponseWriter, v any) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(v); err != nil {
-			log.Printf("encode: %v", err)
-		}
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("no readable CSV tables under %s", dir)
 	}
-	http.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, plat.Stats())
-	})
-	http.HandleFunc("/sparql", func(w http.ResponseWriter, r *http.Request) {
-		q := r.URL.Query().Get("query")
-		if q == "" {
-			http.Error(w, "missing query", http.StatusBadRequest)
-			return
-		}
-		res, err := plat.Query(q)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		rows := make([]map[string]string, len(res.Rows))
-		for i, b := range res.Rows {
-			row := map[string]string{}
-			for v, t := range b {
-				row[v] = t.Value
-			}
-			rows[i] = row
-		}
-		writeJSON(w, map[string]any{"vars": res.Vars, "rows": rows})
-	})
-	http.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
-		kws := strings.Split(r.URL.Query().Get("q"), ",")
-		writeJSON(w, plat.SearchKeywords([][]string{kws}))
-	})
-	http.HandleFunc("/unionable", func(w http.ResponseWriter, r *http.Request) {
-		k, _ := strconv.Atoi(r.URL.Query().Get("k"))
-		if k <= 0 {
-			k = 10
-		}
-		res, err := plat.UnionableTables(r.URL.Query().Get("table"), k)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusNotFound)
-			return
-		}
-		writeJSON(w, res)
-	})
-	http.HandleFunc("/libraries", func(w http.ResponseWriter, r *http.Request) {
-		k, _ := strconv.Atoi(r.URL.Query().Get("k"))
-		if k <= 0 {
-			k = 10
-		}
-		res, err := plat.GetTopKLibrariesUsed(k)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		writeJSON(w, res)
-	})
-	log.Printf("serving on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, nil))
+	return tables, nil
 }

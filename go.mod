@@ -1,0 +1,3 @@
+module kglids
+
+go 1.21

@@ -8,6 +8,8 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"kglids/internal/dataframe"
@@ -33,7 +35,7 @@ type Config struct {
 	// SkipLabelSimilarity disables label edges (Figure 6 ablation).
 	SkipLabelSimilarity bool
 	// CoLR overrides the default embedding configuration (ablations).
-	CoLR *embed.CoLR
+	CoLR    *embed.CoLR
 	Workers int
 }
 
@@ -54,11 +56,19 @@ type Platform struct {
 	// stores for columns (300-d) and tables (1800-d).
 	ColumnIndex *vectorindex.Exact
 	TableIndex  *vectorindex.Exact
+	// TableANN is the approximate (HNSW) companion of TableIndex, used
+	// when serving similarity queries at scale; it holds the same table
+	// embeddings. Its graph structure is persisted verbatim by snapshots.
+	TableANN *vectorindex.HNSW
 	// TableEmbeddings maps "dataset/table" to its 1800-d embedding.
 	TableEmbeddings map[string]embed.Vector
-	// Abstractions holds the pipeline abstractions added so far.
+	// Abstractions holds the pipeline abstractions added so far. Access it
+	// through Pipelines when the platform is being served concurrently.
 	Abstractions []*pipeline.Abstraction
 
+	// mu guards Abstractions against concurrent AddPipelines/readers; the
+	// store and indexes carry their own locks.
+	mu         sync.RWMutex
 	profiler   *profiler.Profiler
 	abstractor *pipeline.Abstractor
 	graphs     *pipeline.GraphBuilder
@@ -103,7 +113,9 @@ func Bootstrap(cfg Config, tables []Table) *Platform {
 	p.Edges = builder.BuildGraph(p.Store, p.Profiles)
 	p.SchemaBuildTime = time.Since(start)
 
-	// Phase 3: embedding stores (column + table level, Eq. 1).
+	// Phase 3: embedding stores (column + table level, Eq. 1). Tables are
+	// indexed in sorted ID order so bootstrap is deterministic — the HNSW
+	// graph and tie-breaking in exact search depend on insertion order.
 	byTable := map[string]map[embed.Type][]embed.Vector{}
 	for _, cp := range p.Profiles {
 		p.ColumnIndex.Add(cp.ID(), cp.Embed)
@@ -113,10 +125,17 @@ func Bootstrap(cfg Config, tables []Table) *Platform {
 		}
 		byTable[tid][cp.Type] = append(byTable[tid][cp.Type], cp.Embed)
 	}
-	for tid, byType := range byTable {
-		emb := embed.TableEmbedding(byType)
+	tids := make([]string, 0, len(byTable))
+	for tid := range byTable {
+		tids = append(tids, tid)
+	}
+	sort.Strings(tids)
+	p.TableANN = vectorindex.NewHNSW(defaultANNM, defaultANNEfConstruction, defaultANNEfSearch)
+	for _, tid := range tids {
+		emb := embed.TableEmbedding(byTable[tid])
 		p.TableEmbeddings[tid] = emb
 		p.TableIndex.Add(tid, emb)
+		p.TableANN.Add(tid, emb)
 	}
 
 	// Phase 4: Graph Linker and interfaces.
@@ -127,12 +146,31 @@ func Bootstrap(cfg Config, tables []Table) *Platform {
 	return p
 }
 
+// HNSW parameters for the table ANN index (m=16, ef=64 are the customary
+// defaults; see NewHNSW).
+const (
+	defaultANNM              = 16
+	defaultANNEfConstruction = 64
+	defaultANNEfSearch       = 64
+)
+
 // AddPipelines abstracts scripts (Algorithm 1) and links them into the
-// LiDS graph; it returns the abstractions.
+// LiDS graph; it returns the abstractions. Safe to call while the platform
+// serves queries.
 func (p *Platform) AddPipelines(scripts []pipeline.Script) []*pipeline.Abstraction {
 	abss := p.graphs.AbstractAll(p.Store, p.abstractor, scripts)
+	p.mu.Lock()
 	p.Abstractions = append(p.Abstractions, abss...)
+	p.mu.Unlock()
 	return abss
+}
+
+// Pipelines returns a snapshot of the abstractions added so far, safe to
+// read while AddPipelines runs concurrently.
+func (p *Platform) Pipelines() []*pipeline.Abstraction {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return append([]*pipeline.Abstraction(nil), p.Abstractions...)
 }
 
 // Query runs an ad-hoc SPARQL query against the LiDS graph.
@@ -163,13 +201,13 @@ func (p *Platform) Profiler() *profiler.Profiler { return p.profiler }
 
 // Stats summarizes the LiDS graph (Statistics Manager).
 type Stats struct {
-	Triples        int
-	Nodes          int
-	Predicates     int
-	NamedGraphs    int
-	Columns        int
-	Tables         int
-	Datasets       int
+	Triples         int
+	Nodes           int
+	Predicates      int
+	NamedGraphs     int
+	Columns         int
+	Tables          int
+	Datasets        int
 	SimilarityEdges int
 }
 

@@ -1,0 +1,238 @@
+// Package server is the HTTP serving layer of kglids-server: the KGLiDS
+// Interfaces (paper Section 5) exposed as a JSON API over a concurrently
+// shared platform. Every response is JSON; errors use a uniform envelope
+// {"error": "..."} with a matching HTTP status; every request runs under a
+// deadline so one slow SPARQL query cannot wedge a worker forever.
+//
+// The handler is an http.Handler so it can be mounted, wrapped, and tested
+// with httptest without starting a listener; cmd/kglids-server adds the
+// process-level concerns (flags, snapshot load/save, graceful shutdown).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"time"
+
+	"kglids"
+)
+
+// DefaultRequestTimeout bounds request handling when Options.RequestTimeout
+// is zero.
+const DefaultRequestTimeout = 30 * time.Second
+
+// Options configures the handler.
+type Options struct {
+	// RequestTimeout is the per-request deadline; requests exceeding it
+	// receive 504 {"error": "request timed out"}. Zero means
+	// DefaultRequestTimeout.
+	RequestTimeout time.Duration
+}
+
+// errorEnvelope is the uniform error response body.
+type errorEnvelope struct {
+	Error string `json:"error"`
+}
+
+// New returns the kglids HTTP API over a shared platform.
+//
+//	GET /healthz                        liveness probe
+//	GET /stats                          LiDS graph statistics
+//	GET /sparql?query=...               ad-hoc SPARQL (JSON rows)
+//	GET /search?q=kw1,kw2               keyword search (one conjunction)
+//	GET /unionable?table=ds/t.csv&k=5   top-k unionable tables
+//	GET /similar?table=ds/t.csv&k=5     top-k similar tables (HNSW index)
+//	GET /libraries?k=10                 top-k libraries across pipelines
+func New(plat *kglids.Platform, opts Options) http.Handler {
+	timeout := opts.RequestTimeout
+	if timeout <= 0 {
+		timeout = DefaultRequestTimeout
+	}
+
+	mux := http.NewServeMux()
+	handle := func(pattern string, h func(r *http.Request) (any, error)) {
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet {
+				writeError(w, http.StatusMethodNotAllowed, "method not allowed; use GET")
+				return
+			}
+			v, err := h(r)
+			if err != nil {
+				writeError(w, statusFor(err), err.Error())
+				return
+			}
+			writeJSON(w, http.StatusOK, v)
+		})
+	}
+
+	handle("/healthz", func(*http.Request) (any, error) {
+		return map[string]string{"status": "ok"}, nil
+	})
+	handle("/stats", func(*http.Request) (any, error) {
+		return plat.Stats(), nil
+	})
+	handle("/sparql", func(r *http.Request) (any, error) {
+		q := r.URL.Query().Get("query")
+		if q == "" {
+			return nil, badRequest("missing 'query' parameter")
+		}
+		res, err := plat.Query(q)
+		if err != nil {
+			return nil, badRequest(err.Error())
+		}
+		rows := make([]map[string]string, len(res.Rows))
+		for i, b := range res.Rows {
+			row := map[string]string{}
+			for v, t := range b {
+				row[v] = t.Value
+			}
+			rows[i] = row
+		}
+		return map[string]any{"vars": res.Vars, "rows": rows}, nil
+	})
+	handle("/search", func(r *http.Request) (any, error) {
+		q := r.URL.Query().Get("q")
+		if q == "" {
+			return nil, badRequest("missing 'q' parameter (comma-separated keywords)")
+		}
+		return plat.SearchKeywords([][]string{strings.Split(q, ",")}), nil
+	})
+	handle("/unionable", func(r *http.Request) (any, error) {
+		table := r.URL.Query().Get("table")
+		if table == "" {
+			return nil, badRequest("missing 'table' parameter (\"dataset/table\")")
+		}
+		res, err := plat.UnionableTables(table, intParam(r, "k", 10))
+		if err != nil {
+			return nil, notFound(err.Error())
+		}
+		return res, nil
+	})
+	handle("/similar", func(r *http.Request) (any, error) {
+		table := r.URL.Query().Get("table")
+		if table == "" {
+			return nil, badRequest("missing 'table' parameter (\"dataset/table\")")
+		}
+		c := plat.Core()
+		emb, ok := c.TableEmbeddings[table]
+		if !ok {
+			return nil, notFound(fmt.Sprintf("unknown table %q", table))
+		}
+		return c.TableANN.Search(emb, intParam(r, "k", 10)), nil
+	})
+	handle("/libraries", func(r *http.Request) (any, error) {
+		res, err := plat.GetTopKLibrariesUsed(intParam(r, "k", 10))
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, "unknown endpoint "+r.URL.Path)
+	})
+	return withTimeout(timeout, mux)
+}
+
+func intParam(r *http.Request, name string, def int) int {
+	v, err := strconv.Atoi(r.URL.Query().Get(name))
+	if err != nil || v <= 0 {
+		return def
+	}
+	return v
+}
+
+// httpError pairs a message with a status code.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(msg string) error { return &httpError{status: http.StatusBadRequest, msg: msg} }
+func notFound(msg string) error   { return &httpError{status: http.StatusNotFound, msg: msg} }
+
+func statusFor(err error) int {
+	if he, ok := err.(*httpError); ok {
+		return he.status
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("server: encode response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorEnvelope{Error: msg})
+}
+
+// bufferedResponse records a handler's response so withTimeout can discard
+// it if the deadline fires first (the real writer must not be touched by
+// two goroutines).
+type bufferedResponse struct {
+	header http.Header
+	status int
+	body   []byte
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+func (b *bufferedResponse) WriteHeader(s int)   { b.status = s }
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	b.body = append(b.body, p...)
+	return len(p), nil
+}
+
+// withTimeout runs each request in its own goroutine under a deadline.
+// Responses are buffered: either the handler finishes and its response is
+// flushed, or the deadline fires and the client gets a 504 envelope (the
+// abandoned handler sees its context cancelled and its writes go nowhere).
+// Handler panics become 500 envelopes instead of killing the connection.
+func withTimeout(d time.Duration, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		buf := &bufferedResponse{header: http.Header{}, status: http.StatusOK}
+		done := make(chan struct{})
+		panicked := make(chan any, 1)
+		go func() {
+			defer close(done)
+			defer func() {
+				if p := recover(); p != nil {
+					panicked <- p
+				}
+			}()
+			next.ServeHTTP(buf, r.WithContext(ctx))
+		}()
+		select {
+		case <-done:
+			select {
+			case p := <-panicked:
+				log.Printf("server: panic serving %s: %v\n%s", r.URL.Path, p, debug.Stack())
+				writeError(w, http.StatusInternalServerError, "internal error")
+			default:
+				for k, vs := range buf.header {
+					for _, v := range vs {
+						w.Header().Add(k, v)
+					}
+				}
+				w.WriteHeader(buf.status)
+				if _, err := w.Write(buf.body); err != nil {
+					log.Printf("server: write response: %v", err)
+				}
+			}
+		case <-ctx.Done():
+			writeError(w, http.StatusGatewayTimeout, "request timed out")
+		}
+	})
+}

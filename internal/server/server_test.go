@@ -1,0 +1,219 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"kglids"
+	"kglids/internal/lakegen"
+	"kglids/internal/pipegen"
+)
+
+func testPlatform(t testing.TB) (*kglids.Platform, *lakegen.Benchmark) {
+	t.Helper()
+	lake := lakegen.Generate(lakegen.Spec{
+		Name: "srv", Families: 3, TablesPerFamily: 3, NoiseTables: 2,
+		RowsPerTable: 50, QueryTables: 3, Seed: 61,
+	})
+	var tables []kglids.Table
+	for _, df := range lake.Tables {
+		tables = append(tables, kglids.Table{Dataset: lake.Dataset[df.Name], Frame: df})
+	}
+	plat := kglids.Bootstrap(kglids.Options{Theta: 0.70}, tables)
+	var datasets []pipegen.Dataset
+	for _, df := range lake.Tables[:1] {
+		datasets = append(datasets, pipegen.FrameDataset(lake.Dataset[df.Name], df, df.Columns()[0]))
+	}
+	corpus := pipegen.Generate(pipegen.Options{NumPipelines: 6, Datasets: datasets, Seed: 62})
+	scripts := make([]kglids.Script, len(corpus))
+	for i, g := range corpus {
+		scripts[i] = g.Script
+	}
+	plat.AddPipelines(scripts)
+	return plat, lake
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("GET %s: Content-Type = %q, want application/json", path, ct)
+	}
+	return rec.Code, rec.Body.Bytes()
+}
+
+func decodeErr(t *testing.T, body []byte) string {
+	t.Helper()
+	var env struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("error body is not a JSON envelope: %v: %s", err, body)
+	}
+	if env.Error == "" {
+		t.Fatalf("error envelope empty: %s", body)
+	}
+	return env.Error
+}
+
+func TestEndpoints(t *testing.T) {
+	plat, lake := testPlatform(t)
+	h := New(plat, Options{})
+
+	code, body := get(t, h, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz = %d %s", code, body)
+	}
+
+	code, body = get(t, h, "/stats")
+	if code != http.StatusOK {
+		t.Fatalf("/stats = %d %s", code, body)
+	}
+	var stats kglids.Stats
+	if err := json.Unmarshal(body, &stats); err != nil || stats.Triples == 0 {
+		t.Fatalf("stats = %+v err=%v", stats, err)
+	}
+
+	q := lake.QueryTables[0]
+	tableID := lake.Dataset[q] + "/" + q
+	code, body = get(t, h, "/search?q="+url.QueryEscape(q[:3]))
+	if code != http.StatusOK {
+		t.Fatalf("/search = %d %s", code, body)
+	}
+	var hits []kglids.TableResult
+	if err := json.Unmarshal(body, &hits); err != nil || len(hits) == 0 {
+		t.Fatalf("search hits = %v err=%v", hits, err)
+	}
+
+	code, body = get(t, h, "/unionable?table="+url.QueryEscape(tableID)+"&k=5")
+	if code != http.StatusOK {
+		t.Fatalf("/unionable = %d %s", code, body)
+	}
+	if err := json.Unmarshal(body, &hits); err != nil || len(hits) == 0 {
+		t.Fatalf("unionable hits = %v err=%v", hits, err)
+	}
+
+	code, body = get(t, h, "/similar?table="+url.QueryEscape(tableID)+"&k=3")
+	if code != http.StatusOK {
+		t.Fatalf("/similar = %d %s", code, body)
+	}
+
+	code, body = get(t, h, "/sparql?query="+url.QueryEscape("SELECT (COUNT(?t) AS ?n) WHERE { ?t a kglids:Table . }"))
+	if code != http.StatusOK {
+		t.Fatalf("/sparql = %d %s", code, body)
+	}
+
+	code, body = get(t, h, "/libraries?k=5")
+	if code != http.StatusOK {
+		t.Fatalf("/libraries = %d %s", code, body)
+	}
+}
+
+func TestErrorEnvelopes(t *testing.T) {
+	plat, _ := testPlatform(t)
+	h := New(plat, Options{})
+
+	cases := []struct {
+		path string
+		code int
+	}{
+		{"/sparql", http.StatusBadRequest},                      // missing query
+		{"/sparql?query=SELECT+garbage", http.StatusBadRequest}, // parse error
+		{"/search", http.StatusBadRequest},                      // missing q
+		{"/unionable", http.StatusBadRequest},                   // missing table
+		{"/unionable?table=no/such.csv", http.StatusNotFound},
+		{"/similar?table=no/such.csv", http.StatusNotFound},
+		{"/definitely-not-an-endpoint", http.StatusNotFound},
+	}
+	for _, c := range cases {
+		code, body := get(t, h, c.path)
+		if code != c.code {
+			t.Errorf("GET %s = %d (%s), want %d", c.path, code, body, c.code)
+			continue
+		}
+		decodeErr(t, body)
+	}
+
+	// Non-GET methods are rejected with an envelope too.
+	req := httptest.NewRequest(http.MethodPost, "/stats", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /stats = %d", rec.Code)
+	}
+	decodeErr(t, rec.Body.Bytes())
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	plat, lake := testPlatform(t)
+	h := New(plat, Options{})
+	q := lake.QueryTables[0]
+	tableID := lake.Dataset[q] + "/" + q
+	paths := []string{
+		"/stats",
+		"/search?q=" + url.QueryEscape(q[:3]),
+		"/unionable?table=" + url.QueryEscape(tableID),
+		"/similar?table=" + url.QueryEscape(tableID),
+		"/libraries",
+	}
+	done := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		path := paths[i%len(paths)]
+		go func() {
+			req := httptest.NewRequest(http.MethodGet, path, nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				done <- fmt.Errorf("GET %s = %d", path, rec.Code)
+				return
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 32; i++ {
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestTimeoutEnvelope(t *testing.T) {
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(5 * time.Second):
+		case <-r.Context().Done():
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	h := withTimeout(20*time.Millisecond, slow)
+	req := httptest.NewRequest(http.MethodGet, "/slow", nil)
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	h.ServeHTTP(rec, req)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout did not fire (took %v)", elapsed)
+	}
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("code = %d, want 504", rec.Code)
+	}
+	decodeErr(t, rec.Body.Bytes())
+}
+
+func TestPanicBecomes500(t *testing.T) {
+	h := withTimeout(time.Second, http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/panic", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("code = %d, want 500", rec.Code)
+	}
+	decodeErr(t, rec.Body.Bytes())
+}

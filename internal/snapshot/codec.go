@@ -1,0 +1,202 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"kglids/internal/embed"
+	"kglids/internal/rdf"
+)
+
+// writer accumulates the snapshot payload. All integers are unsigned
+// varints unless noted; floats are IEEE-754 bits, little-endian; strings
+// and vectors are length-prefixed.
+type writer struct {
+	buf bytes.Buffer
+	tmp [binary.MaxVarintLen64]byte
+}
+
+func (w *writer) u8(v byte) { w.buf.WriteByte(v) }
+func (w *writer) uvarint(v uint64) {
+	n := binary.PutUvarint(w.tmp[:], v)
+	w.buf.Write(w.tmp[:n])
+}
+func (w *writer) varint(v int64) {
+	n := binary.PutVarint(w.tmp[:], v)
+	w.buf.Write(w.tmp[:n])
+}
+func (w *writer) uint(v int) { w.uvarint(uint64(v)) }
+func (w *writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.buf.WriteString(s)
+}
+func (w *writer) f64(v float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	w.buf.Write(b[:])
+}
+func (w *writer) vec(v embed.Vector) {
+	w.uvarint(uint64(len(v)))
+	for _, f := range v {
+		w.f64(f)
+	}
+}
+
+// term encodes an RDF term, recursing into quoted triples.
+func (w *writer) term(t rdf.Term) {
+	w.u8(byte(t.Kind))
+	switch t.Kind {
+	case rdf.KindLiteral:
+		w.str(t.Value)
+		w.str(t.Datatype)
+	case rdf.KindQuoted:
+		w.term(t.Quoted.Subject)
+		w.term(t.Quoted.Predicate)
+		w.term(t.Quoted.Object)
+	default: // IRI, blank node
+		w.str(t.Value)
+	}
+}
+
+// reader decodes a payload. The first malformed read latches err; all
+// subsequent reads return zero values, so decoders can run to completion
+// and check err once.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("snapshot: "+format, args...)
+	}
+}
+
+func (r *reader) u8() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.b) {
+		r.fail("truncated payload at byte %d", r.off)
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("bad varint at byte %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("bad varint at byte %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// count reads a collection length and sanity-bounds it against the bytes
+// remaining (each element needs at least one byte), so a corrupted length
+// fails fast instead of attempting a huge allocation.
+func (r *reader) count() int {
+	v := r.uvarint()
+	if r.err == nil && v > uint64(len(r.b)-r.off) {
+		r.fail("implausible count %d with %d bytes left", v, len(r.b)-r.off)
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) uint() int { return int(r.uvarint()) }
+
+func (r *reader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.fail("string length %d exceeds remaining %d bytes", n, len(r.b)-r.off)
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+func (r *reader) f64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b)-r.off < 8 {
+		r.fail("truncated float at byte %d", r.off)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v
+}
+
+func (r *reader) vec() embed.Vector {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b)-r.off)/8 {
+		r.fail("vector length %d exceeds remaining bytes", n)
+		return nil
+	}
+	v := make(embed.Vector, n)
+	b := r.b[r.off:]
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	r.off += 8 * int(n)
+	return v
+}
+
+// maxQuotedDepth bounds quoted-triple nesting so a corrupted kind byte
+// cannot recurse unboundedly.
+const maxQuotedDepth = 16
+
+func (r *reader) term(depth int) rdf.Term {
+	if depth > maxQuotedDepth {
+		r.fail("quoted-triple nesting deeper than %d", maxQuotedDepth)
+		return rdf.Term{}
+	}
+	kind := rdf.TermKind(r.u8())
+	switch kind {
+	case rdf.KindIRI, rdf.KindBlank:
+		return rdf.Term{Kind: kind, Value: r.str()}
+	case rdf.KindLiteral:
+		return rdf.Term{Kind: kind, Value: r.str(), Datatype: r.str()}
+	case rdf.KindQuoted:
+		t := rdf.Triple{
+			Subject:   r.term(depth + 1),
+			Predicate: r.term(depth + 1),
+			Object:    r.term(depth + 1),
+		}
+		return rdf.Term{Kind: kind, Quoted: &t}
+	default:
+		r.fail("unknown term kind %d at byte %d", kind, r.off-1)
+		return rdf.Term{}
+	}
+}

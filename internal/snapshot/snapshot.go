@@ -1,0 +1,528 @@
+// Package snapshot persists a bootstrapped KGLiDS platform to a single
+// versioned binary file and reconstructs a query-ready platform from it in
+// milliseconds, skipping the profile → schema-build pipeline entirely.
+//
+// A snapshot captures the four stores the discovery interfaces query: the
+// dictionary-encoded triple store (terms + quads), the per-column profiles
+// with their CoLR embeddings, the table embeddings with their index
+// insertion order, and the HNSW approximate index graph — plus the raw
+// pipeline scripts, which are re-abstracted on load (deterministic and
+// cheap; their triples are already in the store, so re-linking deduplicates
+// to a no-op).
+//
+// # File format (version 1)
+//
+//	offset  size  field
+//	0       4     magic "KGLS"
+//	4       2     format version, little-endian uint16
+//	6       4     CRC-32 (IEEE) of the payload
+//	10      8     payload length, little-endian uint64
+//	18      ...   payload: sequence of sections
+//
+// Each section is a tag byte, an unsigned-varint byte length, and the
+// section payload. Unknown tags are skipped, so old readers tolerate new
+// optional sections. Integers are unsigned varints unless stated, floats
+// are IEEE-754 little-endian, strings and vectors are length-prefixed.
+//
+//	tag  section
+//	1    DICT    interned RDF terms in ID order (recursive term encoding)
+//	2    QUADS   encoded quads: s, p, o term IDs + graph ID (0 = default)
+//	3    PROF    column profiles: ids, fine-grained type, stats, embedding
+//	4    TEMB    table embeddings: "dataset/table" → unnormalized vector
+//	5    TORD    table-index insertion order (tie-break preservation)
+//	6    EDGE    materialized similarity edges: A, B, kind, score
+//	7    ANN     HNSW graph: parameters, entry, nodes with per-level links
+//	8    SCRIPT  pipeline scripts: id, source, metadata
+//
+// Truncated files, checksum mismatches, unknown versions, and structurally
+// invalid sections all fail loading with a descriptive error; a snapshot
+// never loads partially.
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"kglids/internal/core"
+	"kglids/internal/embed"
+	"kglids/internal/pipeline"
+	"kglids/internal/profiler"
+	"kglids/internal/rdf"
+	"kglids/internal/schema"
+	"kglids/internal/store"
+	"kglids/internal/vectorindex"
+)
+
+// Version is the current snapshot format version.
+const Version = 1
+
+var magic = [4]byte{'K', 'G', 'L', 'S'}
+
+const headerLen = 4 + 2 + 4 + 8
+
+// Section tags.
+const (
+	secDict    = 1
+	secQuads   = 2
+	secProf    = 3
+	secTEmb    = 4
+	secTOrder  = 5
+	secEdges   = 6
+	secANN     = 7
+	secScripts = 8
+)
+
+// Errors distinguishing the failure modes of Read.
+var (
+	// ErrBadMagic marks a file that is not a KGLiDS snapshot.
+	ErrBadMagic = errors.New("snapshot: bad magic (not a KGLiDS snapshot)")
+	// ErrVersion marks a snapshot written by an unsupported format version.
+	ErrVersion = errors.New("snapshot: unsupported format version")
+	// ErrChecksum marks a payload whose CRC does not match the header.
+	ErrChecksum = errors.New("snapshot: checksum mismatch (corrupt payload)")
+	// ErrTruncated marks a file shorter than its header promises.
+	ErrTruncated = errors.New("snapshot: truncated file")
+)
+
+// Write serializes the platform to w in snapshot format.
+func Write(w io.Writer, p *core.Platform) error {
+	payload := encodePayload(p)
+	var hdr [headerLen]byte
+	copy(hdr[0:4], magic[:])
+	binary.LittleEndian.PutUint16(hdr[4:6], Version)
+	binary.LittleEndian.PutUint32(hdr[6:10], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint64(hdr[10:18], uint64(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("snapshot: write header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("snapshot: write payload: %w", err)
+	}
+	return nil
+}
+
+// Save writes the platform snapshot to path atomically (temp file + rename),
+// so a crash mid-save never leaves a truncated snapshot in place.
+func Save(path string, p *core.Platform) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".kglids-snapshot-*")
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := Write(tmp, p); err != nil {
+		tmp.Close()
+		return err
+	}
+	// Flush file data before the rename: on a crash the rename must not
+	// reach disk ahead of the payload, or it would replace a good snapshot
+	// with a truncated one.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return nil
+}
+
+// Read deserializes a snapshot and reassembles a query-ready platform.
+func Read(r io.Reader) (*core.Platform, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrTruncated, err)
+	}
+	if !bytes.Equal(hdr[0:4], magic[:]) {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != Version {
+		return nil, fmt.Errorf("%w: got %d, support %d", ErrVersion, v, Version)
+	}
+	wantCRC := binary.LittleEndian.Uint32(hdr[6:10])
+	plen := binary.LittleEndian.Uint64(hdr[10:18])
+	const maxPayload = 1 << 40
+	if plen > maxPayload {
+		return nil, fmt.Errorf("snapshot: implausible payload length %d", plen)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrTruncated, err)
+	}
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return nil, ErrChecksum
+	}
+	st, err := decodePayload(payload)
+	if err != nil {
+		return nil, err
+	}
+	return core.Restore(*st)
+}
+
+// Load reads a snapshot file and reassembles a query-ready platform.
+func Load(path string) (*core.Platform, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+func encodePayload(p *core.Platform) []byte {
+	var out writer
+
+	section := func(tag byte, body func(w *writer)) {
+		var w writer
+		body(&w)
+		out.u8(tag)
+		out.uvarint(uint64(w.buf.Len()))
+		out.buf.Write(w.buf.Bytes())
+	}
+
+	section(secDict, func(w *writer) {
+		terms := p.Store.Dict().Terms()
+		w.uint(len(terms))
+		for _, t := range terms {
+			w.term(t)
+		}
+	})
+	section(secQuads, func(w *writer) {
+		var quads []store.EncodedQuad
+		p.Store.ForEachEncodedQuad(func(q store.EncodedQuad) { quads = append(quads, q) })
+		// Sorted so identical platforms produce byte-identical snapshots.
+		sort.Slice(quads, func(i, j int) bool {
+			a, b := quads[i], quads[j]
+			if a.G != b.G {
+				return a.G < b.G
+			}
+			if a.S != b.S {
+				return a.S < b.S
+			}
+			if a.P != b.P {
+				return a.P < b.P
+			}
+			return a.O < b.O
+		})
+		w.uint(len(quads))
+		for _, q := range quads {
+			w.uvarint(uint64(q.S))
+			w.uvarint(uint64(q.P))
+			w.uvarint(uint64(q.O))
+			w.uvarint(uint64(q.G))
+		}
+	})
+	section(secProf, func(w *writer) {
+		w.uint(len(p.Profiles))
+		for _, cp := range p.Profiles {
+			w.str(cp.Dataset)
+			w.str(cp.Table)
+			w.str(cp.Column)
+			w.str(string(cp.Type))
+			w.uint(cp.Stats.Total)
+			w.uint(cp.Stats.Missing)
+			w.uint(cp.Stats.Distinct)
+			w.f64(cp.Stats.Min)
+			w.f64(cp.Stats.Max)
+			w.f64(cp.Stats.Mean)
+			w.f64(cp.Stats.Std)
+			w.f64(cp.Stats.TrueRatio)
+			w.vec(cp.Embed)
+		}
+	})
+	section(secTEmb, func(w *writer) {
+		ids := make([]string, 0, len(p.TableEmbeddings))
+		for id := range p.TableEmbeddings {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		w.uint(len(ids))
+		for _, id := range ids {
+			w.str(id)
+			w.vec(p.TableEmbeddings[id])
+		}
+	})
+	section(secTOrder, func(w *writer) {
+		ids := p.TableIndex.IDs()
+		w.uint(len(ids))
+		for _, id := range ids {
+			w.str(id)
+		}
+	})
+	section(secEdges, func(w *writer) {
+		w.uint(len(p.Edges))
+		for _, e := range p.Edges {
+			w.str(e.A)
+			w.str(e.B)
+			w.str(e.Kind)
+			w.f64(e.Score)
+		}
+	})
+	if p.TableANN != nil {
+		section(secANN, func(w *writer) {
+			g := p.TableANN.Export()
+			w.uint(g.M)
+			w.uint(g.EfConstruction)
+			w.uint(g.EfSearch)
+			w.varint(int64(g.Entry))
+			w.uint(g.MaxLevel)
+			w.uint(len(g.Nodes))
+			for _, n := range g.Nodes {
+				w.str(n.ID)
+				w.vec(n.Vec)
+				w.uint(len(n.Links))
+				for _, level := range n.Links {
+					w.uint(len(level))
+					for _, nb := range level {
+						w.uvarint(uint64(nb))
+					}
+				}
+			}
+		})
+	}
+	section(secScripts, func(w *writer) {
+		scripts := p.Scripts()
+		w.uint(len(scripts))
+		for _, s := range scripts {
+			w.str(s.ID)
+			w.str(s.Source)
+			w.str(s.Meta.Author)
+			w.str(s.Meta.Dataset)
+			w.str(s.Meta.Task)
+			w.varint(int64(s.Meta.Votes))
+			w.f64(s.Meta.Score)
+		}
+	})
+	return out.buf.Bytes()
+}
+
+// tableEmb is one decoded TEMB entry; entries are collected per goroutine
+// and merged into the map after all decoders join.
+type tableEmb struct {
+	id  string
+	vec embed.Vector
+}
+
+func decodePayload(payload []byte) (*core.RestoredState, error) {
+	// Split the payload into raw sections first (cheap), then decode the
+	// sections in parallel — they are independent until final assembly,
+	// and the profile/embedding float vectors dominate decode time.
+	type rawSection struct {
+		tag  byte
+		body []byte
+	}
+	top := &reader{b: payload}
+	var sections []rawSection
+	seenTags := map[byte]bool{}
+	for top.err == nil && top.off < len(top.b) {
+		tag := top.u8()
+		length := top.uvarint()
+		if top.err != nil {
+			break
+		}
+		if length > uint64(len(top.b)-top.off) {
+			top.fail("section %d length %d exceeds remaining %d bytes", tag, length, len(top.b)-top.off)
+			break
+		}
+		// Known tags must be unique: duplicate sections would hand the same
+		// output variables to two decoder goroutines.
+		if tag >= secDict && tag <= secScripts {
+			if seenTags[tag] {
+				top.fail("duplicate section tag %d", tag)
+				break
+			}
+			seenTags[tag] = true
+		}
+		sections = append(sections, rawSection{tag: tag, body: top.b[top.off : top.off+int(length)]})
+		top.off += int(length)
+	}
+	if top.err != nil {
+		return nil, top.err
+	}
+
+	st := &core.RestoredState{TableEmbeddings: map[string]embed.Vector{}}
+	var (
+		dictTerms []rdf.Term
+		quads     []store.EncodedQuad
+		tembs     []tableEmb
+		annErr    error
+	)
+	sawDict, sawQuads := false, false
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(sections))
+	for i := range sections {
+		sec := sections[i]
+		var decode func(r *reader)
+		switch sec.tag {
+		case secDict:
+			sawDict = true
+			decode = func(r *reader) {
+				n := r.count()
+				dictTerms = make([]rdf.Term, 0, n)
+				for i := 0; i < n && r.err == nil; i++ {
+					dictTerms = append(dictTerms, r.term(0))
+				}
+			}
+		case secQuads:
+			sawQuads = true
+			decode = func(r *reader) {
+				n := r.count()
+				quads = make([]store.EncodedQuad, 0, n)
+				for i := 0; i < n && r.err == nil; i++ {
+					quads = append(quads, store.EncodedQuad{
+						S: store.TermID(r.uvarint()),
+						P: store.TermID(r.uvarint()),
+						O: store.TermID(r.uvarint()),
+						G: store.TermID(r.uvarint()),
+					})
+				}
+			}
+		case secProf:
+			decode = func(r *reader) {
+				n := r.count()
+				st.Profiles = make([]*profiler.ColumnProfile, 0, n)
+				for i := 0; i < n && r.err == nil; i++ {
+					cp := &profiler.ColumnProfile{
+						Dataset: r.str(),
+						Table:   r.str(),
+						Column:  r.str(),
+						Type:    embed.Type(r.str()),
+					}
+					cp.Stats.Total = r.uint()
+					cp.Stats.Missing = r.uint()
+					cp.Stats.Distinct = r.uint()
+					cp.Stats.Min = r.f64()
+					cp.Stats.Max = r.f64()
+					cp.Stats.Mean = r.f64()
+					cp.Stats.Std = r.f64()
+					cp.Stats.TrueRatio = r.f64()
+					cp.Embed = r.vec()
+					st.Profiles = append(st.Profiles, cp)
+				}
+			}
+		case secTEmb:
+			decode = func(r *reader) {
+				n := r.count()
+				tembs = make([]tableEmb, 0, n)
+				for i := 0; i < n && r.err == nil; i++ {
+					tembs = append(tembs, tableEmb{id: r.str(), vec: r.vec()})
+				}
+			}
+		case secTOrder:
+			decode = func(r *reader) {
+				n := r.count()
+				st.TableOrder = make([]string, 0, n)
+				for i := 0; i < n && r.err == nil; i++ {
+					st.TableOrder = append(st.TableOrder, r.str())
+				}
+			}
+		case secEdges:
+			decode = func(r *reader) {
+				n := r.count()
+				st.Edges = make([]schema.Edge, 0, n)
+				for i := 0; i < n && r.err == nil; i++ {
+					st.Edges = append(st.Edges, schema.Edge{
+						A: r.str(), B: r.str(), Kind: r.str(), Score: r.f64(),
+					})
+				}
+			}
+		case secANN:
+			decode = func(r *reader) {
+				g := vectorindex.Graph{
+					M:              r.uint(),
+					EfConstruction: r.uint(),
+					EfSearch:       r.uint(),
+					Entry:          int(r.varint()),
+					MaxLevel:       r.uint(),
+				}
+				n := r.count()
+				g.Nodes = make([]vectorindex.GraphNode, 0, n)
+				for i := 0; i < n && r.err == nil; i++ {
+					gn := vectorindex.GraphNode{ID: r.str(), Vec: r.vec()}
+					levels := r.count()
+					gn.Links = make([][]int, 0, levels)
+					for l := 0; l < levels && r.err == nil; l++ {
+						cnt := r.count()
+						links := make([]int, 0, cnt)
+						for c := 0; c < cnt && r.err == nil; c++ {
+							links = append(links, int(r.uvarint()))
+						}
+						gn.Links = append(gn.Links, links)
+					}
+					g.Nodes = append(g.Nodes, gn)
+				}
+				if r.err == nil {
+					st.TableANN, annErr = vectorindex.ImportHNSW(g)
+				}
+			}
+		case secScripts:
+			decode = func(r *reader) {
+				n := r.count()
+				st.Scripts = make([]pipeline.Script, 0, n)
+				for i := 0; i < n && r.err == nil; i++ {
+					s := pipeline.Script{ID: r.str(), Source: r.str()}
+					s.Meta.Author = r.str()
+					s.Meta.Dataset = r.str()
+					s.Meta.Task = r.str()
+					s.Meta.Votes = int(r.varint())
+					s.Meta.Score = r.f64()
+					st.Scripts = append(st.Scripts, s)
+				}
+			}
+		default:
+			// Unknown optional section from a newer writer: skip.
+			continue
+		}
+		wg.Add(1)
+		go func(i int, body []byte, decode func(*reader)) {
+			defer wg.Done()
+			r := &reader{b: body}
+			decode(r)
+			errs[i] = r.err
+		}(i, sec.body, decode)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if annErr != nil {
+		return nil, annErr
+	}
+	for _, te := range tembs {
+		st.TableEmbeddings[te.id] = te.vec
+	}
+	if !sawDict || !sawQuads {
+		return nil, fmt.Errorf("snapshot: missing required %s section",
+			map[bool]string{true: "QUADS", false: "DICT"}[sawDict])
+	}
+
+	// Rebuild the store: bulk-loading terms in ID order reproduces the
+	// saved dictionary, then the encoded quads replay directly.
+	s := store.New()
+	dictLen := store.TermID(len(dictTerms))
+	if err := s.Dict().BulkLoad(dictTerms); err != nil {
+		return nil, err
+	}
+	for _, q := range quads {
+		if q.S == 0 || q.S > dictLen || q.P == 0 || q.P > dictLen || q.O == 0 || q.O > dictLen || q.G > dictLen {
+			return nil, fmt.Errorf("snapshot: quad references term ID outside dictionary of %d terms", dictLen)
+		}
+	}
+	s.AddEncodedBatch(quads)
+	st.Store = s
+	return st, nil
+}

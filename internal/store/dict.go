@@ -4,6 +4,8 @@
 package store
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 
 	"kglids/internal/rdf"
@@ -60,6 +62,65 @@ func (d *Dictionary) Term(id TermID) rdf.Term {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return d.terms[id-1]
+}
+
+// BulkLoad fills an empty dictionary with terms in ID order (terms[i] is
+// assigned ID i+1), the snapshot-restore counterpart of Terms. It rejects
+// non-empty dictionaries and duplicate terms (which would corrupt lookups).
+// Canonical keys are computed by parallel workers (quoted-triple keys are
+// long recursive strings, the costly part of restoring a graph with many
+// RDF-star annotations); only the map inserts are sequential.
+func (d *Dictionary) BulkLoad(terms []rdf.Term) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.terms) != 0 {
+		return fmt.Errorf("store: BulkLoad into non-empty dictionary (%d terms)", len(d.terms))
+	}
+	d.terms = append([]rdf.Term(nil), terms...)
+
+	keys := make([]string, len(terms))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 1 && len(terms) > 1024 {
+		var wg sync.WaitGroup
+		chunk := (len(terms) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			if lo >= len(terms) {
+				break
+			}
+			hi := min(lo+chunk, len(terms))
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					keys[i] = terms[i].Key()
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		for i, t := range terms {
+			keys[i] = t.Key()
+		}
+	}
+	d.byKey = make(map[string]TermID, len(terms))
+	for i, k := range keys {
+		d.byKey[k] = TermID(i + 1)
+	}
+	if len(d.byKey) != len(terms) {
+		return fmt.Errorf("store: BulkLoad with %d duplicate terms", len(terms)-len(d.byKey))
+	}
+	return nil
+}
+
+// Terms returns a copy of all interned terms in ID order: Terms()[i] is the
+// term with ID i+1. Interning the returned slice in order into an empty
+// dictionary reproduces the same ID assignment, which is what the snapshot
+// codec relies on.
+func (d *Dictionary) Terms() []rdf.Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]rdf.Term(nil), d.terms...)
 }
 
 // Len returns the number of interned terms.

@@ -4,14 +4,18 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"kglids/internal/embed"
 )
 
 // HNSW is a Hierarchical Navigable Small World approximate-nearest-
 // neighbour index (Malkov & Yashunin), the structure Starmie uses and that
-// KGLiDS's embedding store exposes for embedding-based discovery.
+// KGLiDS's embedding store exposes for embedding-based discovery. Like
+// Exact it is safe for concurrent use (shared lock for Search/Len,
+// exclusive for Add).
 type HNSW struct {
+	mu             sync.RWMutex
 	m              int // max links per node per layer
 	efConstruction int
 	efSearch       int
@@ -45,12 +49,18 @@ func NewHNSW(m, efConstruction, efSearch int) *HNSW {
 }
 
 // Len implements Index.
-func (h *HNSW) Len() int { return len(h.nodes) }
+func (h *HNSW) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.nodes)
+}
 
 // Add implements Index.
 func (h *HNSW) Add(id string, v embed.Vector) {
 	u := v.Clone()
 	u.Normalize()
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if i, ok := h.byID[id]; ok {
 		h.nodes[i].vec = u
 		return
@@ -193,6 +203,8 @@ func (h *HNSW) pruneLinks(node, level int) {
 
 // Search implements Index.
 func (h *HNSW) Search(q embed.Vector, k int) []Result {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	if h.entry < 0 {
 		return nil
 	}

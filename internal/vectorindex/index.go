@@ -7,6 +7,7 @@ package vectorindex
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"kglids/internal/embed"
 )
@@ -27,8 +28,11 @@ type Index interface {
 	Len() int
 }
 
-// Exact is a brute-force cosine index.
+// Exact is a brute-force cosine index. It is safe for concurrent use: reads
+// (Search, Get, IDs, Len) take a shared lock, mutations an exclusive one, so
+// a served platform can index new tables while answering queries.
 type Exact struct {
+	mu   sync.RWMutex
 	ids  []string
 	vecs []embed.Vector
 	pos  map[string]int
@@ -41,6 +45,8 @@ func NewExact() *Exact { return &Exact{pos: map[string]int{}} }
 func (e *Exact) Add(id string, v embed.Vector) {
 	u := v.Clone()
 	u.Normalize()
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if i, ok := e.pos[id]; ok {
 		e.vecs[i] = u
 		return
@@ -54,6 +60,8 @@ func (e *Exact) Add(id string, v embed.Vector) {
 func (e *Exact) Search(q embed.Vector, k int) []Result {
 	nq := q.Clone()
 	nq.Normalize()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	results := make([]Result, 0, len(e.ids))
 	for i, v := range e.vecs {
 		results = append(results, Result{ID: e.ids[i], Score: nq.Dot(v)})
@@ -66,10 +74,16 @@ func (e *Exact) Search(q embed.Vector, k int) []Result {
 }
 
 // Len implements Index.
-func (e *Exact) Len() int { return len(e.ids) }
+func (e *Exact) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.ids)
+}
 
 // Get returns the stored (normalized) vector for id.
 func (e *Exact) Get(id string) (embed.Vector, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	i, ok := e.pos[id]
 	if !ok {
 		return nil, false
@@ -78,7 +92,11 @@ func (e *Exact) Get(id string) (embed.Vector, bool) {
 }
 
 // IDs returns all indexed IDs in insertion order.
-func (e *Exact) IDs() []string { return append([]string(nil), e.ids...) }
+func (e *Exact) IDs() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]string(nil), e.ids...)
+}
 
 // String renders a result for debugging.
 func (r Result) String() string { return fmt.Sprintf("%s(%.3f)", r.ID, r.Score) }

@@ -16,6 +16,8 @@
 package kglids
 
 import (
+	"io"
+	"sync"
 	"time"
 
 	"kglids/internal/automl"
@@ -27,6 +29,7 @@ import (
 	"kglids/internal/pipeline"
 	"kglids/internal/rdf"
 	"kglids/internal/schema"
+	"kglids/internal/snapshot"
 	"kglids/internal/sparql"
 	"kglids/internal/transform"
 )
@@ -77,9 +80,15 @@ type Options struct {
 	Workers int
 }
 
-// Platform is a bootstrapped KGLiDS instance.
+// Platform is a bootstrapped KGLiDS instance. It is safe for concurrent
+// use: discovery queries may run while pipelines are added or the on-demand
+// models are (re)trained.
 type Platform struct {
-	core       *core.Platform
+	core *core.Platform
+
+	// mu guards the trained recommenders, which Train* swap while
+	// Recommend* read them from concurrent requests.
+	mu         sync.RWMutex
 	cleaner    *cleaning.Recommender
 	transforms *transform.Recommender
 	automl     *automl.System
@@ -100,6 +109,36 @@ func Bootstrap(opts Options, tables []Table) *Platform {
 	}
 	cfg.Workers = opts.Workers
 	return &Platform{core: core.Bootstrap(cfg, tables)}
+}
+
+// Save persists the bootstrapped platform — triple store, profiles,
+// embeddings, vector indexes, and pipeline scripts — to a single snapshot
+// file at path. Open reloads it without re-profiling the lake. Trained
+// on-demand models (cleaning, transformation, AutoML) are not persisted;
+// retrain them after Open.
+func (p *Platform) Save(path string) error { return snapshot.Save(path, p.core) }
+
+// SaveTo writes the platform snapshot to an arbitrary writer.
+func (p *Platform) SaveTo(w io.Writer) error { return snapshot.Write(w, p.core) }
+
+// Open reconstructs a query-ready platform from a snapshot file written by
+// Save. Loading is linear in snapshot size (no profiling, no similarity
+// computation) and typically orders of magnitude faster than Bootstrap.
+func Open(path string) (*Platform, error) {
+	c, err := snapshot.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{core: c}, nil
+}
+
+// Read reconstructs a platform from a snapshot stream written by SaveTo.
+func Read(r io.Reader) (*Platform, error) {
+	c, err := snapshot.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{core: c}, nil
 }
 
 // AddPipelines abstracts scripts into named graphs linked against the
@@ -161,20 +200,26 @@ func (p *Platform) GetPipelinesCallingLibraries(qualified ...string) []PipelineH
 // TrainCleaningModel fits the on-demand cleaning GNN from examples mined
 // from the LiDS graph (Section 4.2).
 func (p *Platform) TrainCleaningModel(examples []cleaning.Example) {
-	p.cleaner = cleaning.Train(examples)
+	model := cleaning.Train(examples)
+	p.mu.Lock()
+	p.cleaner = model
+	p.mu.Unlock()
 }
 
 // TrainTransformModels fits the scaling and unary transformation GNNs
 // (Section 4.3).
 func (p *Platform) TrainTransformModels(scalers []transform.ScalerExample, unaries []transform.UnaryExample) {
-	p.transforms = transform.Train(scalers, unaries)
+	model := transform.Train(scalers, unaries)
+	p.mu.Lock()
+	p.transforms = model
+	p.mu.Unlock()
 }
 
 // TrainAutoML builds the AutoML system from the platform's pipeline
 // abstractions and per-dataset embeddings (Section 4.4). seeded selects
 // the LiDS-enriched hyperparameter seeding.
 func (p *Platform) TrainAutoML(seeded bool) {
-	usages := automl.MineUsages(p.core.Abstractions)
+	usages := automl.MineUsages(p.core.Pipelines())
 	byDataset := map[string][]embed.Vector{}
 	for id, emb := range p.core.TableEmbeddings {
 		ds := id
@@ -187,7 +232,10 @@ func (p *Platform) TrainAutoML(seeded bool) {
 	for ds, vecs := range byDataset {
 		dsEmb[ds] = embed.DatasetEmbedding(vecs)
 	}
-	p.automl = automl.New(usages, dsEmb, seeded)
+	sys := automl.New(usages, dsEmb, seeded)
+	p.mu.Lock()
+	p.automl = sys
+	p.mu.Unlock()
 }
 
 func indexByte(s string, c byte) int {
@@ -202,10 +250,13 @@ func indexByte(s string, c byte) int {
 // RecommendCleaningOperations ranks cleaning operations for a frame
 // (recommend_cleaning_operations). TrainCleaningModel must run first.
 func (p *Platform) RecommendCleaningOperations(df *DataFrame) []CleaningRecommendation {
-	if p.cleaner == nil {
+	p.mu.RLock()
+	cleaner := p.cleaner
+	p.mu.RUnlock()
+	if cleaner == nil {
 		return nil
 	}
-	return p.cleaner.Recommend(df)
+	return cleaner.Recommend(df)
 }
 
 // ApplyCleaningOperations applies a recommended cleaning operation
@@ -218,47 +269,65 @@ func (p *Platform) ApplyCleaningOperations(op CleaningOp, df *DataFrame) (*DataF
 // transformations for a frame (recommend_transformations).
 // TrainTransformModels must run first.
 func (p *Platform) RecommendTransformations(df *DataFrame, target string) ([]ScalerRecommendation, []UnaryRecommendation) {
-	if p.transforms == nil {
+	p.mu.RLock()
+	transforms := p.transforms
+	p.mu.RUnlock()
+	if transforms == nil {
 		return nil, nil
 	}
-	return p.transforms.RecommendScaler(df), p.transforms.RecommendUnary(df, target)
+	return transforms.RecommendScaler(df), transforms.RecommendUnary(df, target)
 }
 
 // ApplyTransformations runs the two-step transform (scaling then unary)
 // with the trained models.
 func (p *Platform) ApplyTransformations(df *DataFrame, target string) (*DataFrame, error) {
-	if p.transforms == nil {
+	p.mu.RLock()
+	transforms := p.transforms
+	p.mu.RUnlock()
+	if transforms == nil {
 		return df.Clone(), nil
 	}
-	out, _, _, err := p.transforms.Transform(df, target)
+	out, _, _, err := transforms.Transform(df, target)
 	return out, err
 }
 
 // RecommendMLModels returns classifiers used on the most similar dataset
 // (recommend_ml_models). TrainAutoML must run first.
 func (p *Platform) RecommendMLModels(df *DataFrame) []ModelRecommendation {
-	if p.automl == nil {
+	p.mu.RLock()
+	sys := p.automl
+	p.mu.RUnlock()
+	if sys == nil {
 		return nil
 	}
-	return p.automl.RecommendModels(p.tableEmbedding(df))
+	return sys.RecommendModels(p.tableEmbedding(df))
 }
 
 // RecommendHyperparameters returns the KG-mined hyperparameters for a
 // classifier on the most similar dataset (recommend_hyperparameters).
 func (p *Platform) RecommendHyperparameters(df *DataFrame, classifier string) map[string]float64 {
-	if p.automl == nil {
+	p.mu.RLock()
+	sys := p.automl
+	p.mu.RUnlock()
+	if sys == nil {
 		return nil
 	}
-	return p.automl.RecommendHyperparameters(p.tableEmbedding(df), classifier)
+	return sys.RecommendHyperparameters(p.tableEmbedding(df), classifier)
 }
 
 // AutoML runs the full KGpip-revised pipeline on a dataset under a time
 // budget (Section 4.4).
 func (p *Platform) AutoML(df *DataFrame, target string, budget time.Duration) (AutoMLResult, error) {
-	if p.automl == nil {
+	p.mu.RLock()
+	sys := p.automl
+	p.mu.RUnlock()
+	if sys == nil {
 		p.TrainAutoML(true)
+		p.mu.RLock()
+		sys = p.automl
+		p.mu.RUnlock()
 	}
-	return p.automl.Fit(df, target, p.tableEmbedding(df), budget)
+	return sys.Fit(df, target, p.tableEmbedding(df), budget)
 }
 
 func (p *Platform) tableEmbedding(df *DataFrame) embed.Vector {

