@@ -15,9 +15,17 @@
 //
 //	kglids-server -lake DIR [-save-snapshot FILE] [-addr :8080]
 //	kglids-server -snapshot FILE [-addr :8080]
+//	kglids-server -lake DIR -ingest [-ingest-workers N] [-ingest-queue N]
 //
 // -save-snapshot persists the platform after it is ready (from either
 // source), so the next start can skip bootstrapping.
+//
+// -ingest enables live mutation: POST /ingest submits tables that an
+// asynchronous worker pool profiles and splices into the serving graph,
+// DELETE /tables/{id} retracts a table, and GET /jobs reports job states —
+// no restart, no re-bootstrap. On shutdown queued jobs drain before the
+// process exits (and before -save-snapshot runs, when given, so the saved
+// snapshot reflects every accepted job).
 package main
 
 import (
@@ -36,6 +44,7 @@ import (
 
 	"kglids"
 	"kglids/internal/dataframe"
+	"kglids/internal/ingest"
 	"kglids/internal/server"
 )
 
@@ -45,6 +54,9 @@ func main() {
 	saveSnapshot := flag.String("save-snapshot", "", "write the ready platform to this snapshot file")
 	addr := flag.String("addr", ":8080", "listen address")
 	timeout := flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request deadline")
+	ingestMode := flag.Bool("ingest", false, "enable live mutation endpoints (POST /ingest, DELETE /tables/{id})")
+	ingestWorkers := flag.Int("ingest-workers", 2, "ingestion worker pool size")
+	ingestQueue := flag.Int("ingest-queue", 64, "bounded ingestion job queue size")
 	flag.Parse()
 	if *lakeDir == "" && *snapshotPath == "" {
 		fmt.Fprintln(os.Stderr, "kglids-server: need -lake DIR or -snapshot FILE")
@@ -60,17 +72,28 @@ func main() {
 	log.Printf("LiDS graph ready: %d triples, %d tables, %d similarity edges",
 		stats.Triples, stats.Tables, stats.SimilarityEdges)
 
-	if *saveSnapshot != "" {
+	var manager *ingest.Manager
+	if *ingestMode {
+		manager = ingest.New(plat.Core(), ingest.Options{Workers: *ingestWorkers, QueueSize: *ingestQueue})
+		log.Printf("live ingestion enabled: %d workers, queue of %d", *ingestWorkers, *ingestQueue)
+	}
+
+	saveIfAsked := func() {
+		if *saveSnapshot == "" {
+			return
+		}
 		start := time.Now()
 		if err := plat.Save(*saveSnapshot); err != nil {
-			log.Fatal(err)
+			log.Printf("snapshot save: %v", err)
+			return
 		}
 		log.Printf("snapshot saved to %s in %v", *saveSnapshot, time.Since(start).Round(time.Millisecond))
 	}
+	saveIfAsked()
 
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: server.New(plat, server.Options{RequestTimeout: *timeout}),
+		Handler: server.New(plat, server.Options{RequestTimeout: *timeout, Ingest: manager}),
 		// The handler enforces its own per-request deadline; these bound
 		// slow or stalled clients at the connection level.
 		ReadHeaderTimeout: 10 * time.Second,
@@ -98,6 +121,15 @@ func main() {
 		log.Fatal(err)
 	}
 	<-done
+
+	if manager != nil {
+		// Stop accepting mutations and drain queued jobs, then persist the
+		// final state if a snapshot path was given — accepted jobs must not
+		// vanish on restart.
+		log.Print("draining ingestion jobs...")
+		manager.Close()
+		saveIfAsked()
+	}
 }
 
 // ready produces a serving-ready platform, preferring the snapshot fast

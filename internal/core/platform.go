@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -66,9 +67,16 @@ type Platform struct {
 	// through Pipelines when the platform is being served concurrently.
 	Abstractions []*pipeline.Abstraction
 
-	// mu guards Abstractions against concurrent AddPipelines/readers; the
-	// store and indexes carry their own locks.
-	mu         sync.RWMutex
+	// mu guards the platform-level metadata that live ingestion mutates —
+	// Profiles, Edges, TableEmbeddings, Abstractions — against concurrent
+	// readers; the store, indexes, and linker carry their own locks.
+	mu sync.RWMutex
+	// ingestMu serializes whole mutations (AddTables/RemoveTable) so delta
+	// similarity computation always sees the final profile set of the
+	// previous mutation, and so snapshots taken via IngestLock observe a
+	// job-consistent platform.
+	ingestMu   sync.Mutex
+	cfg        Config
 	profiler   *profiler.Profiler
 	abstractor *pipeline.Abstractor
 	graphs     *pipeline.GraphBuilder
@@ -84,6 +92,7 @@ func Bootstrap(cfg Config, tables []Table) *Platform {
 		ColumnIndex:     vectorindex.NewExact(),
 		TableIndex:      vectorindex.NewExact(),
 		TableEmbeddings: map[string]embed.Vector{},
+		cfg:             cfg,
 	}
 	p.profiler = profiler.New()
 	if cfg.CoLR != nil {
@@ -104,13 +113,7 @@ func Bootstrap(cfg Config, tables []Table) *Platform {
 
 	// Phase 2: Data Global Schema (Algorithm 3).
 	start = time.Now()
-	builder := schema.NewBuilder()
-	builder.Thresholds = cfg.Thresholds
-	builder.SkipLabels = cfg.SkipLabelSimilarity
-	if cfg.Workers > 0 {
-		builder.Workers = cfg.Workers
-	}
-	p.Edges = builder.BuildGraph(p.Store, p.Profiles)
+	p.Edges = newBuilder(cfg).BuildGraph(p.Store, p.Profiles)
 	p.SchemaBuildTime = time.Since(start)
 
 	// Phase 3: embedding stores (column + table level, Eq. 1). Tables are
@@ -154,6 +157,240 @@ const (
 	defaultANNEfSearch       = 64
 )
 
+// newBuilder configures a schema builder exactly as Bootstrap does, so
+// incremental mutations score similarity identically to a full build.
+func newBuilder(cfg Config) *schema.Builder {
+	b := schema.NewBuilder()
+	b.Thresholds = cfg.Thresholds
+	b.SkipLabels = cfg.SkipLabelSimilarity
+	if cfg.Workers > 0 {
+		b.Workers = cfg.Workers
+	}
+	return b
+}
+
+// AddTables profiles new tables and splices them into the live platform:
+// delta profiling (Algorithm 2 over just the new tables), delta similarity
+// edges (new columns against all columns), per-table named-graph insertion
+// into the store, and embedding-index upserts — no re-bootstrap. A table
+// whose ID already exists is an update: the old version is removed first.
+// After any sequence of AddTables/RemoveTable, discovery results are
+// equivalent to a fresh Bootstrap over the final table set.
+//
+// Safe to call while the platform serves queries; concurrent mutations are
+// serialized. Returns the IDs ("dataset/table") of the tables ingested.
+func (p *Platform) AddTables(tables []Table) ([]string, error) {
+	if len(tables) == 0 {
+		return nil, nil
+	}
+	ptables := make([]profiler.Table, 0, len(tables))
+	ids := make([]string, 0, len(tables))
+	seen := map[string]bool{}
+	for _, t := range tables {
+		if t.Frame == nil {
+			return nil, fmt.Errorf("core: nil frame for dataset %q", t.Dataset)
+		}
+		if t.Dataset == "" || t.Frame.Name == "" {
+			return nil, fmt.Errorf("core: table needs a dataset and a name, got %q/%q", t.Dataset, t.Frame.Name)
+		}
+		id := t.Dataset + "/" + t.Frame.Name
+		if seen[id] {
+			return nil, fmt.Errorf("core: duplicate table %q in batch", id)
+		}
+		seen[id] = true
+		ids = append(ids, id)
+		ptables = append(ptables, profiler.Table{Dataset: t.Dataset, Frame: t.Frame})
+	}
+
+	p.ingestMu.Lock()
+	defer p.ingestMu.Unlock()
+
+	// Resubmitted IDs are updates: drop the old version, then ingest.
+	for _, id := range ids {
+		if p.HasTable(id) {
+			p.removeTableLocked(id)
+		}
+	}
+
+	// Delta profiling: cost scales with the new tables only.
+	added := p.profiler.ProfileAll(ptables)
+
+	// Delta similarity: new columns against existing + new columns.
+	// ingestMu guarantees no concurrent mutator, so the view is the final
+	// state of the previous mutation.
+	existing := p.ProfilesView()
+	delta := newBuilder(p.cfg).SimilarityEdgesDelta(existing, added)
+
+	// Store: per-table metadata named graphs + delta edges, one batch each.
+	p.Store.AddBatch(schema.MetadataQuads(added))
+	p.Store.AddBatch(schema.EdgeQuads(delta))
+
+	// Embedding stores: column upserts, then table embeddings in sorted ID
+	// order (matching Bootstrap's deterministic insertion).
+	byTable := map[string]map[embed.Type][]embed.Vector{}
+	for _, cp := range added {
+		p.ColumnIndex.Add(cp.ID(), cp.Embed)
+		tid := cp.TableID()
+		if byTable[tid] == nil {
+			byTable[tid] = map[embed.Type][]embed.Vector{}
+		}
+		byTable[tid][cp.Type] = append(byTable[tid][cp.Type], cp.Embed)
+	}
+	tids := make([]string, 0, len(byTable))
+	for tid := range byTable {
+		tids = append(tids, tid)
+	}
+	sort.Strings(tids)
+	embs := map[string]embed.Vector{}
+	for _, tid := range tids {
+		emb := embed.TableEmbedding(byTable[tid])
+		embs[tid] = emb
+		p.TableIndex.Add(tid, emb)
+		p.TableANN.Add(tid, emb)
+	}
+
+	p.Linker.AddProfiles(added)
+
+	p.mu.Lock()
+	p.Profiles = append(p.Profiles, added...)
+	p.Edges = append(p.Edges, delta...)
+	schema.SortEdges(p.Edges)
+	for tid, emb := range embs {
+		p.TableEmbeddings[tid] = emb
+	}
+	p.mu.Unlock()
+	return ids, nil
+}
+
+// RemoveTable deletes a table from the live platform: its metadata named
+// graph leaves the store (dataset triples shared with sibling tables
+// survive through their graphs), similarity edges touching its columns are
+// retracted with their RDF-star annotations, and its embeddings leave the
+// exact and ANN indexes. Discovery stops returning the table immediately.
+func (p *Platform) RemoveTable(id string) error {
+	p.ingestMu.Lock()
+	defer p.ingestMu.Unlock()
+	if !p.HasTable(id) {
+		return fmt.Errorf("core: unknown table %q", id)
+	}
+	p.removeTableLocked(id)
+	return nil
+}
+
+// removeTableLocked performs the removal; caller holds ingestMu and has
+// verified the table exists.
+func (p *Platform) removeTableLocked(id string) {
+	prefix := id + "/"
+
+	// Partition metadata under the read lock, mutate stores outside it.
+	p.mu.RLock()
+	keepProfiles := make([]*profiler.ColumnProfile, 0, len(p.Profiles))
+	var removedProfiles []*profiler.ColumnProfile
+	for _, cp := range p.Profiles {
+		if cp.TableID() == id {
+			removedProfiles = append(removedProfiles, cp)
+		} else {
+			keepProfiles = append(keepProfiles, cp)
+		}
+	}
+	keepEdges := make([]schema.Edge, 0, len(p.Edges))
+	var removedEdges []schema.Edge
+	for _, e := range p.Edges {
+		if strings.HasPrefix(e.A, prefix) || strings.HasPrefix(e.B, prefix) {
+			removedEdges = append(removedEdges, e)
+		} else {
+			keepEdges = append(keepEdges, e)
+		}
+	}
+	p.mu.RUnlock()
+
+	// Store: retract the edge quads (both directions + annotations live in
+	// the default graph) and drop the table's metadata graph.
+	p.Store.RemoveBatch(schema.EdgeQuads(removedEdges))
+	p.Store.RemoveGraph(schema.TableGraph(id))
+
+	// Embedding stores: tombstone/remove.
+	for _, cp := range removedProfiles {
+		p.ColumnIndex.Remove(cp.ID())
+	}
+	p.TableIndex.Remove(id)
+	p.TableANN.Remove(id)
+
+	p.Linker.RemoveTable(id)
+
+	p.mu.Lock()
+	p.Profiles = keepProfiles
+	p.Edges = keepEdges
+	delete(p.TableEmbeddings, id)
+	p.mu.Unlock()
+}
+
+// HasTable reports whether a table ID is currently part of the platform.
+func (p *Platform) HasTable(id string) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	_, ok := p.TableEmbeddings[id]
+	return ok
+}
+
+// TableEmbedding returns the embedding of a table, safe against concurrent
+// ingestion.
+func (p *Platform) TableEmbedding(id string) (embed.Vector, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	emb, ok := p.TableEmbeddings[id]
+	return emb, ok
+}
+
+// TableIDs returns the IDs of all current tables in sorted order.
+func (p *Platform) TableIDs() []string {
+	p.mu.RLock()
+	ids := make([]string, 0, len(p.TableEmbeddings))
+	for id := range p.TableEmbeddings {
+		ids = append(ids, id)
+	}
+	p.mu.RUnlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// ProfilesView returns a snapshot of the profile slice, safe to read while
+// ingestion mutates the platform. The profiles themselves are immutable.
+func (p *Platform) ProfilesView() []*profiler.ColumnProfile {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return append([]*profiler.ColumnProfile(nil), p.Profiles...)
+}
+
+// EdgesView returns a snapshot of the materialized similarity edges.
+func (p *Platform) EdgesView() []schema.Edge {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return append([]schema.Edge(nil), p.Edges...)
+}
+
+// TableEmbeddingsView returns a copy of the table-embedding map.
+func (p *Platform) TableEmbeddingsView() map[string]embed.Vector {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make(map[string]embed.Vector, len(p.TableEmbeddings))
+	for id, emb := range p.TableEmbeddings {
+		out[id] = emb
+	}
+	return out
+}
+
+// Config returns the platform's bootstrap configuration (the thresholds
+// incremental ingestion reuses).
+func (p *Platform) Config() Config { return p.cfg }
+
+// IngestLock blocks live mutations until IngestUnlock, giving callers
+// (snapshot writes) a job-consistent view of the platform.
+func (p *Platform) IngestLock() { p.ingestMu.Lock() }
+
+// IngestUnlock releases IngestLock.
+func (p *Platform) IngestUnlock() { p.ingestMu.Unlock() }
+
 // AddPipelines abstracts scripts (Algorithm 1) and links them into the
 // LiDS graph; it returns the abstractions. Safe to call while the platform
 // serves queries.
@@ -178,7 +415,7 @@ func (p *Platform) Query(q string) (*sparql.Result, error) { return p.Discovery.
 
 // TableIRI resolves a "dataset/table" ID to its graph IRI.
 func (p *Platform) TableIRI(id string) (string, error) {
-	if _, ok := p.TableEmbeddings[id]; !ok {
+	if !p.HasTable(id) {
 		return "", fmt.Errorf("core: unknown table %q", id)
 	}
 	return schema.TableIRI(id).Value, nil
@@ -211,8 +448,11 @@ type Stats struct {
 	SimilarityEdges int
 }
 
-// Stats returns current graph statistics.
+// Stats returns current graph statistics, safe against concurrent
+// ingestion.
 func (p *Platform) Stats() Stats {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return Stats{
 		Triples:         p.Store.Len(),
 		Nodes:           p.Store.NodeCount(),

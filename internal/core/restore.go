@@ -38,6 +38,11 @@ type RestoredState struct {
 	// Abstractions. Their triples are already in Store, so re-linking them
 	// is a deduplicated no-op.
 	Scripts []pipeline.Script
+	// Config is the bootstrap configuration recorded in the snapshot, so
+	// incremental ingestion on the restored platform scores similarity with
+	// the same thresholds as the original bootstrap. Nil falls back to
+	// DefaultConfig.
+	Config *Config
 }
 
 // Restore reassembles a query-ready Platform from decoded snapshot state.
@@ -55,6 +60,10 @@ func Restore(st RestoredState) (*Platform, error) {
 		TableIndex:      vectorindex.NewExact(),
 		TableANN:        st.TableANN,
 		TableEmbeddings: st.TableEmbeddings,
+		cfg:             DefaultConfig(),
+	}
+	if st.Config != nil {
+		p.cfg = *st.Config
 	}
 	if p.TableEmbeddings == nil {
 		p.TableEmbeddings = map[string]embed.Vector{}

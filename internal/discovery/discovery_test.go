@@ -3,9 +3,9 @@ package discovery
 import (
 	"testing"
 
-	"kglids/internal/profiler"
 	"kglids/internal/dataframe"
 	"kglids/internal/pipeline"
+	"kglids/internal/profiler"
 	"kglids/internal/rdf"
 	"kglids/internal/schema"
 	"kglids/internal/store"

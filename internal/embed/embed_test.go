@@ -215,8 +215,8 @@ func TestSubsampling(t *testing.T) {
 		vals[i] = fmt.Sprintf("%.3f", rng.NormFloat64())
 	}
 	full := &CoLR{Subsample: false}
-	a := c.EncodeColumn(vals, TypeFloat)       // 10% sample
-	b := full.EncodeColumn(vals, TypeFloat)    // full column
+	a := c.EncodeColumn(vals, TypeFloat)    // 10% sample
+	b := full.EncodeColumn(vals, TypeFloat) // full column
 	if got := Cosine(a, b); got < 0.95 {
 		t.Errorf("subsampled vs full cosine = %v, want >= 0.95 (paper: comparable)", got)
 	}

@@ -88,7 +88,7 @@ var cleaningSnippets = map[cleaning.Op]struct {
 	imp  string
 	code []string
 }{
-	cleaning.OpFillna: {"", []string{"df = df.fillna(0)"}},
+	cleaning.OpFillna:      {"", []string{"df = df.fillna(0)"}},
 	cleaning.OpInterpolate: {"", []string{"df = df.interpolate(method='linear')"}},
 	cleaning.OpSimpleImputer: {"from sklearn.impute import SimpleImputer", []string{
 		"imputer = SimpleImputer(strategy='most_frequent')",

@@ -315,15 +315,15 @@ func BuiltinDocs() *Docs {
 // Section 3.1 ("statements that have no significance in the pipeline
 // semantics, such as print(), DataFrame.head(), and summary()").
 var insignificantCalls = map[string]bool{
-	"print":                    true,
-	"pandas.DataFrame.head":    true,
-	"pandas.DataFrame.tail":    true,
-	"pandas.DataFrame.info":    true,
+	"print":                     true,
+	"pandas.DataFrame.head":     true,
+	"pandas.DataFrame.tail":     true,
+	"pandas.DataFrame.info":     true,
 	"pandas.DataFrame.describe": true,
-	"summary":                  true,
-	"display":                  true,
-	"IPython.display.display":  true,
-	"matplotlib.pyplot.show":   true,
+	"summary":                   true,
+	"display":                   true,
+	"IPython.display.display":   true,
+	"matplotlib.pyplot.show":    true,
 }
 
 // IsInsignificant reports whether a resolved call is semantically

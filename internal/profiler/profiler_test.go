@@ -21,14 +21,14 @@ func seriesOf(name string, vals ...string) *dataframe.Series {
 func TestNERRecognize(t *testing.T) {
 	n := NewNER()
 	cases := map[string]string{
-		"Canada":    "GPE",
-		"montreal":  "GPE",
-		"Google":    "ORG",
-		"James":     "PERSON",
-		"French":    "LANGUAGE",
-		"iPhone":    "PRODUCT",
-		"Olympics":  "EVENT",
-		"New York":  "GPE",
+		"Canada":     "GPE",
+		"montreal":   "GPE",
+		"Google":     "ORG",
+		"James":      "PERSON",
+		"French":     "LANGUAGE",
+		"iPhone":     "PRODUCT",
+		"Olympics":   "EVENT",
+		"New York":   "GPE",
 		"mary smith": "PERSON",
 	}
 	for in, want := range cases {

@@ -56,12 +56,12 @@ var multiOps = []string{
 }
 
 type pyLexer struct {
-	src     string
-	pos     int
-	line    int
-	indents []int
-	paren   int
-	toks    []Tok
+	src         string
+	pos         int
+	line        int
+	indents     []int
+	paren       int
+	toks        []Tok
 	atLineStart bool
 }
 

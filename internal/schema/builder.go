@@ -92,6 +92,25 @@ func normalizeLabel(s string) string {
 // 7-19): all column pairs with the same fine-grained type in different
 // tables, compared for label and content similarity in parallel.
 func (b *Builder) SimilarityEdges(profiles []*profiler.ColumnProfile) []Edge {
+	return b.similarityEdges(profiles, 0)
+}
+
+// SimilarityEdgesDelta compares only the pairs an incremental ingest
+// introduces: added×existing and added×added (same fine-grained type,
+// different tables). Over a sequence of adds each qualifying pair is
+// compared exactly once, so the accumulated edge set equals what
+// SimilarityEdges would produce over the final profile set — the property
+// the live-ingestion equivalence guarantee rests on.
+func (b *Builder) SimilarityEdgesDelta(existing, added []*profiler.ColumnProfile) []Edge {
+	combined := make([]*profiler.ColumnProfile, 0, len(existing)+len(added))
+	combined = append(combined, existing...)
+	combined = append(combined, added...)
+	return b.similarityEdges(combined, len(existing))
+}
+
+// similarityEdges compares all same-type cross-table pairs (i, j) with
+// i < j and j >= minNew; minNew 0 means every pair.
+func (b *Builder) similarityEdges(profiles []*profiler.ColumnProfile, minNew int) []Edge {
 	labels := b.buildLabelCache(profiles)
 	// Group column indexes by fine-grained type (the pruning that
 	// Section 3.2 credits for cutting false positives and cost).
@@ -104,6 +123,9 @@ func (b *Builder) SimilarityEdges(profiles []*profiler.ColumnProfile) []Edge {
 	for _, idxs := range byType {
 		for a := 0; a < len(idxs); a++ {
 			for c := a + 1; c < len(idxs); c++ {
+				if idxs[c] < minNew {
+					continue // both sides pre-existing: already compared
+				}
 				pi, pj := profiles[idxs[a]], profiles[idxs[c]]
 				if pi.TableID() == pj.TableID() {
 					continue // only cross-table edges
@@ -140,15 +162,7 @@ func (b *Builder) SimilarityEdges(profiles []*profiler.ColumnProfile) []Edge {
 	for _, r := range results {
 		edges = append(edges, r...)
 	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].A != edges[j].A {
-			return edges[i].A < edges[j].A
-		}
-		if edges[i].B != edges[j].B {
-			return edges[i].B < edges[j].B
-		}
-		return edges[i].Kind < edges[j].Kind
-	})
+	SortEdges(edges)
 	return edges
 }
 
@@ -196,26 +210,31 @@ func escapePath(p string) string {
 	return strings.Join(parts, "/")
 }
 
-// BuildGraph constructs the dataset graph in st: per-column metadata
-// subgraphs (Algorithm 3 lines 3-5) and similarity edges annotated with
-// certainty scores, then returns the edges.
-func (b *Builder) BuildGraph(st *store.Store, profiles []*profiler.ColumnProfile) []Edge {
-	datasetsSeen := map[string]bool{}
+// TableGraph returns the named graph holding a table's metadata subgraph.
+// Every metadata triple of a table (and the dataset triples it shares with
+// sibling tables) is a member of this graph, which is what makes a table
+// individually removable: dropping the graph drops exactly the metadata
+// that table contributed, while shared dataset triples survive through the
+// sibling tables' graph memberships.
+func TableGraph(tableID string) rdf.Term { return TableIRI(tableID) }
+
+// MetadataQuads renders the metadata subgraphs of the profiled columns
+// (Algorithm 3 lines 3-5), one named graph per table. Profiles of the same
+// table must be contiguous, as ProfileAll emits them.
+func MetadataQuads(profiles []*profiler.ColumnProfile) []rdf.Quad {
 	tablesSeen := map[string]bool{}
 	var quads []rdf.Quad
-	add := func(t rdf.Triple) { quads = append(quads, rdf.Quad{Triple: t, Graph: rdf.DefaultGraph}) }
 	for _, cp := range profiles {
 		col := ColumnIRI(cp.ID())
 		table := TableIRI(cp.TableID())
 		ds := DatasetIRI(cp.Dataset)
-		if !datasetsSeen[cp.Dataset] {
-			datasetsSeen[cp.Dataset] = true
+		g := TableGraph(cp.TableID())
+		add := func(t rdf.Triple) { quads = append(quads, rdf.Quad{Triple: t, Graph: g}) }
+		if !tablesSeen[cp.TableID()] {
+			tablesSeen[cp.TableID()] = true
 			add(rdf.T(ds, rdf.RDFType, rdf.ClassDataset))
 			add(rdf.T(ds, rdf.PropName, rdf.String(cp.Dataset)))
 			add(rdf.T(ds, rdf.RDFSLabel, rdf.String(cp.Dataset)))
-		}
-		if !tablesSeen[cp.TableID()] {
-			tablesSeen[cp.TableID()] = true
 			add(rdf.T(table, rdf.RDFType, rdf.ClassTable))
 			add(rdf.T(table, rdf.PropName, rdf.String(cp.Table)))
 			add(rdf.T(table, rdf.RDFSLabel, rdf.String(cp.Table)))
@@ -242,17 +261,20 @@ func (b *Builder) BuildGraph(st *store.Store, profiles []*profiler.ColumnProfile
 			add(rdf.T(col, rdf.PropTrueRatio, rdf.Float(cp.Stats.TrueRatio)))
 		}
 	}
-	st.AddBatch(quads)
+	return quads
+}
 
-	edges := b.SimilarityEdges(profiles)
-	quads = quads[:0]
+// EdgeQuads renders similarity edges as default-graph quads: both
+// directions of the symmetric relationship plus the RDF-star certainty
+// annotations. It is a pure function of the edges, so the exact quads an
+// edge contributed can be reconstructed later to remove it.
+func EdgeQuads(edges []Edge) []rdf.Quad {
+	quads := make([]rdf.Quad, 0, 4*len(edges))
 	for _, e := range edges {
 		pred := rdf.PropLabelSimilarity
 		if e.Kind == "ContentSimilarity" {
 			pred = rdf.PropContentSimilarity
 		}
-		// Similarity is symmetric; materialize both directions with the
-		// RDF-star certainty annotation.
 		score := rdf.Float(e.Score)
 		ta := rdf.T(ColumnIRI(e.A), pred, ColumnIRI(e.B))
 		tb := rdf.T(ColumnIRI(e.B), pred, ColumnIRI(e.A))
@@ -263,14 +285,41 @@ func (b *Builder) BuildGraph(st *store.Store, profiles []*profiler.ColumnProfile
 			rdf.Quad{Triple: rdf.T(rdf.QuotedTriple(tb), rdf.PropCertainty, score), Graph: rdf.DefaultGraph},
 		)
 	}
-	st.AddBatch(quads)
+	return quads
+}
+
+// BuildGraph constructs the dataset graph in st: per-table metadata
+// subgraphs in per-table named graphs and similarity edges annotated with
+// certainty scores in the default graph, then returns the edges.
+func (b *Builder) BuildGraph(st *store.Store, profiles []*profiler.ColumnProfile) []Edge {
+	st.AddBatch(MetadataQuads(profiles))
+	edges := b.SimilarityEdges(profiles)
+	st.AddBatch(EdgeQuads(edges))
 	return edges
+}
+
+// SortEdges orders edges by (A, B, Kind), the canonical order BuildGraph
+// returns; incremental ingestion re-sorts after merging delta edges so the
+// edge list stays deterministic.
+func SortEdges(edges []Edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].A != edges[j].A {
+			return edges[i].A < edges[j].A
+		}
+		if edges[i].B != edges[j].B {
+			return edges[i].B < edges[j].B
+		}
+		return edges[i].Kind < edges[j].Kind
+	})
 }
 
 // Linker is the Global Graph Linker: it verifies predicted dataset-usage
 // nodes from pipeline abstraction against the data global schema
-// (Section 3.1, "Predicting Dataset Usage and Graph Linker").
+// (Section 3.1, "Predicting Dataset Usage and Graph Linker"). It is safe
+// for concurrent use: live ingestion mutates the schema (AddProfiles /
+// RemoveTable) while pipeline abstraction verifies reads against it.
 type Linker struct {
+	mu      sync.RWMutex
 	tables  map[string]bool            // "dataset/table"
 	columns map[string]map[string]bool // table ID -> column name set
 }
@@ -278,6 +327,14 @@ type Linker struct {
 // NewLinker indexes the global schema from profiles.
 func NewLinker(profiles []*profiler.ColumnProfile) *Linker {
 	l := &Linker{tables: map[string]bool{}, columns: map[string]map[string]bool{}}
+	l.AddProfiles(profiles)
+	return l
+}
+
+// AddProfiles extends the indexed schema with newly profiled columns.
+func (l *Linker) AddProfiles(profiles []*profiler.ColumnProfile) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	for _, cp := range profiles {
 		tid := cp.TableID()
 		l.tables[tid] = true
@@ -286,13 +343,22 @@ func NewLinker(profiles []*profiler.ColumnProfile) *Linker {
 		}
 		l.columns[tid][cp.Column] = true
 	}
-	return l
+}
+
+// RemoveTable drops a table (and its columns) from the indexed schema.
+func (l *Linker) RemoveTable(tableID string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.tables, tableID)
+	delete(l.columns, tableID)
 }
 
 // VerifyTable resolves a table path mentioned in a pipeline (e.g.
 // "titanic/train.csv") to a table ID in the schema, trying both the raw
 // path and a dataset-qualified suffix match.
 func (l *Linker) VerifyTable(path string) (string, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	p := strings.TrimPrefix(path, "./")
 	p = strings.TrimPrefix(p, "../input/")
 	p = strings.TrimPrefix(p, "input/")
@@ -322,12 +388,16 @@ func (l *Linker) VerifyTable(path string) (string, bool) {
 // Predicted column reads that fail verification are dropped from the graph
 // (e.g. the user-defined NormalizedAge column in the paper's Figure 3).
 func (l *Linker) VerifyColumn(tableID, column string) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	cols, ok := l.columns[tableID]
 	return ok && cols[column]
 }
 
 // String summarizes the linker's schema coverage.
 func (l *Linker) String() string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	nc := 0
 	for _, cols := range l.columns {
 		nc += len(cols)

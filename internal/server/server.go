@@ -4,6 +4,12 @@
 // {"error": "..."} with a matching HTTP status; every request runs under a
 // deadline so one slow SPARQL query cannot wedge a worker forever.
 //
+// With Options.Ingest set, the handler additionally exposes the live
+// mutation API — submit tables, poll jobs, delete tables — backed by the
+// asynchronous job queue of internal/ingest. Mutations are accepted with
+// 202 and applied by the manager's worker pool; discovery endpoints keep
+// serving throughout and see each mutation the moment it lands.
+//
 // The handler is an http.Handler so it can be mounted, wrapped, and tested
 // with httptest without starting a listener; cmd/kglids-server adds the
 // process-level concerns (flags, snapshot load/save, graceful shutdown).
@@ -12,7 +18,9 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"runtime/debug"
@@ -21,11 +29,16 @@ import (
 	"time"
 
 	"kglids"
+	"kglids/internal/dataframe"
+	"kglids/internal/ingest"
 )
 
 // DefaultRequestTimeout bounds request handling when Options.RequestTimeout
 // is zero.
 const DefaultRequestTimeout = 30 * time.Second
+
+// MaxIngestBody bounds a POST /ingest request body (64 MiB).
+const MaxIngestBody = 64 << 20
 
 // Options configures the handler.
 type Options struct {
@@ -33,6 +46,9 @@ type Options struct {
 	// receive 504 {"error": "request timed out"}. Zero means
 	// DefaultRequestTimeout.
 	RequestTimeout time.Duration
+	// Ingest enables the mutation endpoints (POST /ingest, GET /jobs,
+	// GET /jobs/{id}, DELETE /tables/{id}); nil serves read-only.
+	Ingest *ingest.Manager
 }
 
 // errorEnvelope is the uniform error response body.
@@ -49,6 +65,13 @@ type errorEnvelope struct {
 //	GET /unionable?table=ds/t.csv&k=5   top-k unionable tables
 //	GET /similar?table=ds/t.csv&k=5     top-k similar tables (HNSW index)
 //	GET /libraries?k=10                 top-k libraries across pipelines
+//
+// With Options.Ingest set, the live-mutation API is also served:
+//
+//	POST   /ingest                      submit tables as an async add job (202)
+//	GET    /jobs                        list ingestion jobs
+//	GET    /jobs/{id}                   one job's state and outcome
+//	DELETE /tables/{id...}              submit an async table removal (202)
 func New(plat *kglids.Platform, opts Options) http.Handler {
 	timeout := opts.RequestTimeout
 	if timeout <= 0 {
@@ -56,10 +79,12 @@ func New(plat *kglids.Platform, opts Options) http.Handler {
 	}
 
 	mux := http.NewServeMux()
-	handle := func(pattern string, h func(r *http.Request) (any, error)) {
+	// handleAs registers a JSON endpoint restricted to one method, keeping
+	// the error envelope uniform (ServeMux's own 405s are plain text).
+	handleAs := func(method, pattern string, status int, h func(r *http.Request) (any, error)) {
 		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-			if r.Method != http.MethodGet {
-				writeError(w, http.StatusMethodNotAllowed, "method not allowed; use GET")
+			if r.Method != method {
+				writeError(w, http.StatusMethodNotAllowed, "method not allowed; use "+method)
 				return
 			}
 			v, err := h(r)
@@ -67,8 +92,11 @@ func New(plat *kglids.Platform, opts Options) http.Handler {
 				writeError(w, statusFor(err), err.Error())
 				return
 			}
-			writeJSON(w, http.StatusOK, v)
+			writeJSON(w, status, v)
 		})
+	}
+	handle := func(pattern string, h func(r *http.Request) (any, error)) {
+		handleAs(http.MethodGet, pattern, http.StatusOK, h)
 	}
 
 	handle("/healthz", func(*http.Request) (any, error) {
@@ -120,7 +148,7 @@ func New(plat *kglids.Platform, opts Options) http.Handler {
 			return nil, badRequest("missing 'table' parameter (\"dataset/table\")")
 		}
 		c := plat.Core()
-		emb, ok := c.TableEmbeddings[table]
+		emb, ok := c.TableEmbedding(table)
 		if !ok {
 			return nil, notFound(fmt.Sprintf("unknown table %q", table))
 		}
@@ -133,10 +161,157 @@ func New(plat *kglids.Platform, opts Options) http.Handler {
 		}
 		return res, nil
 	})
+
+	// Live-mutation API. Registered unconditionally so a read-only server
+	// answers with a clear envelope instead of a bare 404.
+	mgr := func() (*ingest.Manager, error) {
+		if opts.Ingest == nil {
+			return nil, &httpError{status: http.StatusServiceUnavailable,
+				msg: "ingestion disabled; start the server with -ingest"}
+		}
+		return opts.Ingest, nil
+	}
+	handleAs(http.MethodPost, "/ingest", http.StatusAccepted, func(r *http.Request) (any, error) {
+		m, err := mgr()
+		if err != nil {
+			return nil, err
+		}
+		tables, err := decodeTables(r.Body)
+		if err != nil {
+			return nil, badRequest(err.Error())
+		}
+		jobID, err := m.Submit(tables)
+		if err != nil {
+			return nil, ingestError(err)
+		}
+		return map[string]any{"job": jobID, "state": ingest.Queued}, nil
+	})
+	handle("/jobs", func(*http.Request) (any, error) {
+		m, err := mgr()
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"jobs": m.Jobs()}, nil
+	})
+	handle("/jobs/{id}", func(r *http.Request) (any, error) {
+		m, err := mgr()
+		if err != nil {
+			return nil, err
+		}
+		id, err := strconv.Atoi(r.PathValue("id"))
+		if err != nil {
+			return nil, badRequest("job ID must be an integer")
+		}
+		job, ok := m.Job(id)
+		if !ok {
+			return nil, notFound(fmt.Sprintf("unknown job %d", id))
+		}
+		return job, nil
+	})
+	handleAs(http.MethodDelete, "/tables/{id...}", http.StatusAccepted, func(r *http.Request) (any, error) {
+		m, err := mgr()
+		if err != nil {
+			return nil, err
+		}
+		id := r.PathValue("id")
+		if !plat.HasTable(id) {
+			return nil, notFound(fmt.Sprintf("unknown table %q", id))
+		}
+		jobID, err := m.SubmitRemoval(id)
+		if err != nil {
+			return nil, ingestError(err)
+		}
+		return map[string]any{"job": jobID, "state": ingest.Queued}, nil
+	})
+
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown endpoint "+r.URL.Path)
 	})
 	return withTimeout(timeout, mux)
+}
+
+// ingestTable is the wire form of one submitted table.
+type ingestTable struct {
+	Dataset string `json:"dataset"`
+	Name    string `json:"name"`
+	Columns []struct {
+		Name   string `json:"name"`
+		Values []any  `json:"values"`
+	} `json:"columns"`
+}
+
+// decodeTables parses a POST /ingest body into platform tables. Column
+// values may be JSON strings (parsed like CSV cells), numbers, booleans,
+// or null.
+func decodeTables(body io.Reader) ([]kglids.Table, error) {
+	var req struct {
+		Tables []ingestTable `json:"tables"`
+	}
+	dec := json.NewDecoder(io.LimitReader(body, MaxIngestBody))
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("invalid JSON body: %v", err)
+	}
+	if len(req.Tables) == 0 {
+		return nil, fmt.Errorf("body needs a non-empty 'tables' array")
+	}
+	out := make([]kglids.Table, 0, len(req.Tables))
+	for ti, t := range req.Tables {
+		if t.Dataset == "" || t.Name == "" {
+			return nil, fmt.Errorf("table %d needs 'dataset' and 'name'", ti)
+		}
+		if len(t.Columns) == 0 {
+			return nil, fmt.Errorf("table %q needs at least one column", t.Name)
+		}
+		df := dataframe.New(t.Name)
+		for ci, col := range t.Columns {
+			if col.Name == "" {
+				return nil, fmt.Errorf("table %q column %d needs a name", t.Name, ci)
+			}
+			if df.HasColumn(col.Name) {
+				return nil, fmt.Errorf("table %q has duplicate column %q", t.Name, col.Name)
+			}
+			if len(col.Values) != len(t.Columns[0].Values) {
+				return nil, fmt.Errorf("table %q column %q has %d values, expected %d",
+					t.Name, col.Name, len(col.Values), len(t.Columns[0].Values))
+			}
+			s := &dataframe.Series{Name: col.Name}
+			for _, v := range col.Values {
+				s.Cells = append(s.Cells, cellOf(v))
+			}
+			df.AddColumn(s)
+		}
+		out = append(out, kglids.Table{Dataset: t.Dataset, Frame: df})
+	}
+	return out, nil
+}
+
+// cellOf maps a decoded JSON value to a frame cell.
+func cellOf(v any) dataframe.Cell {
+	switch x := v.(type) {
+	case nil:
+		return dataframe.NullCell()
+	case bool:
+		return dataframe.BoolCell(x)
+	case float64:
+		return dataframe.NumberCell(x)
+	case string:
+		return dataframe.ParseCell(x)
+	default:
+		return dataframe.TextCell(fmt.Sprint(x))
+	}
+}
+
+// ingestError maps manager submission failures to HTTP statuses: a full
+// queue is back-pressure (429), a closed manager means shutdown (503).
+func ingestError(err error) error {
+	switch {
+	case errors.Is(err, ingest.ErrQueueFull):
+		return &httpError{status: http.StatusTooManyRequests, msg: err.Error()}
+	case errors.Is(err, ingest.ErrClosed):
+		return &httpError{status: http.StatusServiceUnavailable, msg: err.Error()}
+	default:
+		return badRequest(err.Error())
+	}
 }
 
 func intParam(r *http.Request, name string, def int) int {

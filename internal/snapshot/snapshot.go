@@ -33,10 +33,17 @@
 //	6    EDGE    materialized similarity edges: A, B, kind, score
 //	7    ANN     HNSW graph: parameters, entry, nodes with per-level links
 //	8    SCRIPT  pipeline scripts: id, source, metadata
+//	9    CONF    bootstrap config: α/β/θ thresholds, label-skip flag
 //
 // Truncated files, checksum mismatches, unknown versions, and structurally
 // invalid sections all fail loading with a descriptive error; a snapshot
 // never loads partially.
+//
+// Version history: version 1 stored table/column metadata in the default
+// graph; version 2 stores it in per-table named graphs (the unit of live
+// table removal) and adds the CONF section. Version-1 files are rejected
+// with ErrVersion rather than loaded into a platform whose incremental
+// mutation path would silently fail to retract their metadata.
 package snapshot
 
 import (
@@ -62,7 +69,7 @@ import (
 )
 
 // Version is the current snapshot format version.
-const Version = 1
+const Version = 2
 
 var magic = [4]byte{'K', 'G', 'L', 'S'}
 
@@ -78,6 +85,7 @@ const (
 	secEdges   = 6
 	secANN     = 7
 	secScripts = 8
+	secConfig  = 9
 )
 
 // Errors distinguishing the failure modes of Read.
@@ -92,9 +100,16 @@ var (
 	ErrTruncated = errors.New("snapshot: truncated file")
 )
 
-// Write serializes the platform to w in snapshot format.
+// Write serializes the platform to w in snapshot format. Live ingestion is
+// paused (via the platform's ingest lock) while the payload is encoded, so
+// a snapshot taken on a serving platform is always job-consistent: it
+// never captures a half-applied mutation.
 func Write(w io.Writer, p *core.Platform) error {
-	payload := encodePayload(p)
+	payload := func() []byte {
+		p.IngestLock()
+		defer p.IngestUnlock() // release even if encoding panics
+		return encodePayload(p)
+	}()
 	var hdr [headerLen]byte
 	copy(hdr[0:4], magic[:])
 	binary.LittleEndian.PutUint16(hdr[4:6], Version)
@@ -223,9 +238,12 @@ func encodePayload(p *core.Platform) []byte {
 			w.uvarint(uint64(q.G))
 		}
 	})
+	profiles := p.ProfilesView()
+	edges := p.EdgesView()
+	tembs := p.TableEmbeddingsView()
 	section(secProf, func(w *writer) {
-		w.uint(len(p.Profiles))
-		for _, cp := range p.Profiles {
+		w.uint(len(profiles))
+		for _, cp := range profiles {
 			w.str(cp.Dataset)
 			w.str(cp.Table)
 			w.str(cp.Column)
@@ -242,15 +260,15 @@ func encodePayload(p *core.Platform) []byte {
 		}
 	})
 	section(secTEmb, func(w *writer) {
-		ids := make([]string, 0, len(p.TableEmbeddings))
-		for id := range p.TableEmbeddings {
+		ids := make([]string, 0, len(tembs))
+		for id := range tembs {
 			ids = append(ids, id)
 		}
 		sort.Strings(ids)
 		w.uint(len(ids))
 		for _, id := range ids {
 			w.str(id)
-			w.vec(p.TableEmbeddings[id])
+			w.vec(tembs[id])
 		}
 	})
 	section(secTOrder, func(w *writer) {
@@ -261,8 +279,8 @@ func encodePayload(p *core.Platform) []byte {
 		}
 	})
 	section(secEdges, func(w *writer) {
-		w.uint(len(p.Edges))
-		for _, e := range p.Edges {
+		w.uint(len(edges))
+		for _, e := range edges {
 			w.str(e.A)
 			w.str(e.B)
 			w.str(e.Kind)
@@ -291,6 +309,17 @@ func encodePayload(p *core.Platform) []byte {
 			}
 		})
 	}
+	section(secConfig, func(w *writer) {
+		cfg := p.Config()
+		w.f64(cfg.Thresholds.Alpha)
+		w.f64(cfg.Thresholds.Beta)
+		w.f64(cfg.Thresholds.Theta)
+		skip := byte(0)
+		if cfg.SkipLabelSimilarity {
+			skip = 1
+		}
+		w.u8(skip)
+	})
 	section(secScripts, func(w *writer) {
 		scripts := p.Scripts()
 		w.uint(len(scripts))
@@ -337,7 +366,7 @@ func decodePayload(payload []byte) (*core.RestoredState, error) {
 		}
 		// Known tags must be unique: duplicate sections would hand the same
 		// output variables to two decoder goroutines.
-		if tag >= secDict && tag <= secScripts {
+		if tag >= secDict && tag <= secConfig {
 			if seenTags[tag] {
 				top.fail("duplicate section tag %d", tag)
 				break
@@ -465,6 +494,17 @@ func decodePayload(payload []byte) (*core.RestoredState, error) {
 				}
 				if r.err == nil {
 					st.TableANN, annErr = vectorindex.ImportHNSW(g)
+				}
+			}
+		case secConfig:
+			decode = func(r *reader) {
+				cfg := core.DefaultConfig()
+				cfg.Thresholds.Alpha = r.f64()
+				cfg.Thresholds.Beta = r.f64()
+				cfg.Thresholds.Theta = r.f64()
+				cfg.SkipLabelSimilarity = r.u8() == 1
+				if r.err == nil {
+					st.Config = &cfg
 				}
 			}
 		case secScripts:

@@ -112,7 +112,7 @@ func lex(src string) ([]token, error) {
 			// '.' inside a number is handled in the number branch below.
 			l.emit(tokPunct, string(c), l.pos)
 			l.pos++
-		case c == '=' :
+		case c == '=':
 			l.emit(tokOp, "=", l.pos)
 			l.pos++
 		case c == '!':

@@ -1,0 +1,158 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"kglids/internal/rdf"
+)
+
+func quad(s, p, o string, g rdf.Term) rdf.Quad {
+	return rdf.Quad{Triple: rdf.T(rdf.Resource(s), rdf.Ontology(p), rdf.Resource(o)), Graph: g}
+}
+
+func TestRemoveQuad(t *testing.T) {
+	st := New()
+	q := quad("a", "p", "b", rdf.DefaultGraph)
+	st.AddQuad(q)
+	if !st.RemoveQuad(q) {
+		t.Fatal("RemoveQuad = false for present quad")
+	}
+	if st.RemoveQuad(q) {
+		t.Fatal("RemoveQuad = true for absent quad")
+	}
+	if st.Len() != 0 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+	if got := st.Match(Wildcard, Wildcard, Wildcard, rdf.DefaultGraph); len(got) != 0 {
+		t.Fatalf("match after remove: %v", got)
+	}
+	// Removing terms never seen by the dictionary is a no-op.
+	if st.RemoveQuad(quad("never", "seen", "this", rdf.DefaultGraph)) {
+		t.Fatal("RemoveQuad = true for unknown terms")
+	}
+}
+
+// TestRemoveSharedTripleKeepsOtherGraphs pins the union-index semantics: a
+// triple in two named graphs survives removal from one of them.
+func TestRemoveSharedTripleKeepsOtherGraphs(t *testing.T) {
+	st := New()
+	g1, g2 := rdf.Resource("g1"), rdf.Resource("g2")
+	st.AddQuad(quad("a", "p", "b", g1))
+	st.AddQuad(quad("a", "p", "b", g2))
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+
+	if !st.RemoveQuad(quad("a", "p", "b", g1)) {
+		t.Fatal("remove from g1 failed")
+	}
+	// Still visible in g2 and in the union.
+	if n := st.CountMatch(Wildcard, Wildcard, Wildcard, g2); n != 1 {
+		t.Errorf("g2 match = %d", n)
+	}
+	if n := st.CountMatch(Wildcard, Wildcard, Wildcard, rdf.DefaultGraph); n != 1 {
+		t.Errorf("union match = %d", n)
+	}
+	// Gone from g1.
+	if n := st.CountMatch(Wildcard, Wildcard, Wildcard, g1); n != 0 {
+		t.Errorf("g1 match = %d", n)
+	}
+
+	if !st.RemoveQuad(quad("a", "p", "b", g2)) {
+		t.Fatal("remove from g2 failed")
+	}
+	if n := st.CountMatch(Wildcard, Wildcard, Wildcard, rdf.DefaultGraph); n != 0 {
+		t.Errorf("union match after last removal = %d", n)
+	}
+	if st.Len() != 0 || st.NodeCount() != 0 {
+		t.Errorf("Len = %d NodeCount = %d", st.Len(), st.NodeCount())
+	}
+}
+
+func TestRemoveGraph(t *testing.T) {
+	st := New()
+	g1, g2 := rdf.Resource("g1"), rdf.Resource("g2")
+	// g1: three exclusive triples plus one shared with g2.
+	for i := 0; i < 3; i++ {
+		st.AddQuad(quad(fmt.Sprintf("s%d", i), "p", "o", g1))
+	}
+	st.AddQuad(quad("shared", "p", "o", g1))
+	st.AddQuad(quad("shared", "p", "o", g2))
+	st.AddQuad(quad("only2", "p", "o", g2))
+
+	if removed := st.RemoveGraph(g1); removed != 4 {
+		t.Fatalf("RemoveGraph removed %d quads, want 4", removed)
+	}
+	if removed := st.RemoveGraph(g1); removed != 0 {
+		t.Fatalf("second RemoveGraph removed %d", removed)
+	}
+	if st.GraphLen(g1) != 0 {
+		t.Errorf("GraphLen(g1) = %d", st.GraphLen(g1))
+	}
+	// g1 no longer listed.
+	for _, g := range st.Graphs() {
+		if g.Equal(g1) {
+			t.Error("g1 still listed in Graphs()")
+		}
+	}
+	// Shared triple survives via g2; exclusive ones are gone from the union.
+	if n := st.CountMatch(rdf.Resource("shared"), Wildcard, Wildcard, rdf.DefaultGraph); n != 1 {
+		t.Errorf("shared triple = %d matches", n)
+	}
+	if n := st.CountMatch(rdf.Resource("s0"), Wildcard, Wildcard, rdf.DefaultGraph); n != 0 {
+		t.Errorf("exclusive triple still matched %d", n)
+	}
+	if st.Len() != 2 {
+		t.Errorf("Len = %d, want 2", st.Len())
+	}
+
+	// Unknown graph and the default graph are no-ops.
+	if st.RemoveGraph(rdf.Resource("nope")) != 0 || st.RemoveGraph(rdf.DefaultGraph) != 0 {
+		t.Error("removing unknown/default graph should remove nothing")
+	}
+}
+
+// TestRemoveBatchAnnotatedEdges mirrors the similarity-edge retraction
+// pattern: triples plus RDF-star annotations removed in one batch.
+func TestRemoveBatchAnnotatedEdges(t *testing.T) {
+	st := New()
+	tr := rdf.T(rdf.Resource("colA"), rdf.Ontology("contentSimilarity"), rdf.Resource("colB"))
+	ann := rdf.T(rdf.QuotedTriple(tr), rdf.Ontology("certainty"), rdf.Float(0.93))
+	st.AddBatch([]rdf.Quad{
+		{Triple: tr, Graph: rdf.DefaultGraph},
+		{Triple: ann, Graph: rdf.DefaultGraph},
+	})
+	if _, ok := st.Annotation(tr, rdf.Ontology("certainty")); !ok {
+		t.Fatal("annotation missing before removal")
+	}
+	if removed := st.RemoveBatch([]rdf.Quad{
+		{Triple: tr, Graph: rdf.DefaultGraph},
+		{Triple: ann, Graph: rdf.DefaultGraph},
+	}); removed != 2 {
+		t.Fatalf("RemoveBatch removed %d, want 2", removed)
+	}
+	if st.Len() != 0 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+	if _, ok := st.Annotation(tr, rdf.Ontology("certainty")); ok {
+		t.Error("annotation survives removal")
+	}
+}
+
+// TestAddAfterRemove checks a removed quad can be re-added cleanly (the
+// update path: remove table, re-ingest changed version).
+func TestAddAfterRemove(t *testing.T) {
+	st := New()
+	g := rdf.Resource("tbl")
+	q := quad("a", "p", "b", g)
+	st.AddQuad(q)
+	st.RemoveGraph(g)
+	st.AddQuad(q)
+	if st.Len() != 1 || st.GraphLen(g) != 1 {
+		t.Fatalf("Len = %d GraphLen = %d after re-add", st.Len(), st.GraphLen(g))
+	}
+	if n := st.CountMatch(Wildcard, Wildcard, Wildcard, rdf.DefaultGraph); n != 1 {
+		t.Fatalf("union match = %d", n)
+	}
+}

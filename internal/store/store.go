@@ -324,6 +324,174 @@ func (st *Store) AddEncodedBatch(quads []EncodedQuad) {
 	wg.Wait()
 }
 
+// RemoveQuad deletes a quad from its graph. The triple leaves the union
+// index only when no graph (default or named) contains it any more; the
+// dictionary keeps its interned terms, which only costs memory, never
+// correctness. Returns whether the quad was present.
+func (st *Store) RemoveQuad(q rdf.Quad) bool {
+	ids, ok := st.lookupQuad(q)
+	if !ok {
+		return false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.removeEncoded(ids.s, ids.p, ids.o, ids.g)
+}
+
+// RemoveBatch deletes many quads under a single lock acquisition and
+// returns how many were actually present.
+func (st *Store) RemoveBatch(quads []rdf.Quad) int {
+	enc := make([]encQuad, 0, len(quads))
+	for _, q := range quads {
+		if ids, ok := st.lookupQuad(q); ok {
+			enc = append(enc, ids)
+		}
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	removed := 0
+	for _, e := range enc {
+		if st.removeEncoded(e.s, e.p, e.o, e.g) {
+			removed++
+		}
+	}
+	return removed
+}
+
+// lookupQuad resolves a quad's terms without interning new ones. ok is
+// false when any term (or the graph) is not in the dictionary, which means
+// the quad cannot be in the store.
+func (st *Store) lookupQuad(q rdf.Quad) (encQuad, bool) {
+	var out encQuad
+	var ok bool
+	if out.s, ok = st.dict.Lookup(q.Subject); !ok {
+		return out, false
+	}
+	if out.p, ok = st.dict.Lookup(q.Predicate); !ok {
+		return out, false
+	}
+	if out.o, ok = st.dict.Lookup(q.Object); !ok {
+		return out, false
+	}
+	out.g = unionGraph
+	if q.Graph.Value != "" {
+		if out.g, ok = st.dict.Lookup(q.Graph); !ok {
+			return out, false
+		}
+	}
+	return out, true
+}
+
+// removeEncoded is the mutation core of quad removal. Caller holds st.mu.
+func (st *Store) removeEncoded(s, p, o, g TermID) bool {
+	key := encQuad{s: s, p: p, o: o}
+	set := st.graphsOf[key]
+	if !containsID(set, g) {
+		return false
+	}
+	set = removeID(set, g)
+	if len(set) == 0 {
+		delete(st.graphsOf, key)
+	} else {
+		st.graphsOf[key] = set
+	}
+	st.count--
+	if st.graphs[g]--; st.graphs[g] <= 0 {
+		delete(st.graphs, g)
+	}
+	if g != unionGraph {
+		removeIdx(st.spo, g, s, p, o)
+		removeIdx(st.pos, g, p, o, s)
+		removeIdx(st.osp, g, o, s, p)
+	}
+	// The union pseudo-graph holds the triple once for all its graphs; it
+	// goes away only with the last membership.
+	if len(set) == 0 {
+		removeIdx(st.spo, unionGraph, s, p, o)
+		removeIdx(st.pos, unionGraph, p, o, s)
+		removeIdx(st.osp, unionGraph, o, s, p)
+	}
+	return true
+}
+
+// RemoveGraph drops an entire named graph: every triple loses its
+// membership in g, and triples contained in no other graph disappear from
+// the union index too (triples shared with other graphs — e.g. dataset
+// metadata shared by sibling table graphs — survive there). Returns the
+// number of quads removed. Removing the default graph is not supported;
+// passing it (or an unknown graph) removes nothing.
+func (st *Store) RemoveGraph(g rdf.Term) int {
+	if g.Value == "" {
+		return 0
+	}
+	gid, ok := st.dict.Lookup(g)
+	if !ok {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	// Collect first: removeEncoded mutates the very index being walked.
+	var triples []encQuad
+	for s, l2 := range st.spo[gid] {
+		for p, objs := range l2 {
+			for _, o := range objs {
+				triples = append(triples, encQuad{s: s, p: p, o: o})
+			}
+		}
+	}
+	removed := 0
+	for _, t := range triples {
+		if st.removeEncoded(t.s, t.p, t.o, gid) {
+			removed++
+		}
+	}
+	return removed
+}
+
+func removeID(s []TermID, v TermID) []TermID {
+	for i, x := range s {
+		if x == v {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// removeSorted deletes v from a sorted posting list, preserving order.
+func removeSorted(s []TermID, v TermID) []TermID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i >= len(s) || s[i] != v {
+		return s
+	}
+	return append(s[:i], s[i+1:]...)
+}
+
+// removeIdx deletes (a, b, c) from one index ordering of graph g, pruning
+// emptied levels so Graphs() and full scans never see ghost entries.
+func removeIdx(idx map[TermID]map[TermID]map[TermID][]TermID, g, a, b, c TermID) {
+	l1 := idx[g]
+	if l1 == nil {
+		return
+	}
+	l2 := l1[a]
+	if l2 == nil {
+		return
+	}
+	vals := removeSorted(l2[b], c)
+	if len(vals) == 0 {
+		delete(l2, b)
+	} else {
+		l2[b] = vals
+	}
+	if len(l2) == 0 {
+		delete(l1, a)
+	}
+	if len(l1) == 0 {
+		delete(idx, g)
+	}
+}
+
 func insertionSortIDs(s []TermID) {
 	for i := 1; i < len(s); i++ {
 		for j := i; j > 0 && s[j] < s[j-1]; j-- {

@@ -87,7 +87,7 @@ func TestConstantColumnScaling(t *testing.T) {
 }
 
 func TestApplyUnary(t *testing.T) {
-	df := numericFrame(0, 1, math.E - 1)
+	df := numericFrame(0, 1, math.E-1)
 	out, err := ApplyUnary(UnaryLog, df, "x")
 	if err != nil {
 		t.Fatal(err)

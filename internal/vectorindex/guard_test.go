@@ -1,0 +1,224 @@
+package vectorindex
+
+import (
+	"fmt"
+	"testing"
+
+	"kglids/internal/embed"
+)
+
+// vec builds a unit-ish test vector.
+func vec(vals ...float64) embed.Vector { return embed.Vector(vals) }
+
+// TestSearchGuards is the table-driven guard suite for both index
+// implementations: non-positive k and empty indexes must yield no results
+// instead of panicking or allocating.
+func TestSearchGuards(t *testing.T) {
+	builders := []struct {
+		name  string
+		empty func() Index
+	}{
+		{"Exact", func() Index { return NewExact() }},
+		{"HNSW", func() Index { return NewHNSW(4, 8, 8) }},
+	}
+	cases := []struct {
+		name    string
+		ids     []string // indexed before searching
+		k       int
+		wantLen int
+	}{
+		{"empty index, k=3", nil, 3, 0},
+		{"empty index, k=0", nil, 0, 0},
+		{"k=0", []string{"a", "b"}, 0, 0},
+		{"k=-5", []string{"a", "b"}, -5, 0},
+		{"k=1 of 2", []string{"a", "b"}, 1, 1},
+		{"k exceeds size", []string{"a", "b"}, 10, 2},
+	}
+	for _, b := range builders {
+		for _, c := range cases {
+			t.Run(fmt.Sprintf("%s/%s", b.name, c.name), func(t *testing.T) {
+				idx := b.empty()
+				for i, id := range c.ids {
+					idx.Add(id, vec(1, float64(i), 0))
+				}
+				got := idx.Search(vec(1, 0, 0), c.k)
+				if len(got) != c.wantLen {
+					t.Errorf("Search(k=%d) returned %d results, want %d", c.k, len(got), c.wantLen)
+				}
+			})
+		}
+	}
+}
+
+func TestExactRemove(t *testing.T) {
+	e := NewExact()
+	for i := 0; i < 5; i++ {
+		e.Add(fmt.Sprintf("t%d", i), vec(float64(i+1), 1, 0))
+	}
+	if !e.Remove("t2") {
+		t.Fatal("Remove(t2) = false")
+	}
+	if e.Remove("t2") {
+		t.Fatal("double remove should report absence")
+	}
+	if e.Len() != 4 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	// Insertion order of the survivors is preserved.
+	want := []string{"t0", "t1", "t3", "t4"}
+	got := e.IDs()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", got, want)
+		}
+	}
+	// Remaining entries stay searchable and positions stay consistent.
+	if _, ok := e.Get("t2"); ok {
+		t.Error("removed ID still gettable")
+	}
+	if v, ok := e.Get("t4"); !ok || len(v) == 0 {
+		t.Error("surviving ID lost after remove")
+	}
+	for _, r := range e.Search(vec(5, 1, 0), 10) {
+		if r.ID == "t2" {
+			t.Error("removed ID returned from Search")
+		}
+	}
+}
+
+func TestHNSWRemoveTombstones(t *testing.T) {
+	h := NewHNSW(4, 16, 16)
+	for i := 0; i < 30; i++ {
+		h.Add(fmt.Sprintf("t%d", i), vec(float64(i), 1, 0.5))
+	}
+	if !h.Remove("t7") {
+		t.Fatal("Remove(t7) = false")
+	}
+	if h.Remove("t7") {
+		t.Fatal("double remove should report absence")
+	}
+	if h.Len() != 29 {
+		t.Fatalf("Len = %d, want 29", h.Len())
+	}
+	for _, r := range h.Search(vec(7, 1, 0.5), 30) {
+		if r.ID == "t7" {
+			t.Fatal("tombstoned ID returned from Search")
+		}
+	}
+	// Re-adding a removed ID resurrects it as a fresh node.
+	h.Add("t7", vec(7, 1, 0.5))
+	if h.Len() != 30 {
+		t.Fatalf("Len = %d after re-add", h.Len())
+	}
+	found := false
+	for _, r := range h.Search(vec(7, 1, 0.5), 5) {
+		if r.ID == "t7" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("re-added ID not searchable")
+	}
+}
+
+// TestHNSWCompaction removes most nodes to trigger the rebuild and checks
+// the survivors stay searchable.
+func TestHNSWCompaction(t *testing.T) {
+	h := NewHNSW(4, 16, 16)
+	const n = 40
+	for i := 0; i < n; i++ {
+		h.Add(fmt.Sprintf("t%d", i), vec(float64(i), 1, 0.5))
+	}
+	for i := 0; i < n-5; i++ {
+		if !h.Remove(fmt.Sprintf("t%d", i)) {
+			t.Fatalf("Remove(t%d) = false", i)
+		}
+	}
+	if h.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", h.Len())
+	}
+	res := h.Search(vec(float64(n-1), 1, 0.5), 5)
+	if len(res) != 5 {
+		t.Fatalf("post-compaction search returned %d results", len(res))
+	}
+	for _, r := range res {
+		var i int
+		fmt.Sscanf(r.ID, "t%d", &i)
+		if i < n-5 {
+			t.Errorf("deleted node %s surfaced after compaction", r.ID)
+		}
+	}
+}
+
+// TestHNSWExportCompactsTombstones checks that Export drops tombstones and
+// the exported graph round-trips through ImportHNSW with identical search
+// behaviour.
+func TestHNSWExportCompactsTombstones(t *testing.T) {
+	h := NewHNSW(4, 16, 16)
+	for i := 0; i < 20; i++ {
+		h.Add(fmt.Sprintf("t%d", i), vec(float64(i), 1, 0.5))
+	}
+	h.Remove("t3")
+	h.Remove("t19")
+	g := h.Export()
+	if len(g.Nodes) != 18 {
+		t.Fatalf("exported %d nodes, want 18", len(g.Nodes))
+	}
+	for _, gn := range g.Nodes {
+		if gn.ID == "t3" || gn.ID == "t19" {
+			t.Fatalf("tombstoned node %s exported", gn.ID)
+		}
+		for _, level := range gn.Links {
+			for _, nb := range level {
+				if nb < 0 || nb >= len(g.Nodes) {
+					t.Fatalf("link %d out of range after remap", nb)
+				}
+			}
+		}
+	}
+	imported, err := ImportHNSW(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imported.Len() != 18 {
+		t.Fatalf("imported Len = %d", imported.Len())
+	}
+	want := h.Search(vec(10, 1, 0.5), 5)
+	got := imported.Search(vec(10, 1, 0.5), 5)
+	if len(want) != len(got) {
+		t.Fatalf("search sizes differ: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i].ID != got[i].ID {
+			t.Errorf("hit %d: %s vs %s", i, want[i].ID, got[i].ID)
+		}
+	}
+}
+
+// TestHNSWRemoveEntryPoint tombstones the entry node and checks search and
+// export still work.
+func TestHNSWRemoveEntryPoint(t *testing.T) {
+	h := NewHNSW(4, 16, 16)
+	for i := 0; i < 20; i++ {
+		h.Add(fmt.Sprintf("t%d", i), vec(float64(i), 1, 0.5))
+	}
+	// The entry point is whichever node drew the highest level; remove by
+	// trying every ID until Len drops — instead, simply remove them all and
+	// ensure search degrades gracefully at each step.
+	for i := 0; i < 20; i++ {
+		res := h.Search(vec(1, 1, 0.5), 3)
+		if want := min(3, h.Len()); len(res) != want {
+			t.Fatalf("search after %d removals: %d results, want %d", i, len(res), want)
+		}
+		h.Remove(fmt.Sprintf("t%d", i))
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d after removing all", h.Len())
+	}
+	if res := h.Search(vec(1, 1, 0.5), 3); len(res) != 0 {
+		t.Fatalf("search on emptied index returned %v", res)
+	}
+	if g := h.Export(); len(g.Nodes) != 0 || g.Entry != -1 {
+		t.Fatalf("export of emptied index: %d nodes entry %d", len(g.Nodes), g.Entry)
+	}
+}

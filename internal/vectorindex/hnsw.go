@@ -26,6 +26,14 @@ type HNSW struct {
 	maxLvl int
 	rng    *rand.Rand
 	levelF float64
+
+	// deleted marks tombstoned node indexes. Tombstones stay navigable —
+	// removing a node's links would tear holes in the small-world graph —
+	// but are never returned from Search and never counted by Len. The
+	// index compacts itself (rebuilding from live nodes) when tombstones
+	// outnumber live entries.
+	deleted  map[int]bool
+	nDeleted int
 }
 
 type hnswNode struct {
@@ -45,22 +53,30 @@ func NewHNSW(m, efConstruction, efSearch int) *HNSW {
 		entry:          -1,
 		rng:            rand.New(rand.NewSource(42)),
 		levelF:         1.0 / math.Log(float64(m)),
+		deleted:        map[int]bool{},
 	}
 }
 
-// Len implements Index.
+// Len implements Index. Tombstoned nodes are not counted.
 func (h *HNSW) Len() int {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
-	return len(h.nodes)
+	return len(h.nodes) - h.nDeleted
 }
 
-// Add implements Index.
+// Add implements Index. Re-adding an ID that was removed inserts a fresh
+// node with newly selected neighbours (the tombstone stays behind until
+// compaction).
 func (h *HNSW) Add(id string, v embed.Vector) {
 	u := v.Clone()
 	u.Normalize()
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.addLocked(id, u)
+}
+
+// addLocked inserts a pre-normalized vector; caller holds h.mu.
+func (h *HNSW) addLocked(id string, u embed.Vector) {
 	if i, ok := h.byID[id]; ok {
 		h.nodes[i].vec = u
 		return
@@ -99,6 +115,51 @@ func (h *HNSW) Add(id string, v embed.Vector) {
 	if level > h.maxLvl {
 		h.maxLvl = level
 		h.entry = idx
+	}
+}
+
+// Remove tombstones a node: it disappears from Search results and Len but
+// keeps its links so the navigable graph stays connected. When tombstones
+// outnumber live nodes the index rebuilds itself from the live set.
+// Returns whether the ID was present.
+func (h *HNSW) Remove(id string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i, ok := h.byID[id]
+	if !ok {
+		return false
+	}
+	delete(h.byID, id)
+	h.deleted[i] = true
+	h.nDeleted++
+	if live := len(h.nodes) - h.nDeleted; h.nDeleted > live && len(h.nodes) > 16 {
+		h.compactLocked()
+	}
+	return true
+}
+
+// compactLocked rebuilds the index from its live nodes, discarding
+// tombstones. Insertion order (and the level RNG stream) continues from
+// the current state, so the rebuilt graph is deterministic.
+func (h *HNSW) compactLocked() {
+	type entry struct {
+		id  string
+		vec embed.Vector
+	}
+	live := make([]entry, 0, len(h.nodes)-h.nDeleted)
+	for i, n := range h.nodes {
+		if !h.deleted[i] {
+			live = append(live, entry{id: n.id, vec: n.vec})
+		}
+	}
+	h.nodes = h.nodes[:0]
+	h.byID = make(map[string]int, len(live))
+	h.deleted = map[int]bool{}
+	h.nDeleted = 0
+	h.entry = -1
+	h.maxLvl = 0
+	for _, e := range live {
+		h.addLocked(e.id, e.vec)
 	}
 }
 
@@ -201,11 +262,16 @@ func (h *HNSW) pruneLinks(node, level int) {
 	}
 }
 
-// Search implements Index.
+// Search implements Index. Non-positive k and empty (or fully tombstoned)
+// indexes yield no results; tombstoned nodes are traversed but never
+// returned.
 func (h *HNSW) Search(q embed.Vector, k int) []Result {
+	if k <= 0 {
+		return nil
+	}
 	h.mu.RLock()
 	defer h.mu.RUnlock()
-	if h.entry < 0 {
+	if h.entry < 0 || len(h.nodes) == h.nDeleted {
 		return nil
 	}
 	nq := q.Clone()
@@ -214,15 +280,21 @@ func (h *HNSW) Search(q embed.Vector, k int) []Result {
 	for l := h.maxLvl; l > 0; l-- {
 		cur = h.greedyClosest(nq, cur, l)
 	}
+	// Widen the beam by the tombstone count so deletions do not silently
+	// shrink recall below k.
 	ef := h.efSearch
 	if ef < k {
 		ef = k
 	}
+	ef += h.nDeleted
 	cands := h.searchLayer(nq, cur, ef, 0)
 	out := make([]Result, 0, k)
 	for _, c := range cands {
 		if len(out) >= k {
 			break
+		}
+		if h.deleted[c.node] {
+			continue
 		}
 		out = append(out, Result{ID: h.nodes[c.node].id, Score: c.score})
 	}

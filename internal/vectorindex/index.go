@@ -56,12 +56,38 @@ func (e *Exact) Add(id string, v embed.Vector) {
 	e.vecs = append(e.vecs, u)
 }
 
-// Search implements Index.
+// Remove deletes a vector by ID, preserving the insertion order of the
+// remaining entries (tie-breaking in Search depends on it). Returns whether
+// the ID was present.
+func (e *Exact) Remove(id string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	i, ok := e.pos[id]
+	if !ok {
+		return false
+	}
+	e.ids = append(e.ids[:i], e.ids[i+1:]...)
+	e.vecs = append(e.vecs[:i], e.vecs[i+1:]...)
+	delete(e.pos, id)
+	for j := i; j < len(e.ids); j++ {
+		e.pos[e.ids[j]] = j
+	}
+	return true
+}
+
+// Search implements Index. Non-positive k and empty indexes yield no
+// results.
 func (e *Exact) Search(q embed.Vector, k int) []Result {
+	if k <= 0 {
+		return nil
+	}
 	nq := q.Clone()
 	nq.Normalize()
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	if len(e.ids) == 0 {
+		return nil
+	}
 	results := make([]Result, 0, len(e.ids))
 	for i, v := range e.vecs {
 		results = append(results, Result{ID: e.ids[i], Score: nq.Dot(v)})

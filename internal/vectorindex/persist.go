@@ -30,7 +30,11 @@ type GraphNode struct {
 	Links [][]int
 }
 
-// Export captures the index state for snapshotting.
+// Export captures the index state for snapshotting. Tombstoned nodes are
+// compacted away: live nodes keep their relative order, links are remapped
+// (links into tombstones are dropped), and the entry point is re-anchored
+// to a live node if the original was removed. The exported graph therefore
+// always round-trips through ImportHNSW regardless of deletion history.
 func (h *HNSW) Export() Graph {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
@@ -38,16 +42,44 @@ func (h *HNSW) Export() Graph {
 		M:              h.m,
 		EfConstruction: h.efConstruction,
 		EfSearch:       h.efSearch,
-		Entry:          h.entry,
-		MaxLevel:       h.maxLvl,
-		Nodes:          make([]GraphNode, len(h.nodes)),
+		Entry:          -1,
+		Nodes:          make([]GraphNode, 0, len(h.nodes)-h.nDeleted),
+	}
+	remap := make(map[int]int, len(h.nodes)-h.nDeleted)
+	for i := range h.nodes {
+		if !h.deleted[i] {
+			remap[i] = len(remap)
+		}
 	}
 	for i, n := range h.nodes {
+		if h.deleted[i] {
+			continue
+		}
 		links := make([][]int, len(n.links))
 		for l, ns := range n.links {
-			links[l] = append([]int(nil), ns...)
+			links[l] = make([]int, 0, len(ns))
+			for _, nb := range ns {
+				if to, live := remap[nb]; live {
+					links[l] = append(links[l], to)
+				}
+			}
 		}
-		g.Nodes[i] = GraphNode{ID: n.id, Vec: n.vec.Clone(), Links: links}
+		if lvl := len(n.links) - 1; lvl > g.MaxLevel {
+			g.MaxLevel = lvl
+		}
+		g.Nodes = append(g.Nodes, GraphNode{ID: n.id, Vec: n.vec.Clone(), Links: links})
+	}
+	if to, live := remap[h.entry]; live {
+		g.Entry = to
+	} else {
+		// Entry was tombstoned: anchor to the highest-levelled live node
+		// (first such node for determinism).
+		for i, gn := range g.Nodes {
+			if len(gn.Links)-1 == g.MaxLevel {
+				g.Entry = i
+				break
+			}
+		}
 	}
 	return g
 }
@@ -75,6 +107,7 @@ func ImportHNSW(g Graph) (*HNSW, error) {
 		maxLvl:         g.MaxLevel,
 		rng:            rand.New(rand.NewSource(42)),
 		levelF:         1.0 / math.Log(float64(g.M)),
+		deleted:        map[int]bool{},
 	}
 	h.nodes = make([]hnswNode, n)
 	for i, gn := range g.Nodes {

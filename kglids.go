@@ -145,6 +145,28 @@ func Read(r io.Reader) (*Platform, error) {
 // dataset graph (Algorithm 1 + Graph Linker).
 func (p *Platform) AddPipelines(scripts []Script) { p.core.AddPipelines(scripts) }
 
+// AddTables ingests new or changed tables into the live platform without a
+// re-bootstrap: the new tables are profiled, their metadata subgraphs are
+// inserted as per-table named graphs, delta similarity edges are computed
+// against the whole lake, and the embedding indexes are upserted. A table
+// whose "dataset/name" ID already exists is treated as an update (the old
+// version is removed first). Discovery queries may run concurrently; after
+// any sequence of AddTables/RemoveTable calls the platform is equivalent
+// to a fresh Bootstrap over the final table set. Returns the ingested
+// table IDs. See internal/ingest for the asynchronous job-queue front end.
+func (p *Platform) AddTables(tables []Table) ([]string, error) { return p.core.AddTables(tables) }
+
+// RemoveTable deletes a table from the live platform: its named graph, its
+// similarity edges, and its embeddings all go away, and discovery stops
+// returning it immediately.
+func (p *Platform) RemoveTable(id string) error { return p.core.RemoveTable(id) }
+
+// HasTable reports whether a "dataset/table" ID is currently served.
+func (p *Platform) HasTable(id string) bool { return p.core.HasTable(id) }
+
+// TableIDs returns the IDs of all tables currently served, sorted.
+func (p *Platform) TableIDs() []string { return p.core.TableIDs() }
+
 // Stats returns LiDS graph statistics (the Statistics Manager).
 func (p *Platform) Stats() Stats { return p.core.Stats() }
 
@@ -221,7 +243,7 @@ func (p *Platform) TrainTransformModels(scalers []transform.ScalerExample, unari
 func (p *Platform) TrainAutoML(seeded bool) {
 	usages := automl.MineUsages(p.core.Pipelines())
 	byDataset := map[string][]embed.Vector{}
-	for id, emb := range p.core.TableEmbeddings {
+	for id, emb := range p.core.TableEmbeddingsView() {
 		ds := id
 		if i := indexByte(id, '/'); i >= 0 {
 			ds = id[:i]
