@@ -7,9 +7,9 @@
 //	kglids-bench [-pipelines N] [-training N] [-snapshot F] [-save-snapshot F] [experiment ...]
 //
 // Experiments: table1 table2 figure5 figure6 figure4 table3 table4 table5
-// figure7 table6 figure8 figure9 snapshot ingest, or "all" (default).
-// Table 2 / Figure 5 share one run, as do Table 3 / Table 4 / Figure 4 and
-// Table 5 / Figure 7 and Table 6 / Figure 8.
+// figure7 table6 figure8 figure9 snapshot ingest sparql, or "all"
+// (default). Table 2 / Figure 5 share one run, as do Table 3 / Table 4 /
+// Figure 4 and Table 5 / Figure 7 and Table 6 / Figure 8.
 //
 // The snapshot experiment measures persist-once/serve-many startup: it
 // bootstraps the TUS-Small synthetic lake, saves it with the snapshot
@@ -22,18 +22,28 @@
 // (Platform.AddTables), verifies the result is equivalent to a fresh
 // bootstrap over the full lake, and prints the incremental-vs-rebootstrap
 // speedup (the ≥10x claim of the live-ingestion subsystem).
+//
+// The sparql experiment quantifies the ID-space query engine: it runs
+// discovery-shaped queries on the term-space reference evaluator and the
+// compiled ID-space engine over the serving replica, verifies both agree,
+// and emits a JSON record per query (term_us, id_us, cached_us, speedup)
+// for the performance trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"time"
 
 	"kglids"
 	"kglids/internal/experiments"
 	"kglids/internal/lakegen"
+	"kglids/internal/sparql"
 )
 
 func main() {
@@ -101,6 +111,12 @@ func main() {
 	if run("ingest") {
 		if err := runIngest(); err != nil {
 			fmt.Fprintln(os.Stderr, "ingest experiment:", err)
+			os.Exit(1)
+		}
+	}
+	if run("sparql") {
+		if err := runSPARQL(); err != nil {
+			fmt.Fprintln(os.Stderr, "sparql experiment:", err)
 			os.Exit(1)
 		}
 	}
@@ -213,5 +229,155 @@ func runIngest() error {
 	fmt.Printf("  tables %d | incremental add of 1 table %v | re-bootstrap of %d tables %v | speedup %.0fx\n",
 		n, incremental.Round(time.Millisecond), n, rebootstrap.Round(time.Millisecond),
 		float64(rebootstrap)/float64(incremental))
+	return nil
+}
+
+// sparqlQueryResult is one row of the sparql experiment's JSON output.
+type sparqlQueryResult struct {
+	Name     string  `json:"name"`
+	Query    string  `json:"query"`
+	Rows     int     `json:"rows"`
+	TermUS   float64 `json:"term_us"`
+	IDUS     float64 `json:"id_us"`
+	CachedUS float64 `json:"cached_us"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// sparqlExperiment is the JSON envelope of the sparql experiment.
+type sparqlExperiment struct {
+	Experiment string              `json:"experiment"`
+	Tables     int                 `json:"tables"`
+	Triples    int                 `json:"triples"`
+	Queries    []sparqlQueryResult `json:"queries"`
+}
+
+// medianMicros reports each function's median latency over interleaved
+// repetitions: alternating the candidates inside one loop exposes them to
+// the same GC pauses and scheduler noise, and the median shrugs off the
+// outliers a mean would keep.
+func medianMicros(fns ...func() error) ([]float64, error) {
+	const reps = 31
+	times := make([][]float64, len(fns))
+	for i := 0; i < reps; i++ {
+		for j, fn := range fns {
+			start := time.Now()
+			if err := fn(); err != nil {
+				return nil, err
+			}
+			times[j] = append(times[j], float64(time.Since(start).Nanoseconds())/1e3)
+		}
+	}
+	out := make([]float64, len(fns))
+	for j := range fns {
+		sort.Float64s(times[j])
+		out[j] = times[j][reps/2]
+	}
+	return out, nil
+}
+
+// runSPARQL times the term-space reference evaluator against the compiled
+// ID-space engine (and its generation-keyed cache) over the serving
+// replica, verifying result equivalence, and prints one JSON document.
+func runSPARQL() error {
+	fmt.Println("SPARQL: ID-space compiled engine vs term-space reference (serving replica)")
+
+	lake := lakegen.Generate(snapshotSpec)
+	var tables []kglids.Table
+	for _, df := range lake.Tables {
+		tables = append(tables, kglids.Table{Dataset: lake.Dataset[df.Name], Frame: df})
+	}
+	plat := kglids.Bootstrap(kglids.Options{}, tables)
+	eng := sparql.NewEngine(plat.Core().Store)
+
+	queries := []struct{ name, src string }{
+		{"int-columns", `SELECT ?t ?c ?n WHERE {
+			?t a kglids:Table .
+			?c kglids:isPartOf ?t ; kglids:name ?n ; kglids:dataType "int" . }`},
+		{"similarity-join", `SELECT ?c ?d ?t WHERE {
+			?c kglids:contentSimilarity ?d . ?d kglids:isPartOf ?t . ?t a kglids:Table . }`},
+		{"keyword-filter", `SELECT ?t ?n WHERE {
+			?t a kglids:Table ; kglids:name ?n . FILTER(CONTAINS(LCASE(?n), ".csv") && REGEX(?n, "_t0", "i")) }`},
+		{"type-histogram", `SELECT ?dt (COUNT(?c) AS ?n) WHERE {
+			?c a kglids:Column ; kglids:dataType ?dt . } GROUP BY ?dt ORDER BY DESC(?n)`},
+	}
+
+	report := sparqlExperiment{Experiment: "sparql", Tables: len(tables), Triples: plat.Stats().Triples}
+	for _, q := range queries {
+		parsed, err := sparql.Parse(q.src)
+		if err != nil {
+			return fmt.Errorf("%s: %v", q.name, err)
+		}
+		ref, err := eng.ExecReference(parsed)
+		if err != nil {
+			return fmt.Errorf("%s (reference): %v", q.name, err)
+		}
+		ids, err := eng.Exec(parsed)
+		if err != nil {
+			return fmt.Errorf("%s (compiled): %v", q.name, err)
+		}
+		if err := sameRows(ref, ids); err != nil {
+			return fmt.Errorf("%s: %v", q.name, err)
+		}
+
+		if _, err := eng.Query(q.src); err != nil { // warm the result cache
+			return err
+		}
+		med, err := medianMicros(
+			func() error { _, err := eng.ExecReference(parsed); return err },
+			func() error { _, err := eng.Exec(parsed); return err },
+			func() error { _, err := eng.Query(q.src); return err },
+		)
+		if err != nil {
+			return err
+		}
+		termUS, idUS, cachedUS := med[0], med[1], med[2]
+
+		speedup := 0.0
+		if idUS > 0 {
+			speedup = termUS / idUS
+		}
+		report.Queries = append(report.Queries, sparqlQueryResult{
+			Name: q.name, Query: q.src, Rows: len(ids.Rows),
+			TermUS: termUS, IDUS: idUS, CachedUS: cachedUS, Speedup: speedup,
+		})
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+// sameRows asserts two results carry the same solution multiset,
+// irrespective of enumeration order (ORDER BY ties may interleave
+// differently between engines).
+func sameRows(ref, got *sparql.Result) error {
+	canon := func(r *sparql.Result) []string {
+		vars := append([]string(nil), r.Vars...)
+		sort.Strings(vars)
+		rows := make([]string, len(r.Rows))
+		for i, row := range r.Rows {
+			var sb strings.Builder
+			for _, v := range vars {
+				if t, ok := row[v]; ok {
+					sb.WriteString(v + "=" + t.Key())
+				}
+				sb.WriteByte('|')
+			}
+			rows[i] = sb.String()
+		}
+		sort.Strings(rows)
+		return rows
+	}
+	a, b := canon(got), canon(ref)
+	if len(a) != len(b) {
+		return fmt.Errorf("compiled %d rows, reference %d rows", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("row %d differs: compiled %q, reference %q", i, a[i], b[i])
+		}
+	}
 	return nil
 }

@@ -235,3 +235,42 @@ func TestRemoveLastTableOfDataset(t *testing.T) {
 		}
 	}
 }
+
+// TestQueryCacheInvalidatedByIngest: repeated identical queries are served
+// from the platform's SPARQL result cache until a live mutation
+// (AddTables/RemoveTable) bumps the store generation, after which results
+// reflect the mutation instead of the cached state.
+func TestQueryCacheInvalidatedByIngest(t *testing.T) {
+	tables, _ := ingestLakeTables(t)
+	plat := Bootstrap(Options{}, tables[:len(tables)-1])
+	const q = `SELECT (COUNT(?t) AS ?n) WHERE { ?t a kglids:Table . }`
+
+	count := func() int64 {
+		res, err := plat.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, _ := res.Rows[0]["n"].AsInt()
+		return n
+	}
+	before := count()
+	count() // second run must be a cache hit
+	stats := plat.Core().Discovery.CacheStats()
+	if stats.Hits == 0 {
+		t.Fatalf("repeated query did not hit the cache: %+v", stats)
+	}
+
+	if _, err := plat.AddTables(tables[len(tables)-1:]); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(); got != before+1 {
+		t.Fatalf("count after ingest = %d, want %d (stale cache?)", got, before+1)
+	}
+	id := tables[len(tables)-1].Dataset + "/" + tables[len(tables)-1].Frame.Name
+	if err := plat.RemoveTable(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(); got != before {
+		t.Fatalf("count after removal = %d, want %d (stale cache?)", got, before)
+	}
+}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -410,8 +411,17 @@ func (p *Platform) Pipelines() []*pipeline.Abstraction {
 	return append([]*pipeline.Abstraction(nil), p.Abstractions...)
 }
 
-// Query runs an ad-hoc SPARQL query against the LiDS graph.
+// Query runs an ad-hoc SPARQL query against the LiDS graph on the compiled
+// ID-space engine; repeated queries are served from the generation-keyed
+// result cache, which any AddTables/RemoveTable mutation invalidates.
+// Treat results as read-only.
 func (p *Platform) Query(q string) (*sparql.Result, error) { return p.Discovery.SPARQL(q) }
+
+// QueryContext is Query under a context: cancellation or deadline expiry
+// stops the evaluation mid-iteration.
+func (p *Platform) QueryContext(ctx context.Context, q string) (*sparql.Result, error) {
+	return p.Discovery.SPARQLContext(ctx, q)
+}
 
 // TableIRI resolves a "dataset/table" ID to its graph IRI.
 func (p *Platform) TableIRI(id string) (string, error) {

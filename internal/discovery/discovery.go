@@ -8,8 +8,10 @@
 package discovery
 
 import (
+	"context"
 	"sort"
 	"strings"
+	"sync"
 
 	"kglids/internal/rdf"
 	"kglids/internal/sparql"
@@ -20,6 +22,12 @@ import (
 type Engine struct {
 	st  *store.Store
 	eng *sparql.Engine
+
+	// corpusMu guards the memoized keyword-search corpus, rebuilt only
+	// when the store generation moves.
+	corpusMu  sync.Mutex
+	corpus    []corpusEntry
+	corpusGen uint64
 }
 
 // New returns a discovery engine over st.
@@ -39,9 +47,10 @@ type TableResult struct {
 // keywords are AND'd. Keywords match table, dataset, or column names
 // case-insensitively.
 func (e *Engine) SearchKeywords(conditions [][]string) []TableResult {
+	corpus := e.tableCorpus() // shared across OR-conjunctions
 	seen := map[string]TableResult{}
 	for _, conj := range conditions {
-		for _, hit := range e.searchConjunction(conj) {
+		for _, hit := range searchConjunction(corpus, conj) {
 			key := hit.Table.Key()
 			if old, ok := seen[key]; !ok || hit.Score > old.Score {
 				seen[key] = hit
@@ -62,42 +71,140 @@ func (e *Engine) SearchKeywords(conditions [][]string) []TableResult {
 }
 
 // searchConjunction returns tables where every keyword matches the table's
-// own name, its dataset name, or one of its column names.
-func (e *Engine) searchConjunction(keywords []string) []TableResult {
+// own name, its dataset name, or one of its column names. The searchable
+// corpus is assembled from compiled SPARQL queries whose results the engine
+// caches per store generation, so steady-state keyword traffic is pure
+// in-memory string matching with zero graph traversal.
+func searchConjunction(corpus []corpusEntry, keywords []string) []TableResult {
+	lowered := make([]string, len(keywords))
+	for i, kw := range keywords {
+		lowered[i] = strings.ToLower(kw)
+	}
 	var out []TableResult
-	for _, table := range e.st.Subjects(rdf.RDFType, rdf.ClassTable, rdf.DefaultGraph) {
-		text := e.tableText(table)
+	for _, entry := range corpus {
 		all := true
-		for _, kw := range keywords {
-			if !strings.Contains(text, strings.ToLower(kw)) {
+		for _, kw := range lowered {
+			if !strings.Contains(entry.text, kw) {
 				all = false
 				break
 			}
 		}
 		if all {
-			out = append(out, TableResult{Table: table, Name: e.nameOf(table), Score: float64(len(keywords))})
+			out = append(out, TableResult{Table: entry.table, Name: entry.name, Score: float64(len(keywords))})
 		}
 	}
 	return out
 }
 
-// tableText gathers the lowercase searchable text of a table: its name,
-// dataset name, and column names.
-func (e *Engine) tableText(table rdf.Term) string {
-	var sb strings.Builder
-	sb.WriteString(strings.ToLower(e.nameOf(table)))
-	sb.WriteByte(' ')
-	for _, ds := range e.st.Objects(table, rdf.PropIsPartOf, rdf.DefaultGraph) {
-		sb.WriteString(strings.ToLower(e.nameOf(ds)))
-		sb.WriteByte(' ')
+// corpusEntry is one table's searchable text.
+type corpusEntry struct {
+	table rdf.Term
+	name  string
+	text  string
+}
+
+// corpusQueries fetch, per table, its name, its dataset (with name), and
+// its columns (with names). They run on the compiled engine and their
+// results are cached until the store generation changes.
+const (
+	corpusTablesQ  = `SELECT ?t ?n WHERE { ?t a kglids:Table . OPTIONAL { ?t kglids:name ?n . } }`
+	corpusDatasetQ = `SELECT ?t ?ds ?dn WHERE { ?t a kglids:Table ; kglids:isPartOf ?ds . OPTIONAL { ?ds kglids:name ?dn . } }`
+	corpusColumnsQ = `SELECT ?t ?c ?cn WHERE { ?t a kglids:Table ; kglids:hasColumn ?c . OPTIONAL { ?c kglids:name ?cn . } }`
+)
+
+// tableCorpus returns the searchable text of every table, memoized per
+// store generation: steady-state keyword traffic costs one generation
+// compare, and any live-ingestion mutation rebuilds the corpus on the
+// next search. The returned slice is shared — callers must not mutate it.
+func (e *Engine) tableCorpus() []corpusEntry {
+	gen := e.st.Generation()
+	e.corpusMu.Lock()
+	defer e.corpusMu.Unlock()
+	if e.corpus != nil && e.corpusGen == gen {
+		return e.corpus
 	}
-	for _, col := range e.st.Objects(table, rdf.PropHasColumn, rdf.DefaultGraph) {
-		sb.WriteString(strings.ToLower(e.nameOf(col)))
-		sb.WriteByte(' ')
+	corpus := e.buildCorpus()
+	// Memoize only if no mutation landed while the three corpus queries
+	// ran; a torn corpus may be served once but is never cached.
+	if e.st.Generation() == gen {
+		e.corpus, e.corpusGen = corpus, gen
 	}
-	// Dataset directory name is also part of the table IRI.
-	sb.WriteString(strings.ToLower(table.Value))
-	return sb.String()
+	return corpus
+}
+
+// buildCorpus assembles the corpus: each table's display name, its
+// dataset's display name, its column names, and the table IRI (the
+// dataset directory is part of it). Names are deduplicated and sorted so
+// the corpus is deterministic regardless of query enumeration order.
+func (e *Engine) buildCorpus() []corpusEntry {
+	display := func(node, name rdf.Term) string {
+		if name.Value != "" {
+			return name.Value
+		}
+		return node.Local()
+	}
+	type parts struct {
+		table    rdf.Term
+		name     string
+		ds, cols map[string]bool
+	}
+	byTable := map[string]*parts{}
+	order := []string{}
+	at := func(t rdf.Term) *parts {
+		k := t.Key()
+		p := byTable[k]
+		if p == nil {
+			p = &parts{table: t, ds: map[string]bool{}, cols: map[string]bool{}}
+			byTable[k] = p
+			order = append(order, k)
+		}
+		return p
+	}
+	if res, err := e.eng.Query(corpusTablesQ); err == nil {
+		for _, row := range res.Rows {
+			p := at(row["t"])
+			if n := display(row["t"], row["n"]); p.name == "" || n < p.name {
+				p.name = n
+			}
+		}
+	}
+	if res, err := e.eng.Query(corpusDatasetQ); err == nil {
+		for _, row := range res.Rows {
+			at(row["t"]).ds[display(row["ds"], row["dn"])] = true
+		}
+	}
+	if res, err := e.eng.Query(corpusColumnsQ); err == nil {
+		for _, row := range res.Rows {
+			at(row["t"]).cols[display(row["c"], row["cn"])] = true
+		}
+	}
+	out := make([]corpusEntry, 0, len(order))
+	for _, k := range order {
+		p := byTable[k]
+		var sb strings.Builder
+		sb.WriteString(strings.ToLower(p.name))
+		sb.WriteByte(' ')
+		for _, n := range sortedKeys(p.ds) {
+			sb.WriteString(strings.ToLower(n))
+			sb.WriteByte(' ')
+		}
+		for _, n := range sortedKeys(p.cols) {
+			sb.WriteString(strings.ToLower(n))
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(strings.ToLower(p.table.Value))
+		out = append(out, corpusEntry{table: p.table, name: p.name, text: sb.String()})
+	}
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func (e *Engine) nameOf(node rdf.Term) string {
@@ -132,54 +239,97 @@ func (e *Engine) JoinableTables(table rdf.Term, k int) []TableResult {
 	return e.similarTables(table, k, joinKind)
 }
 
+// similarTables is the ID-space hot path of unionable/joinable search: one
+// store view pins a consistent state, every traversal step (columns,
+// similarity edges, owning tables, RDF-star certainty annotations) walks
+// the encoded indexes, and terms decode only for the final ranked results.
 func (e *Engine) similarTables(table rdf.Term, k int, kind similarityKind) []TableResult {
-	cols := e.st.Objects(table, rdf.PropHasColumn, rdf.DefaultGraph)
+	tid, ok := e.st.EncodeTerm(table)
+	if !ok {
+		return nil
+	}
+	hasCol, okCol := e.st.EncodeTerm(rdf.PropHasColumn)
+	isPartOf, okPart := e.st.EncodeTerm(rdf.PropIsPartOf)
+	if !okCol || !okPart {
+		return nil
+	}
+	certainty, _ := e.st.EncodeTerm(rdf.PropCertainty)
+	type simPred struct {
+		id   store.TermID
+		term rdf.Term
+	}
+	var preds []simPred
+	addPred := func(p rdf.Term) {
+		if id, ok := e.st.EncodeTerm(p); ok {
+			preds = append(preds, simPred{id: id, term: p})
+		}
+	}
+	switch kind {
+	case unionKind:
+		addPred(rdf.PropLabelSimilarity)
+		addPred(rdf.PropContentSimilarity)
+	case joinKind:
+		addPred(rdf.PropContentSimilarity)
+	}
+
+	v := e.st.AcquireView()
+	defer v.Close()
+	dict := v.Dict()
+
+	var cols []store.TermID
+	v.MatchIDs(tid, hasCol, 0, store.UnionGraph, func(_, _, o store.TermID) bool {
+		cols = append(cols, o)
+		return true
+	})
 	if len(cols) == 0 {
 		return nil
 	}
-	// score[table] = sum over query columns of the best match score.
-	scores := map[string]float64{}
-	terms := map[string]rdf.Term{}
+
+	// score[otherTable] = sum over query columns of the best match score.
+	scores := map[store.TermID]float64{}
 	for _, col := range cols {
-		best := map[string]float64{}
-		collect := func(pred rdf.Term) {
-			e.st.MatchFunc(col, pred, store.Wildcard, rdf.DefaultGraph, func(t rdf.Triple) bool {
-				other := t.Object
-				otherTables := e.st.Objects(other, rdf.PropIsPartOf, rdf.DefaultGraph)
-				if len(otherTables) == 0 {
+		colTerm := dict.Term(col)
+		best := map[store.TermID]float64{}
+		for _, pred := range preds {
+			v.MatchIDs(col, pred.id, 0, store.UnionGraph, func(_, _, other store.TermID) bool {
+				var ot store.TermID
+				v.MatchIDs(other, isPartOf, 0, store.UnionGraph, func(_, _, t store.TermID) bool {
+					ot = t
+					return false // first (lowest-ID) owner, as the term-space path chose
+				})
+				if ot == 0 {
 					return true
 				}
-				ot := otherTables[0]
 				score := 1.0
-				if ann, ok := e.st.Annotation(t, rdf.PropCertainty); ok {
-					if f, isF := ann.AsFloat(); isF {
-						score = f
+				if certainty != 0 {
+					// The annotation subject is the quoted similarity triple;
+					// its ID comes from the dictionary, not an index walk.
+					quoted := rdf.QuotedTriple(rdf.T(colTerm, pred.term, dict.Term(other)))
+					if qid, ok := dict.Lookup(quoted); ok {
+						v.MatchIDs(qid, certainty, 0, store.UnionGraph, func(_, _, val store.TermID) bool {
+							if f, isF := dict.Term(val).AsFloat(); isF {
+								score = f
+							}
+							return false
+						})
 					}
 				}
-				key := ot.Key()
-				terms[key] = ot
-				if score > best[key] {
-					best[key] = score
+				if score > best[ot] {
+					best[ot] = score
 				}
 				return true
 			})
 		}
-		switch kind {
-		case unionKind:
-			collect(rdf.PropLabelSimilarity)
-			collect(rdf.PropContentSimilarity)
-		case joinKind:
-			collect(rdf.PropContentSimilarity)
-		}
-		for key, s := range best {
-			scores[key] += s
+		for ot, s := range best {
+			scores[ot] += s
 		}
 	}
+
 	out := make([]TableResult, 0, len(scores))
 	norm := float64(len(cols))
-	for key, s := range scores {
-		t := terms[key]
-		out = append(out, TableResult{Table: t, Name: e.nameOf(t), Score: s / norm})
+	for ot, s := range scores {
+		t := dict.Term(ot)
+		out = append(out, TableResult{Table: t, Name: e.nameOfID(v, ot), Score: s / norm})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
@@ -191,6 +341,22 @@ func (e *Engine) similarTables(table rdf.Term, k int, kind similarityKind) []Tab
 		out = out[:k]
 	}
 	return out
+}
+
+// nameOfID resolves a node's display name under an already-held view.
+func (e *Engine) nameOfID(v *store.View, node store.TermID) string {
+	nameID, ok := e.st.EncodeTerm(rdf.PropName)
+	if ok {
+		var out string
+		v.MatchIDs(node, nameID, 0, store.UnionGraph, func(_, _, o store.TermID) bool {
+			out = v.Dict().Term(o).Value
+			return false
+		})
+		if out != "" {
+			return out
+		}
+	}
+	return v.Dict().Term(node).Local()
 }
 
 // ColumnMatch pairs a query-table column with a matched column of another
@@ -426,5 +592,17 @@ func pipelineOfStatement(stmt rdf.Term) rdf.Term {
 }
 
 // SPARQL exposes the underlying engine for ad-hoc queries (the Ad-hoc
-// Queries interface of Figure 1).
+// Queries interface of Figure 1). Queries run on the compiled ID-space
+// path and repeated queries are served from the generation-keyed cache;
+// treat results as read-only.
 func (e *Engine) SPARQL(query string) (*sparql.Result, error) { return e.eng.Query(query) }
+
+// SPARQLContext is SPARQL under a context: cancellation or deadline expiry
+// stops the evaluation mid-iteration (the per-request timeout path of the
+// HTTP server).
+func (e *Engine) SPARQLContext(ctx context.Context, query string) (*sparql.Result, error) {
+	return e.eng.QueryContext(ctx, query)
+}
+
+// CacheStats reports the SPARQL result-cache counters (tests, monitoring).
+func (e *Engine) CacheStats() sparql.CacheStats { return e.eng.CacheStats() }

@@ -110,8 +110,18 @@ func New(plat *kglids.Platform, opts Options) http.Handler {
 		if q == "" {
 			return nil, badRequest("missing 'query' parameter")
 		}
-		res, err := plat.Query(q)
+		// The request context carries the per-request deadline: when it
+		// fires, the engine aborts the evaluation mid-iteration instead of
+		// burning a worker on an abandoned query. Repeated queries are
+		// answered from the engine's (query, store generation) cache.
+		res, err := plat.QueryContext(r.Context(), q)
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				// Explicit 504: withTimeout's own deadline branch races the
+				// handler finishing, so the buffered response must carry the
+				// right status either way.
+				return nil, &httpError{status: http.StatusGatewayTimeout, msg: "request timed out"}
+			}
 			return nil, badRequest(err.Error())
 		}
 		rows := make([]map[string]string, len(res.Rows))

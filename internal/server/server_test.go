@@ -217,3 +217,38 @@ func TestPanicBecomes500(t *testing.T) {
 	}
 	decodeErr(t, rec.Body.Bytes())
 }
+
+// TestSPARQLTimeoutCancelsQuery: a query that cannot finish inside the
+// per-request deadline yields the 504 envelope, and the context threaded
+// through plat.QueryContext aborts the evaluation mid-iteration instead of
+// leaving the worker goroutine spinning.
+func TestSPARQLTimeoutCancelsQuery(t *testing.T) {
+	plat, _ := testPlatform(t)
+	h := New(plat, Options{RequestTimeout: 10 * time.Millisecond})
+	q := url.QueryEscape(`SELECT (COUNT(*) AS ?n) WHERE {
+		?a kglids:name ?n1 . ?b kglids:name ?n2 . ?c kglids:name ?n3 .
+		?d kglids:name ?n4 . ?e kglids:name ?n5 . }`)
+	code, body := get(t, h, "/sparql?query="+q)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504; body %s", code, body)
+	}
+	decodeErr(t, body)
+}
+
+// TestSPARQLServedFromCache: repeated identical /sparql requests are
+// answered from the engine's generation-keyed result cache.
+func TestSPARQLServedFromCache(t *testing.T) {
+	plat, _ := testPlatform(t)
+	h := New(plat, Options{})
+	q := url.QueryEscape(`SELECT ?t WHERE { ?t a kglids:Table . }`)
+	before := plat.Core().Discovery.CacheStats()
+	for i := 0; i < 3; i++ {
+		if code, body := get(t, h, "/sparql?query="+q); code != http.StatusOK {
+			t.Fatalf("status = %d: %s", code, body)
+		}
+	}
+	after := plat.Core().Discovery.CacheStats()
+	if after.Hits < before.Hits+2 {
+		t.Fatalf("repeated /sparql did not hit the cache: before %+v after %+v", before, after)
+	}
+}

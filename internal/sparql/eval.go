@@ -7,14 +7,21 @@ import (
 	"kglids/internal/rdf"
 )
 
+// binder supplies variable values to FILTER evaluation. Binding implements
+// it directly; the compiled ID-space engine implements it with a slot row
+// that decodes terms lazily (see slotEnv in idexec.go).
+type binder interface {
+	value(name string) (rdf.Term, bool)
+}
+
 // evalExpr evaluates a FILTER expression under a binding. Type errors make
 // the enclosing FILTER exclude the row (SPARQL error semantics).
-func evalExpr(e Expr, b Binding) (rdf.Term, error) {
+func evalExpr(e Expr, b binder) (rdf.Term, error) {
 	switch x := e.(type) {
 	case *LitExpr:
 		return x.Term, nil
 	case *VarExpr:
-		t, ok := b[x.Name]
+		t, ok := b.value(x.Name)
 		if !ok {
 			return rdf.Term{}, fmt.Errorf("unbound variable ?%s", x.Name)
 		}
@@ -43,7 +50,7 @@ func evalExpr(e Expr, b Binding) (rdf.Term, error) {
 	return rdf.Term{}, fmt.Errorf("unknown expression %T", e)
 }
 
-func evalBinary(x *BinaryExpr, b Binding) (rdf.Term, error) {
+func evalBinary(x *BinaryExpr, b binder) (rdf.Term, error) {
 	switch x.Op {
 	case "&&":
 		l, err := evalExpr(x.Left, b)
@@ -118,13 +125,13 @@ func evalBinary(x *BinaryExpr, b Binding) (rdf.Term, error) {
 	return rdf.Term{}, fmt.Errorf("unknown binary op %q", x.Op)
 }
 
-func evalCall(x *CallExpr, b Binding) (rdf.Term, error) {
+func evalCall(x *CallExpr, b binder) (rdf.Term, error) {
 	if x.Fn == "BOUND" {
 		v, ok := x.Args[0].(*VarExpr)
 		if !ok {
 			return rdf.Term{}, fmt.Errorf("BOUND expects a variable")
 		}
-		_, bound := b[v.Name]
+		_, bound := b.value(v.Name)
 		return rdf.Bool(bound), nil
 	}
 	args := make([]rdf.Term, len(x.Args))

@@ -1,10 +1,12 @@
 package sparql
 
 import (
+	"context"
 	"fmt"
 	"regexp"
 	"sort"
 	"strings"
+	"sync"
 
 	"kglids/internal/rdf"
 	"kglids/internal/store"
@@ -13,8 +15,16 @@ import (
 // Binding maps variable names to terms for one solution.
 type Binding map[string]rdf.Term
 
+// value implements binder for the term-space reference engine.
+func (b Binding) value(name string) (rdf.Term, bool) {
+	t, ok := b[name]
+	return t, ok
+}
+
 // Result is the outcome of executing a query: column names and rows of
-// terms aligned with the columns.
+// terms aligned with the columns. Results returned by Query/QueryContext
+// may be served from the engine's cache and shared between callers — treat
+// them as read-only.
 type Result struct {
 	Vars []string
 	Rows []Binding
@@ -24,24 +34,106 @@ type Result struct {
 func (r *Result) Get(i int, v string) rdf.Term { return r.Rows[i][v] }
 
 // Engine executes parsed queries against a store.
+//
+// The default execution path compiles each query into ID space: constant
+// terms resolve to dictionary IDs once, variables become integer slots,
+// join order is planned from live store cardinalities, and matching
+// streams over the encoded indexes — terms materialize only at projection
+// time. A bounded LRU cache keyed on (query text, store generation) serves
+// repeated queries without re-execution; any store mutation bumps the
+// generation and so invalidates every cached result.
+//
+// The pre-compilation evaluator is retained as QueryReference/
+// ExecReference: it is the semantic oracle the equivalence tests and
+// benchmarks compare against.
 type Engine struct {
-	st *store.Store
+	st    *store.Store
+	cache *queryCache
 }
 
-// NewEngine returns an engine over st.
-func NewEngine(st *store.Store) *Engine { return &Engine{st: st} }
+// NewEngine returns an engine over st with a DefaultCacheCapacity-sized
+// result cache.
+func NewEngine(st *store.Store) *Engine {
+	return &Engine{st: st, cache: newQueryCache(DefaultCacheCapacity)}
+}
 
-// Query parses and executes src.
+// SetCacheCapacity resizes the query-result cache; 0 disables caching.
+func (e *Engine) SetCacheCapacity(n int) { e.cache.resize(n) }
+
+// CacheStats reports cumulative cache behaviour (tests and monitoring).
+func (e *Engine) CacheStats() CacheStats { return e.cache.stats() }
+
+// Query parses and executes src on the compiled ID-space path, serving
+// repeated queries from the generation-keyed result cache.
 func (e *Engine) Query(src string) (*Result, error) {
+	return e.QueryContext(context.Background(), src)
+}
+
+// QueryContext is Query under a context: cancellation or deadline expiry
+// stops the evaluation mid-iteration and returns the context's error.
+func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Cache lookup and parsing both happen before the view is acquired:
+	// hits never parse, and parsing — which doesn't touch the store — never
+	// extends the window during which a waiting writer blocks.
+	gen := e.st.Generation()
+	if res, ok := e.cache.get(src, gen); ok {
+		return res, nil
+	}
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.Exec(q)
+	v := e.st.AcquireView()
+	defer v.Close()
+	if g := v.Generation(); g != gen {
+		// A mutation landed between the lookup and the view; recheck so a
+		// concurrent writer can't make us recompute a cached result.
+		gen = g
+		if res, ok := e.cache.get(src, gen); ok {
+			return res, nil
+		}
+	}
+	res, err := compile(q, v).execute(ctx, v)
+	if err != nil {
+		return nil, err
+	}
+	e.cache.put(src, gen, res)
+	return res, nil
 }
 
-// Exec executes a parsed query.
+// Exec executes a parsed query on the compiled path (uncached: the cache
+// keys on query text, which a pre-parsed query no longer carries).
 func (e *Engine) Exec(q *Query) (*Result, error) {
+	return e.ExecContext(context.Background(), q)
+}
+
+// ExecContext is Exec under a context.
+func (e *Engine) ExecContext(ctx context.Context, q *Query) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	v := e.st.AcquireView()
+	defer v.Close()
+	return compile(q, v).execute(ctx, v)
+}
+
+// QueryReference parses and executes src on the term-space reference path.
+func (e *Engine) QueryReference(src string) (*Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecReference(q)
+}
+
+// ExecReference executes a parsed query with the reference evaluator:
+// term-space bindings, map-cloning joins, no planning beyond the static
+// most-bound-first heuristic. It defines the semantics the compiled engine
+// must reproduce.
+func (e *Engine) ExecReference(q *Query) (*Result, error) {
 	sols, err := e.evalGroup(q.Where, rdf.DefaultGraph, []Binding{{}})
 	if err != nil {
 		return nil, err
@@ -52,7 +144,12 @@ func (e *Engine) Exec(q *Query) (*Result, error) {
 			return nil, err
 		}
 	}
-	// Projection.
+	return finishRows(q, sols), nil
+}
+
+// finishRows applies the solution-modifier tail shared by both engines:
+// projection, DISTINCT, ORDER BY, OFFSET/LIMIT.
+func finishRows(q *Query, sols []Binding) *Result {
 	vars := projectionVars(q, sols)
 	rows := make([]Binding, 0, len(sols))
 	for _, s := range sols {
@@ -67,7 +164,6 @@ func (e *Engine) Exec(q *Query) (*Result, error) {
 	if q.Distinct {
 		rows = distinctRows(vars, rows)
 	}
-	// ORDER BY.
 	if len(q.OrderBy) > 0 {
 		sort.SliceStable(rows, func(i, j int) bool {
 			for _, k := range q.OrderBy {
@@ -83,7 +179,6 @@ func (e *Engine) Exec(q *Query) (*Result, error) {
 			return false
 		})
 	}
-	// OFFSET / LIMIT.
 	if q.Offset > 0 {
 		if q.Offset >= len(rows) {
 			rows = nil
@@ -94,7 +189,7 @@ func (e *Engine) Exec(q *Query) (*Result, error) {
 	if q.Limit >= 0 && q.Limit < len(rows) {
 		rows = rows[:q.Limit]
 	}
-	return &Result{Vars: vars, Rows: rows}, nil
+	return &Result{Vars: vars, Rows: rows}
 }
 
 func hasAggregates(q *Query) bool {
@@ -395,6 +490,13 @@ func evalAggregate(a *Aggregate, members []Binding) (rdf.Term, error) {
 			values = append(values, t)
 		}
 	}
+	return aggFromValues(a, values)
+}
+
+// aggFromValues computes an aggregate over collected values (shared by the
+// reference and ID-space engines; the latter decodes bound IDs to values
+// first).
+func aggFromValues(a *Aggregate, values []rdf.Term) (rdf.Term, error) {
 	if a.Distinct {
 		seen := map[string]bool{}
 		uniq := values[:0]
@@ -459,16 +561,33 @@ func compareTerms(a, b rdf.Term) int {
 	return strings.Compare(a.Value, b.Value)
 }
 
-var regexCache = map[string]*regexp.Regexp{}
+// regexCacheMax bounds the compiled-pattern cache; REGEX patterns come from
+// user queries, so an unbounded map would grow with adversarial traffic.
+// Eviction is a wholesale reset — simpler than LRU bookkeeping and the
+// steady-state pattern set of real workloads is far below the bound.
+const regexCacheMax = 256
+
+var regexCache = struct {
+	sync.Mutex
+	m map[string]*regexp.Regexp
+}{m: map[string]*regexp.Regexp{}}
 
 func compileRegex(pat string) (*regexp.Regexp, error) {
-	if re, ok := regexCache[pat]; ok {
+	regexCache.Lock()
+	re, ok := regexCache.m[pat]
+	regexCache.Unlock()
+	if ok {
 		return re, nil
 	}
 	re, err := regexp.Compile(pat)
 	if err != nil {
 		return nil, err
 	}
-	regexCache[pat] = re
+	regexCache.Lock()
+	if len(regexCache.m) >= regexCacheMax {
+		regexCache.m = make(map[string]*regexp.Regexp, regexCacheMax)
+	}
+	regexCache.m[pat] = re
+	regexCache.Unlock()
 	return re, nil
 }

@@ -40,11 +40,24 @@ type Store struct {
 
 	count  int // total quads (union, deduplicated per graph)
 	graphs map[TermID]int
+
+	// gen is bumped on every successful mutation; readers key caches on it
+	// so live ingestion invalidates them naturally.
+	gen uint64
+	// pstat holds per-predicate cardinality statistics over the union
+	// index, maintained incrementally on Add/Remove (see stats.go). The
+	// SPARQL planner orders joins from these real cardinalities.
+	pstat map[TermID]*PredicateStats
 }
 
 // unionGraph is the pseudo-graph ID under which the union of all named
 // graphs (plus the default graph) is indexed.
 const unionGraph TermID = 0
+
+// UnionGraph is the exported pseudo-graph ID for the union of all graphs
+// (equivalently, the default graph for encoded matching). Pass it as the
+// graph argument of MatchIDs/CountIDs to match across all graphs.
+const UnionGraph = unionGraph
 
 // New returns an empty store.
 func New() *Store {
@@ -55,6 +68,7 @@ func New() *Store {
 		osp:      map[TermID]map[TermID]map[TermID][]TermID{},
 		graphsOf: map[encQuad][]TermID{},
 		graphs:   map[TermID]int{},
+		pstat:    map[TermID]*PredicateStats{},
 	}
 }
 
@@ -109,9 +123,16 @@ func (st *Store) addEncoded(s, p, o, g TermID) {
 	if containsID(set, g) {
 		return
 	}
+	// Any existing membership implies the triple is already in the union
+	// index, so it is new there exactly when the membership set was empty.
+	newToUnion := len(set) == 0
+	if newToUnion {
+		st.statAdd(s, p, o)
+	}
 	st.graphsOf[key] = append(set, g)
 	st.count++
 	st.graphs[g]++
+	st.gen++
 
 	// Index in the specific graph and, if it is a named graph, also in the
 	// union pseudo-graph; triples added straight to the default graph are
@@ -119,7 +140,7 @@ func (st *Store) addEncoded(s, p, o, g TermID) {
 	insertIdx(st.spo, g, s, p, o)
 	insertIdx(st.pos, g, p, o, s)
 	insertIdx(st.osp, g, o, s, p)
-	if g != unionGraph && !containsID(set, unionGraph) {
+	if g != unionGraph && newToUnion {
 		insertIdx(st.spo, unionGraph, s, p, o)
 		insertIdx(st.pos, unionGraph, p, o, s)
 		insertIdx(st.osp, unionGraph, o, s, p)
@@ -322,6 +343,14 @@ func (st *Store) AddEncodedBatch(quads []EncodedQuad) {
 	go build(st.pos, func(q EncodedQuad) (TermID, TermID, TermID) { return q.P, q.O, q.S })
 	go build(st.osp, func(q EncodedQuad) (TermID, TermID, TermID) { return q.O, q.S, q.P })
 	wg.Wait()
+
+	if len(accepted) > 0 {
+		st.gen++
+		// Incremental per-quad stat maintenance would serialize the parallel
+		// build; one wholesale recomputation over the finished indexes costs
+		// the same as a single extra index pass.
+		st.rebuildStats()
+	}
 }
 
 // RemoveQuad deletes a quad from its graph. The triple leaves the union
@@ -396,6 +425,7 @@ func (st *Store) removeEncoded(s, p, o, g TermID) bool {
 		st.graphsOf[key] = set
 	}
 	st.count--
+	st.gen++
 	if st.graphs[g]--; st.graphs[g] <= 0 {
 		delete(st.graphs, g)
 	}
@@ -410,6 +440,7 @@ func (st *Store) removeEncoded(s, p, o, g TermID) bool {
 		removeIdx(st.spo, unionGraph, s, p, o)
 		removeIdx(st.pos, unionGraph, p, o, s)
 		removeIdx(st.osp, unionGraph, o, s, p)
+		st.statRemove(s, p, o)
 	}
 	return true
 }

@@ -16,6 +16,7 @@
 package kglids
 
 import (
+	"context"
 	"io"
 	"sync"
 	"time"
@@ -170,8 +171,18 @@ func (p *Platform) TableIDs() []string { return p.core.TableIDs() }
 // Stats returns LiDS graph statistics (the Statistics Manager).
 func (p *Platform) Stats() Stats { return p.core.Stats() }
 
-// Query runs an ad-hoc SPARQL query.
+// Query runs an ad-hoc SPARQL query on the compiled ID-space engine.
+// Repeated queries are served from a bounded result cache keyed on (query
+// text, store generation) — live ingestion invalidates it automatically.
+// Cached results are shared: treat them as read-only.
 func (p *Platform) Query(q string) (*sparql.Result, error) { return p.core.Query(q) }
+
+// QueryContext is Query under a context: cancellation or deadline expiry
+// stops the evaluation mid-iteration instead of running the query to
+// completion (the per-request timeout path of kglids-server).
+func (p *Platform) QueryContext(ctx context.Context, q string) (*sparql.Result, error) {
+	return p.core.QueryContext(ctx, q)
+}
 
 // SearchKeywords finds tables by keyword conditions (outer list OR'd,
 // inner lists AND'd), mirroring search_keywords.
