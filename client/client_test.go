@@ -1,0 +1,285 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kglids"
+	"kglids/client"
+	"kglids/internal/ingest"
+	"kglids/internal/lakegen"
+	"kglids/internal/pipegen"
+	"kglids/internal/server"
+)
+
+// testServer boots a real platform behind the real handler, the
+// end-to-end fixture for the client round-trip tests.
+func testServer(t testing.TB, withIngest bool) (*httptest.Server, *kglids.Platform, *lakegen.Benchmark) {
+	t.Helper()
+	lake := lakegen.Generate(lakegen.Spec{
+		Name: "cli", Families: 3, TablesPerFamily: 3, NoiseTables: 2,
+		RowsPerTable: 50, QueryTables: 3, Seed: 71,
+	})
+	var tables []kglids.Table
+	for _, df := range lake.Tables {
+		tables = append(tables, kglids.Table{Dataset: lake.Dataset[df.Name], Frame: df})
+	}
+	plat := kglids.Bootstrap(kglids.Options{Theta: 0.70}, tables)
+	var datasets []pipegen.Dataset
+	for _, df := range lake.Tables[:1] {
+		datasets = append(datasets, pipegen.FrameDataset(lake.Dataset[df.Name], df, df.Columns()[0]))
+	}
+	corpus := pipegen.Generate(pipegen.Options{NumPipelines: 6, Datasets: datasets, Seed: 72})
+	scripts := make([]kglids.Script, len(corpus))
+	for i, g := range corpus {
+		scripts[i] = g.Script
+	}
+	plat.AddPipelines(scripts)
+
+	opts := server.Options{}
+	if withIngest {
+		mgr := ingest.New(plat.Core(), ingest.Options{Workers: 1, QueueSize: 8})
+		t.Cleanup(mgr.Close)
+		opts.Ingest = mgr
+	}
+	ts := httptest.NewServer(server.New(plat, opts))
+	t.Cleanup(ts.Close)
+	return ts, plat, lake
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	ts, plat, lake := testServer(t, false)
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	health, err := c.Health(ctx)
+	if err != nil || health.Status != "ok" {
+		t.Fatalf("Health = %+v, %v", health, err)
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := plat.Stats()
+	if stats.Triples != ps.Triples || stats.Tables != ps.Tables || stats.Generation != plat.Generation() {
+		t.Fatalf("Stats = %+v, platform %+v gen %d", stats, ps, plat.Generation())
+	}
+
+	all, err := c.AllTables(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plat.TableIDs()
+	if len(all) != len(want) {
+		t.Fatalf("AllTables = %d entries, platform serves %d", len(all), len(want))
+	}
+	for i, info := range all {
+		if info.ID != want[i] || info.ID != info.Dataset+"/"+info.Name {
+			t.Fatalf("table %d = %+v, want ID %s", i, info, want[i])
+		}
+	}
+
+	// Pagination walker == one big page, through the client.
+	q := lake.QueryTables[0][:3]
+	walked, err := c.SearchAll(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := c.Search(ctx, q, client.PageOpts{Limit: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(walked, big.Items) {
+		t.Fatalf("SearchAll %+v != single page %+v", walked, big.Items)
+	}
+	if len(walked) == 0 {
+		t.Fatalf("no hits for %q", q)
+	}
+
+	tableID := lake.Dataset[lake.QueryTables[0]] + "/" + lake.QueryTables[0]
+	union, err := c.Unionable(ctx, tableID, 5, client.PageOpts{})
+	if err != nil || len(union.Items) == 0 {
+		t.Fatalf("Unionable = %+v, %v", union, err)
+	}
+	similar, err := c.Similar(ctx, tableID, 3, client.PageOpts{})
+	if err != nil || len(similar.Items) == 0 {
+		t.Fatalf("Similar = %+v, %v", similar, err)
+	}
+	if similar.Items[0].ID != tableID {
+		t.Fatalf("Similar[0] = %+v, want the query table itself", similar.Items[0])
+	}
+	if _, err := c.Libraries(ctx, 5, client.PageOpts{}); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := c.SPARQL(ctx, `SELECT (COUNT(?t) AS ?n) WHERE { ?t a kglids:Table . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Results.Bindings[0]["n"]; n.Value != fmt.Sprint(ps.Tables) {
+		t.Fatalf("SPARQL count = %+v, want %d", n, ps.Tables)
+	}
+
+	// Errors surface as *APIError with the envelope message and request ID.
+	_, err = c.Unionable(ctx, "no/such.csv", 5, client.PageOpts{})
+	ae, ok := client.AsAPIError(err)
+	if !ok || ae.StatusCode != http.StatusNotFound || ae.Message == "" || ae.RequestID == "" {
+		t.Fatalf("expected 404 APIError with request ID, got %v", err)
+	}
+	// Mutations against a read-only server are 503.
+	_, err = c.DeleteTable(ctx, tableID)
+	if ae, ok := client.AsAPIError(err); !ok || ae.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("DeleteTable on read-only server = %v, want 503", err)
+	}
+}
+
+func TestClientIngestLifecycle(t *testing.T) {
+	ts, plat, _ := testServer(t, true)
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	ref, err := c.Ingest(ctx, []client.IngestTable{{
+		Dataset: "icu",
+		Name:    "ward census.csv", // space: exercises path escaping on delete
+		Columns: []client.IngestColumn{
+			{Name: "ward", Values: []any{"a", "b", "c", "d"}},
+			{Name: "beds", Values: []any{4, 8, 2, 6}},
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.State != client.JobQueued {
+		t.Fatalf("accepted state = %q", ref.State)
+	}
+	job, err := c.WaitJob(ctx, ref.Job, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != client.JobDone || len(job.Added) != 1 || job.Added[0] != "icu/ward census.csv" {
+		t.Fatalf("job = %+v", job)
+	}
+	if !plat.HasTable("icu/ward census.csv") {
+		t.Fatal("ingested table not served")
+	}
+
+	jobs, err := c.Jobs(ctx, client.PageOpts{})
+	if err != nil || jobs.Total != 1 {
+		t.Fatalf("Jobs = %+v, %v", jobs, err)
+	}
+
+	// Delete round-trips the escaped ID.
+	ref, err = c.DeleteTable(ctx, "icu/ward census.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job, err = c.WaitJob(ctx, ref.Job, 10*time.Millisecond); err != nil || job.State != client.JobDone {
+		t.Fatalf("removal job = %+v, %v", job, err)
+	}
+	if plat.HasTable("icu/ward census.csv") {
+		t.Fatal("table still served after DeleteTable")
+	}
+}
+
+func TestClientConditionalGETCache(t *testing.T) {
+	ts, _, _ := testServer(t, false)
+	var got304 atomic.Int64
+	hc := &http.Client{Transport: roundTripFunc(func(req *http.Request) (*http.Response, error) {
+		resp, err := http.DefaultTransport.RoundTrip(req)
+		if err == nil && resp.StatusCode == http.StatusNotModified {
+			got304.Add(1)
+		}
+		return resp, err
+	})}
+	c, err := client.New(ts.URL, client.WithHTTPClient(hc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	first, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := c.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != first {
+			t.Fatalf("cached Stats %+v != first %+v", again, first)
+		}
+	}
+	if n := got304.Load(); n != 3 {
+		t.Fatalf("saw %d 304 responses, want 3 (conditional GETs revalidating)", n)
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+func TestClientRetriesOn429(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "ingest: job queue full"})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(client.JobRef{Job: 7, State: client.JobQueued})
+	}))
+	defer srv.Close()
+
+	c, err := client.New(srv.URL, client.WithBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := c.Ingest(context.Background(), []client.IngestTable{{
+		Dataset: "d", Name: "t.csv",
+		Columns: []client.IngestColumn{{Name: "c", Values: []any{"x"}}},
+	}})
+	if err != nil {
+		t.Fatalf("Ingest after retries: %v", err)
+	}
+	if ref.Job != 7 || calls.Load() != 3 {
+		t.Fatalf("ref = %+v after %d calls, want job 7 after 3 calls", ref, calls.Load())
+	}
+
+	// Retries are bounded: a server that never relents yields the 429.
+	calls.Store(-1000)
+	cLimited, _ := client.New(srv.URL, client.WithBackoff(time.Millisecond), client.WithRetries(1))
+	_, err = cLimited.Ingest(context.Background(), []client.IngestTable{{
+		Dataset: "d", Name: "t.csv",
+		Columns: []client.IngestColumn{{Name: "c", Values: []any{"x"}}},
+	}})
+	if ae, ok := client.AsAPIError(err); !ok || ae.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("bounded retry = %v, want 429 APIError", err)
+	}
+}
+
+func TestClientBadBaseURL(t *testing.T) {
+	if _, err := client.New("not-a-url"); err == nil {
+		t.Fatal("New accepted a base URL without scheme/host")
+	}
+	if _, err := client.New("://nope"); err == nil {
+		t.Fatal("New accepted an unparsable URL")
+	}
+}

@@ -7,7 +7,7 @@
 //	kglids-bench [-pipelines N] [-training N] [-snapshot F] [-save-snapshot F] [experiment ...]
 //
 // Experiments: table1 table2 figure5 figure6 figure4 table3 table4 table5
-// figure7 table6 figure8 figure9 snapshot ingest sparql, or "all"
+// figure7 table6 figure8 figure9 snapshot ingest sparql server, or "all"
 // (default). Table 2 / Figure 5 share one run, as do Table 3 / Table 4 /
 // Figure 4 and Table 5 / Figure 7 and Table 6 / Figure 8.
 //
@@ -28,12 +28,21 @@
 // compiled ID-space engine over the serving replica, verifies both agree,
 // and emits a JSON record per query (term_us, id_us, cached_us, speedup)
 // for the performance trajectory.
+//
+// The server experiment measures the full serving stack end-to-end: it
+// mounts the HTTP handler on a loopback listener, drives the /api/v1
+// surface through the typed client in package kglids/client (DTO decode,
+// conditional GET, retry logic included), and emits one JSON record of
+// median request latency per endpoint plus one asynchronous
+// ingest-to-completion round-trip.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sort"
@@ -41,8 +50,11 @@ import (
 	"time"
 
 	"kglids"
+	"kglids/client"
 	"kglids/internal/experiments"
+	"kglids/internal/ingest"
 	"kglids/internal/lakegen"
+	"kglids/internal/server"
 	"kglids/internal/sparql"
 )
 
@@ -117,6 +129,12 @@ func main() {
 	if run("sparql") {
 		if err := runSPARQL(); err != nil {
 			fmt.Fprintln(os.Stderr, "sparql experiment:", err)
+			os.Exit(1)
+		}
+	}
+	if run("server") {
+		if err := runServer(); err != nil {
+			fmt.Fprintln(os.Stderr, "server experiment:", err)
 			os.Exit(1)
 		}
 	}
@@ -341,6 +359,133 @@ func runSPARQL() error {
 			TermUS: termUS, IDUS: idUS, CachedUS: cachedUS, Speedup: speedup,
 		})
 	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+// serverSpec is the lake for the server experiment: smaller than the
+// snapshot replica because the subject under measurement is the HTTP
+// serving stack (router, middleware, DTO encode/decode, client), not
+// bootstrap cost.
+var serverSpec = lakegen.Spec{
+	Name: "HTTP", Families: 4, TablesPerFamily: 3, NoiseTables: 4,
+	RowsPerTable: 200, QueryTables: 4, Seed: 91,
+}
+
+// serverEndpointResult is one row of the server experiment's JSON output.
+type serverEndpointResult struct {
+	Name     string  `json:"name"`
+	MedianUS float64 `json:"median_us"`
+}
+
+// serverExperiment is the JSON envelope of the server experiment.
+type serverExperiment struct {
+	Experiment       string                 `json:"experiment"`
+	Tables           int                    `json:"tables"`
+	Triples          int                    `json:"triples"`
+	Endpoints        []serverEndpointResult `json:"endpoints"`
+	IngestRoundTrip  float64                `json:"ingest_roundtrip_ms"`
+	DeleteRoundTrip  float64                `json:"delete_roundtrip_ms"`
+	ConditionalReads bool                   `json:"conditional_reads"`
+}
+
+// runServer measures end-to-end /api/v1 latency through the typed client:
+// handler mounted on a loopback listener, every number includes routing,
+// middleware, JSON encode, network round-trip, and client-side DTO decode.
+// Steady-state reads revalidate with If-None-Match (the client caches
+// ETag'd bodies), which is the latency a polling client actually sees.
+func runServer() error {
+	fmt.Println("Server: end-to-end /api/v1 latency via the typed client (loopback)")
+
+	lake := lakegen.Generate(serverSpec)
+	var tables []kglids.Table
+	for _, df := range lake.Tables {
+		tables = append(tables, kglids.Table{Dataset: lake.Dataset[df.Name], Frame: df})
+	}
+	plat := kglids.Bootstrap(kglids.Options{}, tables)
+	mgr := ingest.New(plat.Core(), ingest.Options{Workers: 1, QueueSize: 8})
+	defer mgr.Close()
+	ts := httptest.NewServer(server.New(plat, server.Options{Ingest: mgr}))
+	defer ts.Close()
+
+	c, err := client.New(ts.URL)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	q := lake.QueryTables[0]
+	tableID := lake.Dataset[q] + "/" + q
+	const sparqlQ = `SELECT ?t ?n WHERE { ?t a kglids:Table ; kglids:name ?n . }`
+
+	endpoints := []struct {
+		name string
+		call func() error
+	}{
+		{"healthz", func() error { _, err := c.Health(ctx); return err }},
+		{"stats", func() error { _, err := c.Stats(ctx); return err }},
+		{"tables", func() error { _, err := c.Tables(ctx, client.PageOpts{}); return err }},
+		{"search", func() error { _, err := c.Search(ctx, q[:3], client.PageOpts{}); return err }},
+		{"unionable", func() error { _, err := c.Unionable(ctx, tableID, 10, client.PageOpts{}); return err }},
+		{"similar", func() error { _, err := c.Similar(ctx, tableID, 10, client.PageOpts{}); return err }},
+		{"sparql", func() error { _, err := c.SPARQL(ctx, sparqlQ); return err }},
+	}
+	fns := make([]func() error, len(endpoints))
+	for i := range endpoints {
+		fns[i] = endpoints[i].call
+	}
+	// Warm caches (server result cache, client ETag cache) once so the
+	// medians report steady-state serving.
+	for _, fn := range fns {
+		if err := fn(); err != nil {
+			return err
+		}
+	}
+	med, err := medianMicros(fns...)
+	if err != nil {
+		return err
+	}
+
+	report := serverExperiment{
+		Experiment: "server", Tables: len(tables), Triples: plat.Stats().Triples,
+		ConditionalReads: true,
+	}
+	for i, ep := range endpoints {
+		report.Endpoints = append(report.Endpoints, serverEndpointResult{Name: ep.name, MedianUS: med[i]})
+	}
+
+	// One asynchronous mutation round-trip: accept → queue → profile →
+	// splice → observed done, through POST /api/v1/ingest + job polling.
+	newTable := client.IngestTable{
+		Dataset: "bench", Name: "live.csv",
+		Columns: []client.IngestColumn{
+			{Name: "k", Values: []any{"a", "b", "c", "d", "e", "f"}},
+			{Name: "v", Values: []any{1, 2, 3, 4, 5, 6}},
+		},
+	}
+	start := time.Now()
+	ref, err := c.Ingest(ctx, []client.IngestTable{newTable})
+	if err != nil {
+		return err
+	}
+	if _, err := c.WaitJob(ctx, ref.Job, 5*time.Millisecond); err != nil {
+		return err
+	}
+	report.IngestRoundTrip = float64(time.Since(start).Microseconds()) / 1e3
+
+	start = time.Now()
+	ref, err = c.DeleteTable(ctx, "bench/live.csv")
+	if err != nil {
+		return err
+	}
+	if _, err := c.WaitJob(ctx, ref.Job, 5*time.Millisecond); err != nil {
+		return err
+	}
+	report.DeleteRoundTrip = float64(time.Since(start).Microseconds()) / 1e3
+
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

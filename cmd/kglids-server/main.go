@@ -1,7 +1,9 @@
-// Command kglids-server exposes a KGLiDS platform over HTTP: a SPARQL
-// endpoint plus the predefined discovery operations, mirroring the KGLiDS
-// Interfaces in service form (paper Section 5). See docs/SERVER_API.md for
-// the endpoint reference.
+// Command kglids-server exposes a KGLiDS platform over HTTP: the
+// versioned /api/v1 surface (stable DTOs, cursor pagination, generation
+// ETags, SPARQL 1.1 protocol — consumed through the typed client in
+// package kglids/client) plus the frozen legacy routes, mirroring the
+// KGLiDS Interfaces in service form (paper Section 5). See
+// docs/SERVER_API.md for the endpoint reference.
 //
 // The platform comes from one of two sources:
 //
@@ -57,6 +59,7 @@ func main() {
 	ingestMode := flag.Bool("ingest", false, "enable live mutation endpoints (POST /ingest, DELETE /tables/{id})")
 	ingestWorkers := flag.Int("ingest-workers", 2, "ingestion worker pool size")
 	ingestQueue := flag.Int("ingest-queue", 64, "bounded ingestion job queue size")
+	accessLog := flag.Bool("access-log", true, "log one line per request (method, path, status, duration, request ID)")
 	flag.Parse()
 	if *lakeDir == "" && *snapshotPath == "" {
 		fmt.Fprintln(os.Stderr, "kglids-server: need -lake DIR or -snapshot FILE")
@@ -91,9 +94,13 @@ func main() {
 	}
 	saveIfAsked()
 
+	srvOpts := server.Options{RequestTimeout: *timeout, Ingest: manager}
+	if *accessLog {
+		srvOpts.Logf = log.Printf
+	}
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: server.New(plat, server.Options{RequestTimeout: *timeout, Ingest: manager}),
+		Handler: server.New(plat, srvOpts),
 		// The handler enforces its own per-request deadline; these bound
 		// slow or stalled clients at the connection level.
 		ReadHeaderTimeout: 10 * time.Second,

@@ -1,0 +1,183 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"kglids/internal/ingest"
+)
+
+// registerLegacy mounts the original unversioned routes. Their wire format
+// is FROZEN: these handlers marshal the same internal structs as the day
+// each endpoint shipped (e.g. /search returns raw rdf.Term structs with
+// Kind/Value fields), because existing integrations parse those bytes.
+// Do not change a legacy response shape — add to /api/v1 instead.
+// (One deliberate exception, made across both surfaces at once: a
+// non-numeric or non-positive k is now a 400 envelope instead of a silent
+// default, per the uniform parameter-validation policy in
+// docs/SERVER_API.md. Responses to valid requests are unchanged.)
+//
+// Every legacy route except /healthz answers with `Deprecation: true` and
+// a `Link: <successor>; rel="successor-version"` header naming its
+// /api/v1 replacement.
+//
+//	GET /healthz                        liveness probe
+//	GET /stats                          LiDS graph statistics
+//	GET /sparql?query=...               ad-hoc SPARQL (JSON rows)
+//	GET /search?q=kw1,kw2               keyword search (one conjunction)
+//	GET /unionable?table=ds/t.csv&k=5   top-k unionable tables
+//	GET /similar?table=ds/t.csv&k=5     top-k similar tables (HNSW index)
+//	GET /libraries?k=10                 top-k libraries across pipelines
+//
+// With Options.Ingest set, the live-mutation API is also served:
+//
+//	POST   /ingest                      submit tables as an async add job (202)
+//	GET    /jobs                        list ingestion jobs
+//	GET    /jobs/{id}                   one job's state and outcome
+//	DELETE /tables/{id...}              submit an async table removal (202)
+func (s *server) registerLegacy(mux *http.ServeMux) {
+	// handleAs registers a JSON endpoint restricted to one method, keeping
+	// the error envelope uniform (ServeMux's own 405s are plain text).
+	// successor, when non-empty, is the /api/v1 replacement advertised in
+	// the deprecation headers.
+	handleAs := func(method, pattern string, status int, successor string, h func(r *http.Request) (any, error)) {
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			if successor != "" {
+				w.Header().Set("Deprecation", "true")
+				w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+			}
+			if r.Method != method {
+				writeError(w, http.StatusMethodNotAllowed, "method not allowed; use "+method)
+				return
+			}
+			v, err := h(r)
+			if err != nil {
+				writeError(w, statusFor(err), err.Error())
+				return
+			}
+			writeJSON(w, status, v)
+		})
+	}
+	handle := func(pattern, successor string, h func(r *http.Request) (any, error)) {
+		handleAs(http.MethodGet, pattern, http.StatusOK, successor, h)
+	}
+
+	handle("/healthz", "", func(*http.Request) (any, error) {
+		return map[string]string{"status": "ok"}, nil
+	})
+	handle("/stats", "/api/v1/stats", func(*http.Request) (any, error) {
+		return s.plat.Stats(), nil
+	})
+	handle("/sparql", "/api/v1/sparql", func(r *http.Request) (any, error) {
+		q := r.URL.Query().Get("query")
+		if q == "" {
+			return nil, badRequest("missing 'query' parameter")
+		}
+		// The request context carries the per-request deadline: when it
+		// fires, the engine aborts the evaluation mid-iteration instead of
+		// burning a worker on an abandoned query. Repeated queries are
+		// answered from the engine's (query, store generation) cache.
+		res, err := s.plat.QueryContext(r.Context(), q)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				// Explicit 504: withTimeout's own deadline branch races the
+				// handler finishing, so the buffered response must carry the
+				// right status either way.
+				return nil, &httpError{status: http.StatusGatewayTimeout, msg: "request timed out"}
+			}
+			return nil, badRequest(err.Error())
+		}
+		rows := make([]map[string]string, len(res.Rows))
+		for i, b := range res.Rows {
+			row := map[string]string{}
+			for v, t := range b {
+				row[v] = t.Value
+			}
+			rows[i] = row
+		}
+		return map[string]any{"vars": res.Vars, "rows": rows}, nil
+	})
+	handle("/search", "/api/v1/search", func(r *http.Request) (any, error) {
+		q := r.URL.Query().Get("q")
+		if q == "" {
+			return nil, badRequest("missing 'q' parameter (comma-separated keywords)")
+		}
+		return s.plat.SearchKeywords([][]string{strings.Split(q, ",")}), nil
+	})
+	handle("/unionable", "/api/v1/unionable", func(r *http.Request) (any, error) {
+		table := r.URL.Query().Get("table")
+		if table == "" {
+			return nil, badRequest("missing 'table' parameter (\"dataset/table\")")
+		}
+		k, err := intParam(r, "k", 10, MaxK)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.plat.UnionableTables(table, k)
+		if err != nil {
+			return nil, notFound(err.Error())
+		}
+		return res, nil
+	})
+	handle("/similar", "/api/v1/similar", func(r *http.Request) (any, error) {
+		table := r.URL.Query().Get("table")
+		if table == "" {
+			return nil, badRequest("missing 'table' parameter (\"dataset/table\")")
+		}
+		k, err := intParam(r, "k", 10, MaxK)
+		if err != nil {
+			return nil, err
+		}
+		c := s.plat.Core()
+		emb, ok := c.TableEmbedding(table)
+		if !ok {
+			return nil, notFound(fmt.Sprintf("unknown table %q", table))
+		}
+		return c.TableANN.Search(emb, k), nil
+	})
+	handle("/libraries", "/api/v1/libraries", func(r *http.Request) (any, error) {
+		k, err := intParam(r, "k", 10, MaxK)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.plat.GetTopKLibrariesUsed(k)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	})
+
+	// Live-mutation API. Registered unconditionally so a read-only server
+	// answers with a clear envelope instead of a bare 404.
+	handleAs(http.MethodPost, "/ingest", http.StatusAccepted, "/api/v1/ingest", func(r *http.Request) (any, error) {
+		jobID, err := s.submitIngest(r)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"job": jobID, "state": ingest.Queued}, nil
+	})
+	handle("/jobs", "/api/v1/jobs", func(*http.Request) (any, error) {
+		m, err := s.manager()
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"jobs": m.Jobs()}, nil
+	})
+	handle("/jobs/{id}", "/api/v1/jobs", func(r *http.Request) (any, error) {
+		return s.jobByID(r)
+	})
+	// The {id...} wildcard is percent-decoded by ServeMux, so a table ID
+	// submitted as /tables/health%2Fadmissions.csv or with %20-escaped
+	// spaces round-trips to the exact "dataset/table" string the platform
+	// serves (pinned by TestDeleteTableUnescapesID).
+	handleAs(http.MethodDelete, "/tables/{id...}", http.StatusAccepted, "/api/v1/tables", func(r *http.Request) (any, error) {
+		jobID, err := s.submitRemoval(r.PathValue("id"))
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"job": jobID, "state": ingest.Queued}, nil
+	})
+}

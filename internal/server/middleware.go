@@ -1,0 +1,208 @@
+package server
+
+import (
+	"compress/gzip"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// --- request IDs + access logging -----------------------------------------
+
+// requestCounter disambiguates requests sharing one process-lifetime prefix.
+var requestCounter atomic.Uint64
+
+// processID is a random per-process prefix so request IDs from different
+// server instances do not collide in aggregated logs.
+var processID = func() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00000000"
+	}
+	return hex.EncodeToString(b[:])
+}()
+
+// statusWriter records the status and body size a handler produced.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// withObservability stamps every response with an X-Request-ID (a
+// client-supplied one is echoed, otherwise one is generated) and, when
+// logf is non-nil, emits one access-log line per request.
+func withObservability(logf func(string, ...any), next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = requestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		if logf == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		logf("server: %s %s -> %d %dB in %v [%s]",
+			r.Method, r.URL.Path, sw.status, sw.bytes,
+			time.Since(start).Round(time.Microsecond), id)
+	})
+}
+
+func requestID() string {
+	return processID + "-" + hexUint(requestCounter.Add(1))
+}
+
+func hexUint(v uint64) string {
+	const digits = "0123456789abcdef"
+	if v == 0 {
+		return "0"
+	}
+	var buf [16]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(buf[i:])
+}
+
+// --- gzip ------------------------------------------------------------------
+
+// gzipWriter compresses the response body when the client accepts gzip.
+// Compression is decided at WriteHeader time: bodiless statuses (204, 304)
+// and already-encoded responses pass through untouched.
+type gzipWriter struct {
+	http.ResponseWriter
+	gz          *gzip.Writer
+	wroteHeader bool
+}
+
+func (w *gzipWriter) WriteHeader(code int) {
+	if !w.wroteHeader {
+		w.wroteHeader = true
+		h := w.Header()
+		if code != http.StatusNoContent && code != http.StatusNotModified &&
+			h.Get("Content-Encoding") == "" {
+			h.Set("Content-Encoding", "gzip")
+			h.Del("Content-Length")
+			w.gz = gzip.NewWriter(w.ResponseWriter)
+		}
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *gzipWriter) Write(p []byte) (int, error) {
+	if !w.wroteHeader {
+		w.WriteHeader(http.StatusOK)
+	}
+	if w.gz != nil {
+		return w.gz.Write(p)
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *gzipWriter) close() {
+	if w.gz != nil {
+		if err := w.gz.Close(); err != nil {
+			log.Printf("server: gzip flush: %v", err)
+		}
+	}
+}
+
+// withGzip compresses response bodies for clients that accept gzip.
+func withGzip(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Add("Vary", "Accept-Encoding")
+		if !strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		gw := &gzipWriter{ResponseWriter: w}
+		defer gw.close()
+		next.ServeHTTP(gw, r)
+	})
+}
+
+// --- deadline + panic isolation --------------------------------------------
+
+// bufferedResponse records a handler's response so withTimeout can discard
+// it if the deadline fires first (the real writer must not be touched by
+// two goroutines).
+type bufferedResponse struct {
+	header http.Header
+	status int
+	body   []byte
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+func (b *bufferedResponse) WriteHeader(s int)   { b.status = s }
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	b.body = append(b.body, p...)
+	return len(p), nil
+}
+
+// withTimeout runs each request in its own goroutine under a deadline.
+// Responses are buffered: either the handler finishes and its response is
+// flushed, or the deadline fires and the client gets a 504 envelope (the
+// abandoned handler sees its context cancelled and its writes go nowhere).
+// Handler panics become 500 envelopes instead of killing the connection.
+func withTimeout(d time.Duration, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		buf := &bufferedResponse{header: http.Header{}, status: http.StatusOK}
+		done := make(chan struct{})
+		panicked := make(chan any, 1)
+		go func() {
+			defer close(done)
+			defer func() {
+				if p := recover(); p != nil {
+					panicked <- p
+				}
+			}()
+			next.ServeHTTP(buf, r.WithContext(ctx))
+		}()
+		select {
+		case <-done:
+			select {
+			case p := <-panicked:
+				log.Printf("server: panic serving %s: %v\n%s", r.URL.Path, p, debug.Stack())
+				writeError(w, http.StatusInternalServerError, "internal error")
+			default:
+				for k, vs := range buf.header {
+					for _, v := range vs {
+						w.Header().Add(k, v)
+					}
+				}
+				w.WriteHeader(buf.status)
+				if _, err := w.Write(buf.body); err != nil {
+					log.Printf("server: write response: %v", err)
+				}
+			}
+		case <-ctx.Done():
+			writeError(w, http.StatusGatewayTimeout, "request timed out")
+		}
+	})
+}

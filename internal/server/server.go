@@ -1,8 +1,28 @@
 // Package server is the HTTP serving layer of kglids-server: the KGLiDS
 // Interfaces (paper Section 5) exposed as a JSON API over a concurrently
-// shared platform. Every response is JSON; errors use a uniform envelope
-// {"error": "..."} with a matching HTTP status; every request runs under a
-// deadline so one slow SPARQL query cannot wedge a worker forever.
+// shared platform.
+//
+// The API has two generations:
+//
+//   - /api/v1 is the versioned, resource-oriented surface with a stable
+//     wire contract: dedicated DTOs (package kglids/client, which the
+//     handlers marshal so client and server cannot drift), cursor/limit
+//     pagination on every list endpoint, conditional GET via
+//     ETag/If-None-Match bound to the store generation, and a SPARQL 1.1
+//     protocol endpoint. New integrations use this surface through the
+//     typed client in package kglids/client.
+//
+//   - The original unversioned routes (/search, /sparql, /ingest, ...)
+//     are legacy: their wire format — internal structs marshaled as-is —
+//     is frozen for byte compatibility and they answer with a
+//     `Deprecation: true` header plus a `Link: rel="successor-version"`
+//     pointing at their /api/v1 replacement. See legacy.go.
+//
+// Every request passes a middleware chain — request-ID stamping, optional
+// access logging, gzip compression, a per-request deadline with panic
+// isolation — so one slow SPARQL query cannot wedge a worker forever and
+// one crashing handler cannot kill the process. Errors use a uniform
+// envelope {"error": "..."} with a matching HTTP status.
 //
 // With Options.Ingest set, the handler additionally exposes the live
 // mutation API — submit tables, poll jobs, delete tables — backed by the
@@ -16,16 +36,13 @@
 package server
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
-	"runtime/debug"
 	"strconv"
-	"strings"
 	"time"
 
 	"kglids"
@@ -40,15 +57,30 @@ const DefaultRequestTimeout = 30 * time.Second
 // MaxIngestBody bounds a POST /ingest request body (64 MiB).
 const MaxIngestBody = 64 << 20
 
+// Parameter bounds shared by the legacy and v1 surfaces.
+const (
+	// MaxK caps top-k parameters; larger requests are clamped.
+	MaxK = 1000
+	// DefaultLimit is the page size when a list request names none.
+	DefaultLimit = 100
+	// MaxLimit caps the page size; larger requests are clamped.
+	MaxLimit = 500
+)
+
 // Options configures the handler.
 type Options struct {
 	// RequestTimeout is the per-request deadline; requests exceeding it
 	// receive 504 {"error": "request timed out"}. Zero means
 	// DefaultRequestTimeout.
 	RequestTimeout time.Duration
-	// Ingest enables the mutation endpoints (POST /ingest, GET /jobs,
-	// GET /jobs/{id}, DELETE /tables/{id}); nil serves read-only.
+	// Ingest enables the mutation endpoints (POST /{api/v1/}ingest,
+	// GET /jobs, GET /jobs/{id}, DELETE /tables/{id}); nil serves
+	// read-only.
 	Ingest *ingest.Manager
+	// Logf, when non-nil, receives one access-log line per request
+	// (method, path, status, bytes, duration, request ID). log.Printf is
+	// the usual value; nil disables access logging.
+	Logf func(format string, args ...any)
 }
 
 // errorEnvelope is the uniform error response body.
@@ -56,191 +88,100 @@ type errorEnvelope struct {
 	Error string `json:"error"`
 }
 
-// New returns the kglids HTTP API over a shared platform.
-//
-//	GET /healthz                        liveness probe
-//	GET /stats                          LiDS graph statistics
-//	GET /sparql?query=...               ad-hoc SPARQL (JSON rows)
-//	GET /search?q=kw1,kw2               keyword search (one conjunction)
-//	GET /unionable?table=ds/t.csv&k=5   top-k unionable tables
-//	GET /similar?table=ds/t.csv&k=5     top-k similar tables (HNSW index)
-//	GET /libraries?k=10                 top-k libraries across pipelines
-//
-// With Options.Ingest set, the live-mutation API is also served:
-//
-//	POST   /ingest                      submit tables as an async add job (202)
-//	GET    /jobs                        list ingestion jobs
-//	GET    /jobs/{id}                   one job's state and outcome
-//	DELETE /tables/{id...}              submit an async table removal (202)
+// server carries the shared state of all endpoint groups.
+type server struct {
+	plat   *kglids.Platform
+	ingest *ingest.Manager
+}
+
+// New returns the kglids HTTP API over a shared platform: the versioned
+// /api/v1 surface (see v1.go) plus the frozen legacy routes (see
+// legacy.go), wrapped in the middleware chain.
 func New(plat *kglids.Platform, opts Options) http.Handler {
 	timeout := opts.RequestTimeout
 	if timeout <= 0 {
 		timeout = DefaultRequestTimeout
 	}
-
+	s := &server{plat: plat, ingest: opts.Ingest}
 	mux := http.NewServeMux()
-	// handleAs registers a JSON endpoint restricted to one method, keeping
-	// the error envelope uniform (ServeMux's own 405s are plain text).
-	handleAs := func(method, pattern string, status int, h func(r *http.Request) (any, error)) {
-		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-			if r.Method != method {
-				writeError(w, http.StatusMethodNotAllowed, "method not allowed; use "+method)
-				return
-			}
-			v, err := h(r)
-			if err != nil {
-				writeError(w, statusFor(err), err.Error())
-				return
-			}
-			writeJSON(w, status, v)
-		})
-	}
-	handle := func(pattern string, h func(r *http.Request) (any, error)) {
-		handleAs(http.MethodGet, pattern, http.StatusOK, h)
-	}
-
-	handle("/healthz", func(*http.Request) (any, error) {
-		return map[string]string{"status": "ok"}, nil
-	})
-	handle("/stats", func(*http.Request) (any, error) {
-		return plat.Stats(), nil
-	})
-	handle("/sparql", func(r *http.Request) (any, error) {
-		q := r.URL.Query().Get("query")
-		if q == "" {
-			return nil, badRequest("missing 'query' parameter")
-		}
-		// The request context carries the per-request deadline: when it
-		// fires, the engine aborts the evaluation mid-iteration instead of
-		// burning a worker on an abandoned query. Repeated queries are
-		// answered from the engine's (query, store generation) cache.
-		res, err := plat.QueryContext(r.Context(), q)
-		if err != nil {
-			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				// Explicit 504: withTimeout's own deadline branch races the
-				// handler finishing, so the buffered response must carry the
-				// right status either way.
-				return nil, &httpError{status: http.StatusGatewayTimeout, msg: "request timed out"}
-			}
-			return nil, badRequest(err.Error())
-		}
-		rows := make([]map[string]string, len(res.Rows))
-		for i, b := range res.Rows {
-			row := map[string]string{}
-			for v, t := range b {
-				row[v] = t.Value
-			}
-			rows[i] = row
-		}
-		return map[string]any{"vars": res.Vars, "rows": rows}, nil
-	})
-	handle("/search", func(r *http.Request) (any, error) {
-		q := r.URL.Query().Get("q")
-		if q == "" {
-			return nil, badRequest("missing 'q' parameter (comma-separated keywords)")
-		}
-		return plat.SearchKeywords([][]string{strings.Split(q, ",")}), nil
-	})
-	handle("/unionable", func(r *http.Request) (any, error) {
-		table := r.URL.Query().Get("table")
-		if table == "" {
-			return nil, badRequest("missing 'table' parameter (\"dataset/table\")")
-		}
-		res, err := plat.UnionableTables(table, intParam(r, "k", 10))
-		if err != nil {
-			return nil, notFound(err.Error())
-		}
-		return res, nil
-	})
-	handle("/similar", func(r *http.Request) (any, error) {
-		table := r.URL.Query().Get("table")
-		if table == "" {
-			return nil, badRequest("missing 'table' parameter (\"dataset/table\")")
-		}
-		c := plat.Core()
-		emb, ok := c.TableEmbedding(table)
-		if !ok {
-			return nil, notFound(fmt.Sprintf("unknown table %q", table))
-		}
-		return c.TableANN.Search(emb, intParam(r, "k", 10)), nil
-	})
-	handle("/libraries", func(r *http.Request) (any, error) {
-		res, err := plat.GetTopKLibrariesUsed(intParam(r, "k", 10))
-		if err != nil {
-			return nil, err
-		}
-		return res, nil
-	})
-
-	// Live-mutation API. Registered unconditionally so a read-only server
-	// answers with a clear envelope instead of a bare 404.
-	mgr := func() (*ingest.Manager, error) {
-		if opts.Ingest == nil {
-			return nil, &httpError{status: http.StatusServiceUnavailable,
-				msg: "ingestion disabled; start the server with -ingest"}
-		}
-		return opts.Ingest, nil
-	}
-	handleAs(http.MethodPost, "/ingest", http.StatusAccepted, func(r *http.Request) (any, error) {
-		m, err := mgr()
-		if err != nil {
-			return nil, err
-		}
-		tables, err := decodeTables(r.Body)
-		if err != nil {
-			return nil, badRequest(err.Error())
-		}
-		jobID, err := m.Submit(tables)
-		if err != nil {
-			return nil, ingestError(err)
-		}
-		return map[string]any{"job": jobID, "state": ingest.Queued}, nil
-	})
-	handle("/jobs", func(*http.Request) (any, error) {
-		m, err := mgr()
-		if err != nil {
-			return nil, err
-		}
-		return map[string]any{"jobs": m.Jobs()}, nil
-	})
-	handle("/jobs/{id}", func(r *http.Request) (any, error) {
-		m, err := mgr()
-		if err != nil {
-			return nil, err
-		}
-		id, err := strconv.Atoi(r.PathValue("id"))
-		if err != nil {
-			return nil, badRequest("job ID must be an integer")
-		}
-		job, ok := m.Job(id)
-		if !ok {
-			return nil, notFound(fmt.Sprintf("unknown job %d", id))
-		}
-		return job, nil
-	})
-	handleAs(http.MethodDelete, "/tables/{id...}", http.StatusAccepted, func(r *http.Request) (any, error) {
-		m, err := mgr()
-		if err != nil {
-			return nil, err
-		}
-		id := r.PathValue("id")
-		if !plat.HasTable(id) {
-			return nil, notFound(fmt.Sprintf("unknown table %q", id))
-		}
-		jobID, err := m.SubmitRemoval(id)
-		if err != nil {
-			return nil, ingestError(err)
-		}
-		return map[string]any{"job": jobID, "state": ingest.Queued}, nil
-	})
-
+	s.registerLegacy(mux)
+	s.registerV1(mux)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown endpoint "+r.URL.Path)
 	})
-	return withTimeout(timeout, mux)
+
+	var h http.Handler = withTimeout(timeout, mux)
+	h = withGzip(h)
+	h = withObservability(opts.Logf, h)
+	return h
 }
 
-// ingestTable is the wire form of one submitted table.
+// manager returns the ingest manager or the uniform 503 when live
+// mutation is disabled.
+func (s *server) manager() (*ingest.Manager, error) {
+	if s.ingest == nil {
+		return nil, &httpError{status: http.StatusServiceUnavailable,
+			msg: "ingestion disabled; start the server with -ingest"}
+	}
+	return s.ingest, nil
+}
+
+// submitIngest decodes a POST /ingest body and submits it as an add job.
+// Shared by the legacy and v1 handlers, which differ only in their
+// response envelope.
+func (s *server) submitIngest(r *http.Request) (int, error) {
+	m, err := s.manager()
+	if err != nil {
+		return 0, err
+	}
+	tables, err := decodeTables(r.Body)
+	if err != nil {
+		return 0, badRequest(err.Error())
+	}
+	jobID, err := m.Submit(tables)
+	if err != nil {
+		return 0, ingestError(err)
+	}
+	return jobID, nil
+}
+
+// submitRemoval validates a "dataset/table" ID and submits its removal
+// job (shared by the legacy and v1 DELETE handlers).
+func (s *server) submitRemoval(id string) (int, error) {
+	m, err := s.manager()
+	if err != nil {
+		return 0, err
+	}
+	if !s.plat.HasTable(id) {
+		return 0, notFound(fmt.Sprintf("unknown table %q", id))
+	}
+	jobID, err := m.SubmitRemoval(id)
+	if err != nil {
+		return 0, ingestError(err)
+	}
+	return jobID, nil
+}
+
+// jobByID resolves a /jobs/{id} path value to a job snapshot (shared by
+// the legacy and v1 job handlers).
+func (s *server) jobByID(r *http.Request) (ingest.Job, error) {
+	m, err := s.manager()
+	if err != nil {
+		return ingest.Job{}, err
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		return ingest.Job{}, badRequest("job ID must be an integer")
+	}
+	job, ok := m.Job(id)
+	if !ok {
+		return ingest.Job{}, notFound(fmt.Sprintf("unknown job %d", id))
+	}
+	return job, nil
+}
+
+// ingestTable is the wire form of one submitted table (identical for the
+// legacy and v1 ingest endpoints).
 type ingestTable struct {
 	Dataset string `json:"dataset"`
 	Name    string `json:"name"`
@@ -324,12 +265,22 @@ func ingestError(err error) error {
 	}
 }
 
-func intParam(r *http.Request, name string, def int) int {
-	v, err := strconv.Atoi(r.URL.Query().Get(name))
-	if err != nil || v <= 0 {
-		return def
+// intParam reads a positive integer query parameter. An absent parameter
+// yields def; a non-numeric or non-positive value is a 400 (no silent
+// defaults); values above max are clamped.
+func intParam(r *http.Request, name string, def, max int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
 	}
-	return v
+	v, err := strconv.Atoi(raw)
+	if err != nil || v <= 0 {
+		return 0, badRequest(fmt.Sprintf("parameter %q must be a positive integer (got %q)", name, raw))
+	}
+	if max > 0 && v > max {
+		v = max
+	}
+	return v, nil
 }
 
 // httpError pairs a message with a status code.
@@ -351,7 +302,13 @@ func statusFor(err error) int {
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	writeJSONAs(w, status, "application/json", v)
+}
+
+// writeJSONAs writes a JSON body under an explicit content type (the
+// SPARQL protocol endpoint answers application/sparql-results+json).
+func writeJSONAs(w http.ResponseWriter, status int, contentType string, v any) {
+	w.Header().Set("Content-Type", contentType)
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		log.Printf("server: encode response: %v", err)
@@ -360,64 +317,4 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, errorEnvelope{Error: msg})
-}
-
-// bufferedResponse records a handler's response so withTimeout can discard
-// it if the deadline fires first (the real writer must not be touched by
-// two goroutines).
-type bufferedResponse struct {
-	header http.Header
-	status int
-	body   []byte
-}
-
-func (b *bufferedResponse) Header() http.Header { return b.header }
-func (b *bufferedResponse) WriteHeader(s int)   { b.status = s }
-func (b *bufferedResponse) Write(p []byte) (int, error) {
-	b.body = append(b.body, p...)
-	return len(p), nil
-}
-
-// withTimeout runs each request in its own goroutine under a deadline.
-// Responses are buffered: either the handler finishes and its response is
-// flushed, or the deadline fires and the client gets a 504 envelope (the
-// abandoned handler sees its context cancelled and its writes go nowhere).
-// Handler panics become 500 envelopes instead of killing the connection.
-func withTimeout(d time.Duration, next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		ctx, cancel := context.WithTimeout(r.Context(), d)
-		defer cancel()
-		buf := &bufferedResponse{header: http.Header{}, status: http.StatusOK}
-		done := make(chan struct{})
-		panicked := make(chan any, 1)
-		go func() {
-			defer close(done)
-			defer func() {
-				if p := recover(); p != nil {
-					panicked <- p
-				}
-			}()
-			next.ServeHTTP(buf, r.WithContext(ctx))
-		}()
-		select {
-		case <-done:
-			select {
-			case p := <-panicked:
-				log.Printf("server: panic serving %s: %v\n%s", r.URL.Path, p, debug.Stack())
-				writeError(w, http.StatusInternalServerError, "internal error")
-			default:
-				for k, vs := range buf.header {
-					for _, v := range vs {
-						w.Header().Add(k, v)
-					}
-				}
-				w.WriteHeader(buf.status)
-				if _, err := w.Write(buf.body); err != nil {
-					log.Printf("server: write response: %v", err)
-				}
-			}
-		case <-ctx.Done():
-			writeError(w, http.StatusGatewayTimeout, "request timed out")
-		}
-	})
 }

@@ -171,6 +171,14 @@ func (p *Platform) TableIDs() []string { return p.core.TableIDs() }
 // Stats returns LiDS graph statistics (the Statistics Manager).
 func (p *Platform) Stats() Stats { return p.core.Stats() }
 
+// Generation returns the store's monotonic mutation counter: it increases
+// on every graph mutation (table ingestion or removal, pipeline
+// registration) and never otherwise. It doubles as a cache validator —
+// kglids-server serves it as the ETag of every /api/v1 read, so clients
+// revalidate with If-None-Match and are answered 304 until something
+// actually changed.
+func (p *Platform) Generation() uint64 { return p.core.Store.Generation() }
+
 // Query runs an ad-hoc SPARQL query on the compiled ID-space engine.
 // Repeated queries are served from a bounded result cache keyed on (query
 // text, store generation) — live ingestion invalidates it automatically.
