@@ -7,9 +7,9 @@
 //	kglids-bench [-pipelines N] [-training N] [-snapshot F] [-save-snapshot F] [experiment ...]
 //
 // Experiments: table1 table2 figure5 figure6 figure4 table3 table4 table5
-// figure7 table6 figure8 figure9 snapshot ingest sparql server, or "all"
-// (default). Table 2 / Figure 5 share one run, as do Table 3 / Table 4 /
-// Figure 4 and Table 5 / Figure 7 and Table 6 / Figure 8.
+// figure7 table6 figure8 figure9 snapshot ingest sparql server edges, or
+// "all" (default). Table 2 / Figure 5 share one run, as do Table 3 /
+// Table 4 / Figure 4 and Table 5 / Figure 7 and Table 6 / Figure 8.
 //
 // The snapshot experiment measures persist-once/serve-many startup: it
 // bootstraps the TUS-Small synthetic lake, saves it with the snapshot
@@ -54,6 +54,8 @@ import (
 	"kglids/internal/experiments"
 	"kglids/internal/ingest"
 	"kglids/internal/lakegen"
+	"kglids/internal/profiler"
+	"kglids/internal/schema"
 	"kglids/internal/server"
 	"kglids/internal/sparql"
 )
@@ -135,6 +137,12 @@ func main() {
 	if run("server") {
 		if err := runServer(); err != nil {
 			fmt.Fprintln(os.Stderr, "server experiment:", err)
+			os.Exit(1)
+		}
+	}
+	if run("edges") {
+		if err := runEdges(); err != nil {
+			fmt.Fprintln(os.Stderr, "edges experiment:", err)
 			os.Exit(1)
 		}
 	}
@@ -486,6 +494,101 @@ func runServer() error {
 	}
 	report.DeleteRoundTrip = float64(time.Since(start).Microseconds()) / 1e3
 
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+// edgesLakeResult is one row of the edges experiment's JSON output.
+type edgesLakeResult struct {
+	Columns            int     `json:"columns"`
+	Tables             int     `json:"tables"`
+	Edges              int     `json:"edges"`
+	ExhaustiveMS       float64 `json:"exhaustive_ms"`
+	BlockedMS          float64 `json:"blocked_ms"`
+	Speedup            float64 `json:"speedup"`
+	ExhaustivePeakPair int64   `json:"exhaustive_peak_pairs"`
+	BlockedPeakPair    int64   `json:"blocked_peak_pairs"`
+	PairsCompared      int64   `json:"pairs_compared"`
+	Identical          bool    `json:"identical"`
+}
+
+// edgesExperiment is the JSON envelope of the edges experiment.
+type edgesExperiment struct {
+	Experiment string            `json:"experiment"`
+	Lakes      []edgesLakeResult `json:"lakes"`
+}
+
+// runEdges measures Algorithm 3's pairwise phase on generated lakes of
+// growing width: the exhaustive O(n²) oracle against the blocked,
+// candidate-pruned pipeline, reporting median build time and the peak
+// number of pairs buffered (the exhaustive path materializes every pair;
+// the blocked pipeline keeps a bounded channel's worth), and verifying the
+// two produce identical edge sets.
+func runEdges() error {
+	fmt.Println("Edges: blocked/candidate-pruned similarity pipeline vs exhaustive (wide lakes)")
+	const reps = 3
+	report := edgesExperiment{Experiment: "edges"}
+	for _, tables := range []int{35, 70, 140} {
+		lake := lakegen.WideLake(tables, 18, 30, 59)
+		prof := profiler.New()
+		var ptables []profiler.Table
+		for _, df := range lake.Tables {
+			ptables = append(ptables, profiler.Table{Dataset: lake.Dataset[df.Name], Frame: df})
+		}
+		profiles := prof.ProfileAll(ptables)
+
+		b := schema.NewBuilder()
+		var exhaustive, blocked []schema.Edge
+		exhaustiveMS := make([]float64, 0, reps)
+		blockedMS := make([]float64, 0, reps)
+		var exhaustiveStats, blockedStats schema.EdgeBuildStats
+		for r := 0; r < reps; r++ { // interleaved, median-of-reps
+			start := time.Now()
+			exhaustive = b.SimilarityEdgesExhaustive(profiles)
+			exhaustiveMS = append(exhaustiveMS, float64(time.Since(start).Microseconds())/1e3)
+			exhaustiveStats = b.LastStats()
+
+			start = time.Now()
+			blocked = b.SimilarityEdges(profiles)
+			blockedMS = append(blockedMS, float64(time.Since(start).Microseconds())/1e3)
+			blockedStats = b.LastStats()
+		}
+		sort.Float64s(exhaustiveMS)
+		sort.Float64s(blockedMS)
+
+		identical := len(exhaustive) == len(blocked)
+		if identical {
+			for i := range exhaustive {
+				if exhaustive[i] != blocked[i] {
+					identical = false
+					break
+				}
+			}
+		}
+		if !identical {
+			return fmt.Errorf("%d-column lake: blocked edges diverge from exhaustive (%d vs %d)",
+				len(profiles), len(blocked), len(exhaustive))
+		}
+		res := edgesLakeResult{
+			Columns:            len(profiles),
+			Tables:             len(lake.Tables),
+			Edges:              len(blocked),
+			ExhaustiveMS:       exhaustiveMS[reps/2],
+			BlockedMS:          blockedMS[reps/2],
+			ExhaustivePeakPair: exhaustiveStats.PeakPairBuffer,
+			BlockedPeakPair:    blockedStats.PeakPairBuffer,
+			PairsCompared:      blockedStats.PairsCompared,
+			Identical:          true,
+		}
+		if res.BlockedMS > 0 {
+			res.Speedup = res.ExhaustiveMS / res.BlockedMS
+		}
+		report.Lakes = append(report.Lakes, res)
+	}
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

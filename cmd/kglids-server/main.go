@@ -28,6 +28,11 @@
 // no restart, no re-bootstrap. On shutdown queued jobs drain before the
 // process exits (and before -save-snapshot runs, when given, so the saved
 // snapshot reflects every accepted job).
+//
+// -edge-block-size and -edge-candidates tune the blocked similarity-edge
+// pipeline used by bootstrap and every ingest delta (see
+// docs/ARCHITECTURE.md, "Schema construction at scale"). They move time
+// and memory around without ever changing the resulting edge set.
 package main
 
 import (
@@ -59,6 +64,8 @@ func main() {
 	ingestMode := flag.Bool("ingest", false, "enable live mutation endpoints (POST /ingest, DELETE /tables/{id})")
 	ingestWorkers := flag.Int("ingest-workers", 2, "ingestion worker pool size")
 	ingestQueue := flag.Int("ingest-queue", 64, "bounded ingestion job queue size")
+	edgeBlockSize := flag.Int("edge-block-size", 0, "similarity pipeline: largest same-type column block compared exhaustively (0 = default)")
+	edgeCandidates := flag.Int("edge-candidates", 0, "similarity pipeline: target pre-filter candidates per column (0 = default)")
 	accessLog := flag.Bool("access-log", true, "log one line per request (method, path, status, duration, request ID)")
 	flag.Parse()
 	if *lakeDir == "" && *snapshotPath == "" {
@@ -67,7 +74,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	plat, err := ready(*lakeDir, *snapshotPath)
+	plat, err := ready(*lakeDir, *snapshotPath, *edgeBlockSize, *edgeCandidates)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -140,8 +147,10 @@ func main() {
 }
 
 // ready produces a serving-ready platform, preferring the snapshot fast
-// path when both sources are given.
-func ready(lakeDir, snapshotPath string) (*kglids.Platform, error) {
+// path when both sources are given. The edge-tuning knobs apply to the
+// bootstrap similarity build and to every later ingest delta; snapshots
+// persist thresholds but not tuning, so they are re-applied after a load.
+func ready(lakeDir, snapshotPath string, edgeBlockSize, edgeCandidates int) (*kglids.Platform, error) {
 	if snapshotPath != "" {
 		if lakeDir != "" {
 			log.Printf("both -lake and -snapshot given; loading snapshot %s", snapshotPath)
@@ -151,6 +160,7 @@ func ready(lakeDir, snapshotPath string) (*kglids.Platform, error) {
 		if err != nil {
 			return nil, err
 		}
+		plat.SetEdgeTuning(edgeBlockSize, edgeCandidates)
 		log.Printf("snapshot %s loaded in %v (no re-profiling)",
 			snapshotPath, time.Since(start).Round(time.Millisecond))
 		return plat, nil
@@ -162,7 +172,10 @@ func ready(lakeDir, snapshotPath string) (*kglids.Platform, error) {
 	}
 	log.Printf("bootstrapping over %d tables...", len(tables))
 	start := time.Now()
-	plat := kglids.Bootstrap(kglids.Options{}, tables)
+	plat := kglids.Bootstrap(kglids.Options{
+		EdgeBlockSize:  edgeBlockSize,
+		EdgeCandidates: edgeCandidates,
+	}, tables)
 	log.Printf("bootstrap finished in %v", time.Since(start).Round(time.Millisecond))
 	return plat, nil
 }

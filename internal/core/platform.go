@@ -39,6 +39,16 @@ type Config struct {
 	// CoLR overrides the default embedding configuration (ablations).
 	CoLR    *embed.CoLR
 	Workers int
+	// EdgeBlockSize bounds the exhaustive fallback of the blocked
+	// similarity-edge pipeline: same-fine-grained-type column blocks up to
+	// this size are compared pair-by-pair, larger ones go through the
+	// candidate pre-filter. 0 means schema.DefaultEdgeBlockSize. Tuning
+	// only — the edge set is identical for any value.
+	EdgeBlockSize int
+	// EdgeCandidates is the target candidates per column in the pre-
+	// filtered path (average pre-filter cluster size). 0 means
+	// schema.DefaultEdgeCandidates. Tuning only.
+	EdgeCandidates int
 }
 
 // DefaultConfig returns the default platform configuration.
@@ -81,6 +91,12 @@ type Platform struct {
 	profiler   *profiler.Profiler
 	abstractor *pipeline.Abstractor
 	graphs     *pipeline.GraphBuilder
+	// labels is the persistent label-embedding cache shared by every
+	// schema build on this platform (bootstrap and all ingest deltas), so
+	// each distinct column label is embedded exactly once — a sequence of
+	// N small ingests costs O(new labels) embeddings per batch, not
+	// O(all labels).
+	labels *schema.LabelCache
 	// Timings of the bootstrap phases.
 	ProfilingTime   time.Duration
 	SchemaBuildTime time.Duration
@@ -94,6 +110,7 @@ func Bootstrap(cfg Config, tables []Table) *Platform {
 		TableIndex:      vectorindex.NewExact(),
 		TableEmbeddings: map[string]embed.Vector{},
 		cfg:             cfg,
+		labels:          schema.NewLabelCache(),
 	}
 	p.profiler = profiler.New()
 	if cfg.CoLR != nil {
@@ -114,7 +131,7 @@ func Bootstrap(cfg Config, tables []Table) *Platform {
 
 	// Phase 2: Data Global Schema (Algorithm 3).
 	start = time.Now()
-	p.Edges = newBuilder(cfg).BuildGraph(p.Store, p.Profiles)
+	p.Edges = p.newBuilder().BuildGraph(p.Store, p.Profiles)
 	p.SchemaBuildTime = time.Since(start)
 
 	// Phase 3: embedding stores (column + table level, Eq. 1). Tables are
@@ -159,15 +176,34 @@ const (
 )
 
 // newBuilder configures a schema builder exactly as Bootstrap does, so
-// incremental mutations score similarity identically to a full build.
-func newBuilder(cfg Config) *schema.Builder {
+// incremental mutations score similarity identically to a full build. All
+// builders of one platform share its persistent label-embedding cache.
+func (p *Platform) newBuilder() *schema.Builder {
 	b := schema.NewBuilder()
-	b.Thresholds = cfg.Thresholds
-	b.SkipLabels = cfg.SkipLabelSimilarity
-	if cfg.Workers > 0 {
-		b.Workers = cfg.Workers
+	b.Thresholds = p.cfg.Thresholds
+	b.SkipLabels = p.cfg.SkipLabelSimilarity
+	b.BlockSize = p.cfg.EdgeBlockSize
+	b.Candidates = p.cfg.EdgeCandidates
+	b.Labels = p.labels
+	if p.cfg.Workers > 0 {
+		b.Workers = p.cfg.Workers
 	}
 	return b
+}
+
+// SetEdgeTuning adjusts the blocked similarity-edge pipeline knobs on a
+// live platform (0 keeps a knob's current value). Tuning only: the knobs
+// change where time and memory go, never the edge set, so it is safe to
+// apply to a restored snapshot before enabling ingestion.
+func (p *Platform) SetEdgeTuning(blockSize, candidates int) {
+	p.ingestMu.Lock()
+	defer p.ingestMu.Unlock()
+	if blockSize > 0 {
+		p.cfg.EdgeBlockSize = blockSize
+	}
+	if candidates > 0 {
+		p.cfg.EdgeCandidates = candidates
+	}
 }
 
 // AddTables profiles new tables and splices them into the live platform:
@@ -220,7 +256,7 @@ func (p *Platform) AddTables(tables []Table) ([]string, error) {
 	// ingestMu guarantees no concurrent mutator, so the view is the final
 	// state of the previous mutation.
 	existing := p.ProfilesView()
-	delta := newBuilder(p.cfg).SimilarityEdgesDelta(existing, added)
+	delta := p.newBuilder().SimilarityEdgesDelta(existing, added)
 
 	// Store: per-table metadata named graphs + delta edges, one batch each.
 	p.Store.AddBatch(schema.MetadataQuads(added))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"kglids/internal/lakegen"
@@ -127,5 +128,74 @@ func TestTableIRIUnknown(t *testing.T) {
 	p, _ := bootstrapSmall(t)
 	if _, err := p.TableIRI("nope/none.csv"); err == nil {
 		t.Error("unknown table should error")
+	}
+}
+
+// TestIngestEmbedCallsLinear pins, at the platform level, that repeated
+// AddTables batches do not re-embed the whole label population: the
+// persistent label cache makes total embedding work linear in distinct
+// labels, not quadratic in ingests × profiles.
+func TestIngestEmbedCallsLinear(t *testing.T) {
+	p, b := bootstrapSmall(t)
+	afterBootstrap := p.labels.EmbedCalls()
+	if afterBootstrap == 0 {
+		t.Fatal("bootstrap embedded no labels")
+	}
+	// Re-ingest copies of an existing table under new names: every label
+	// is already cached, so embed calls must not move at all.
+	src := b.Tables[0]
+	for i := 0; i < 5; i++ {
+		clone := src.Clone()
+		clone.Name = fmt.Sprintf("copy_%d_%s", i, src.Name)
+		if _, err := p.AddTables([]Table{{Dataset: "redeliver", Frame: clone}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.labels.EmbedCalls(); got != afterBootstrap {
+		t.Fatalf("embed calls grew %d -> %d across known-label ingests (quadratic re-embedding)",
+			afterBootstrap, got)
+	}
+}
+
+// TestAddTablesBlockedDeltaEquivalence forces every ingest delta down the
+// candidate-pruned path (block size 1) and checks a batched AddTables
+// sequence converges to the same edges, stats, and discovery results as a
+// fresh Bootstrap over the full lake.
+func TestAddTablesBlockedDeltaEquivalence(t *testing.T) {
+	b := lakegen.Generate(lakegen.Spec{
+		Name: "mini", Families: 4, TablesPerFamily: 3, NoiseTables: 4,
+		RowsPerTable: 60, QueryTables: 4, Seed: 33,
+	})
+	var tables []Table
+	for _, df := range b.Tables {
+		tables = append(tables, Table{Dataset: b.Dataset[df.Name], Frame: df})
+	}
+	cfg := DefaultConfig()
+	cfg.EdgeBlockSize = 1
+	cfg.EdgeCandidates = 2
+
+	fresh := Bootstrap(cfg, tables)
+	incremental := Bootstrap(cfg, tables[:3])
+	for i := 3; i < len(tables); i += 2 {
+		hi := i + 2
+		if hi > len(tables) {
+			hi = len(tables)
+		}
+		if _, err := incremental.AddTables(tables[i:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if fresh.Stats() != incremental.Stats() {
+		t.Fatalf("stats diverge: fresh %+v, incremental %+v", fresh.Stats(), incremental.Stats())
+	}
+	fe, ie := fresh.EdgesView(), incremental.EdgesView()
+	if len(fe) != len(ie) {
+		t.Fatalf("edge counts diverge: fresh %d, incremental %d", len(fe), len(ie))
+	}
+	for i := range fe {
+		if fe[i] != ie[i] {
+			t.Fatalf("edge %d diverges: fresh %+v, incremental %+v", i, fe[i], ie[i])
+		}
 	}
 }

@@ -68,6 +68,7 @@ func Restore(st RestoredState) (*Platform, error) {
 	if p.TableEmbeddings == nil {
 		p.TableEmbeddings = map[string]embed.Vector{}
 	}
+	p.labels = schema.NewLabelCache()
 	p.profiler = profiler.New()
 	for _, cp := range st.Profiles {
 		p.ColumnIndex.Add(cp.ID(), cp.Embed)

@@ -413,38 +413,58 @@ type JoinPath struct {
 	Score  float64
 }
 
-// GetPathToTable finds join paths from start to target within maxHops
-// intermediate tables (the get_path_to_table API; BFS over content-
+// GetPathToTable finds join paths from start to target of at most maxHops
+// hops — a hop is one join edge, so a returned path has between 2 and
+// maxHops+1 tables (the get_path_to_table API; BFS over content-
 // similarity edges).
+//
+// Cycle prevention is per path, not global: a table may appear in many
+// returned paths (alternate routes through a shared hub table are all
+// reported, each scored on its own), but never twice within one path.
+// Simple paths within the hop budget are enumerated breadth-first,
+// ordered by length, then score (descending), then lexicographically by
+// table sequence.
+//
+// Dense join graphs (near-cliques of mutually joinable tables) have
+// exponentially many simple paths, so enumeration is bounded: at most
+// maxJoinPaths paths are collected and at most maxJoinPathStates partial
+// paths expanded. Because the search is breadth-first, truncation drops
+// only the longest, most roundabout routes.
 func (e *Engine) GetPathToTable(start, target rdf.Term, maxHops int) []JoinPath {
+	if maxHops < 1 || start.Equal(target) {
+		return nil
+	}
 	type state struct {
-		table rdf.Term
 		path  []rdf.Term
 		score float64
 	}
 	var paths []JoinPath
-	visited := map[string]bool{start.Key(): true}
-	queue := []state{{table: start, path: []rdf.Term{start}, score: 1}}
-	for len(queue) > 0 {
+	queue := []state{{path: []rdf.Term{start}, score: 1}}
+	expanded := 0
+	for len(queue) > 0 && len(paths) < maxJoinPaths && expanded < maxJoinPathStates {
 		cur := queue[0]
 		queue = queue[1:]
-		if len(cur.path)-1 > maxHops+1 {
-			continue
+		expanded++
+		hops := len(cur.path) - 1
+		if hops >= maxHops {
+			continue // budget exhausted: cannot take another hop
 		}
-		for _, next := range e.JoinableTables(cur.table, 0) {
+		for _, next := range e.JoinableTables(cur.path[len(cur.path)-1], 0) {
 			if next.Table.Equal(target) {
-				paths = append(paths, JoinPath{
-					Tables: append(append([]rdf.Term{}, cur.path...), target),
-					Score:  cur.score * next.Score,
-				})
+				if len(paths) < maxJoinPaths {
+					paths = append(paths, JoinPath{
+						Tables: append(append([]rdf.Term{}, cur.path...), target),
+						Score:  cur.score * next.Score,
+					})
+				}
 				continue
 			}
-			if visited[next.Table.Key()] || len(cur.path)-1 >= maxHops {
+			// Extending to an intermediate spends a hop and still needs
+			// one more to reach the target.
+			if hops+1 >= maxHops || onPath(cur.path, next.Table) {
 				continue
 			}
-			visited[next.Table.Key()] = true
 			queue = append(queue, state{
-				table: next.Table,
 				path:  append(append([]rdf.Term{}, cur.path...), next.Table),
 				score: cur.score * next.Score,
 			})
@@ -454,9 +474,46 @@ func (e *Engine) GetPathToTable(start, target rdf.Term, maxHops int) []JoinPath 
 		if len(paths[i].Tables) != len(paths[j].Tables) {
 			return len(paths[i].Tables) < len(paths[j].Tables)
 		}
-		return paths[i].Score > paths[j].Score
+		if paths[i].Score != paths[j].Score {
+			return paths[i].Score > paths[j].Score
+		}
+		return lessTables(paths[i].Tables, paths[j].Tables)
 	})
 	return paths
+}
+
+// Enumeration bounds of GetPathToTable: dense join graphs have
+// exponentially many simple paths, and a discovery API must stay bounded.
+const (
+	// maxJoinPaths caps the number of paths collected.
+	maxJoinPaths = 256
+	// maxJoinPathStates caps the number of partial paths expanded.
+	maxJoinPathStates = 4096
+)
+
+// onPath reports whether table already appears in the path (per-path cycle
+// guard).
+func onPath(path []rdf.Term, table rdf.Term) bool {
+	for _, t := range path {
+		if t.Equal(table) {
+			return true
+		}
+	}
+	return false
+}
+
+// lessTables orders equal-length table sequences lexicographically, the
+// deterministic tie-break for equal-score paths.
+func lessTables(a, b []rdf.Term) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i].Value != b[i].Value {
+			return a[i].Value < b[i].Value
+		}
+	}
+	return false
 }
 
 // LibraryUsage is one row of the get_top_k_library_used result.

@@ -1,6 +1,7 @@
 package discovery
 
 import (
+	"fmt"
 	"testing"
 
 	"kglids/internal/dataframe"
@@ -192,5 +193,162 @@ func TestAdHocSPARQL(t *testing.T) {
 	}
 	if n, _ := res.Rows[0]["n"].AsInt(); n != 8 {
 		t.Errorf("columns = %d", n)
+	}
+}
+
+// pathFixture builds a store whose join graph is exactly the given edges:
+// each edge links a dedicated content-similar column pair between two
+// tables with the given certainty score.
+func pathFixture(t *testing.T, edges []struct {
+	a, b  string
+	score float64
+}) (*store.Store, func(name string) rdf.Term) {
+	t.Helper()
+	st := store.New()
+	seenCols := map[string]int{}
+	var simEdges []schema.Edge
+	var quads []rdf.Quad
+	col := func(table string) string {
+		seenCols[table]++
+		id := fmt.Sprintf("d/%s/c%d", table, seenCols[table])
+		quads = append(quads,
+			rdf.Quad{Triple: rdf.T(schema.TableIRI("d/"+table), rdf.PropHasColumn, schema.ColumnIRI(id)), Graph: rdf.DefaultGraph},
+			rdf.Quad{Triple: rdf.T(schema.ColumnIRI(id), rdf.PropIsPartOf, schema.TableIRI("d/"+table)), Graph: rdf.DefaultGraph},
+		)
+		return id
+	}
+	for _, e := range edges {
+		simEdges = append(simEdges, schema.Edge{A: col(e.a), B: col(e.b), Kind: "ContentSimilarity", Score: e.score})
+	}
+	st.AddBatch(quads)
+	st.AddBatch(schema.EdgeQuads(simEdges))
+	return st, func(name string) rdf.Term { return schema.TableIRI("d/" + name) }
+}
+
+// TestJoinPathHopBound pins the maxHops semantics: a returned path has at
+// most maxHops hops (join edges). Regression for the target-append branch
+// that skipped the hop budget and returned maxHops+1-hop paths.
+func TestJoinPathHopBound(t *testing.T) {
+	// 3-hop chain A - B - C - D.
+	st, iri := pathFixture(t, []struct {
+		a, b  string
+		score float64
+	}{
+		{"A", "B", 0.9}, {"B", "C", 0.9}, {"C", "D", 0.9},
+	})
+	e := New(st)
+	for _, maxHops := range []int{1, 2} {
+		if paths := e.GetPathToTable(iri("A"), iri("D"), maxHops); len(paths) != 0 {
+			t.Errorf("maxHops=%d: 3-hop chain returned %d paths (first has %d tables), want none",
+				maxHops, len(paths), len(paths[0].Tables))
+		}
+	}
+	paths := e.GetPathToTable(iri("A"), iri("D"), 3)
+	if len(paths) != 1 || len(paths[0].Tables) != 4 {
+		t.Fatalf("maxHops=3: paths = %+v, want one 4-table path", paths)
+	}
+	// The direct hop still works at the tightest budget.
+	if paths := e.GetPathToTable(iri("A"), iri("B"), 1); len(paths) != 1 || len(paths[0].Tables) != 2 {
+		t.Fatalf("maxHops=1 direct: paths = %+v", paths)
+	}
+	// Every returned path respects the budget at any setting.
+	for maxHops := 1; maxHops <= 5; maxHops++ {
+		for _, p := range e.GetPathToTable(iri("A"), iri("D"), maxHops) {
+			if len(p.Tables)-1 > maxHops {
+				t.Errorf("maxHops=%d returned %d-hop path %v", maxHops, len(p.Tables)-1, p.Tables)
+			}
+		}
+	}
+}
+
+// TestJoinPathSharedHub pins the per-path visited semantics: alternate
+// routes through a shared hub table are all returned (the global visited
+// map used to drop every route after the first), and equal-length paths
+// order by score.
+func TestJoinPathSharedHub(t *testing.T) {
+	// A - H - C (via the hub), A - B - H - C (longer route through the
+	// same hub), and A - G - C (parallel hub with higher scores).
+	st, iri := pathFixture(t, []struct {
+		a, b  string
+		score float64
+	}{
+		{"A", "H", 0.8}, {"H", "C", 0.8},
+		{"A", "B", 0.8}, {"B", "H", 0.8},
+		{"A", "G", 0.99}, {"G", "C", 0.99},
+	})
+	e := New(st)
+	paths := e.GetPathToTable(iri("A"), iri("C"), 3)
+	var got [][]string
+	for _, p := range paths {
+		var names []string
+		for _, tb := range p.Tables {
+			names = append(names, tb.Local())
+		}
+		got = append(got, names)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("paths = %v, want 3 (two hubs + the long route through H)", got)
+	}
+	// Two 2-hop paths first, the better-scoring hub G leading.
+	if len(paths[0].Tables) != 3 || len(paths[1].Tables) != 3 || len(paths[2].Tables) != 4 {
+		t.Fatalf("path lengths wrong: %v", got)
+	}
+	if !paths[0].Tables[1].Equal(iri("G")) {
+		t.Errorf("higher-score hub not first: %v", got)
+	}
+	if !paths[1].Tables[1].Equal(iri("H")) {
+		t.Errorf("shared hub route missing from 2-hop paths: %v", got)
+	}
+	if !paths[2].Tables[1].Equal(iri("B")) || !paths[2].Tables[2].Equal(iri("H")) {
+		t.Errorf("alternate route through shared hub dropped: %v", got)
+	}
+	// No table repeats within any single path.
+	for _, p := range paths {
+		seen := map[string]bool{}
+		for _, tb := range p.Tables {
+			if seen[tb.Key()] {
+				t.Errorf("cycle within path: %v", got)
+			}
+			seen[tb.Key()] = true
+		}
+	}
+}
+
+// TestJoinPathDenseGraphBounded pins the enumeration caps: a clique of
+// mutually joinable tables has exponentially many simple paths, and
+// GetPathToTable must return a bounded, length-ordered subset instead of
+// hanging.
+func TestJoinPathDenseGraphBounded(t *testing.T) {
+	var edges []struct {
+		a, b  string
+		score float64
+	}
+	names := make([]string, 12)
+	for i := range names {
+		names[i] = fmt.Sprintf("T%02d", i)
+	}
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			edges = append(edges, struct {
+				a, b  string
+				score float64
+			}{names[i], names[j], 0.9})
+		}
+	}
+	st, iri := pathFixture(t, edges)
+	e := New(st)
+	paths := e.GetPathToTable(iri("T00"), iri("T11"), 6)
+	if len(paths) == 0 || len(paths) > maxJoinPaths {
+		t.Fatalf("paths = %d, want within (0, %d]", len(paths), maxJoinPaths)
+	}
+	// Breadth-first truncation keeps the shortest paths: the direct hop
+	// must lead.
+	if len(paths[0].Tables) != 2 {
+		t.Errorf("first path has %d tables, want the direct join", len(paths[0].Tables))
+	}
+	for i := 1; i < len(paths); i++ {
+		if len(paths[i].Tables) < len(paths[i-1].Tables) {
+			t.Fatalf("paths not length-ordered at %d", i)
+		}
 	}
 }

@@ -1,0 +1,96 @@
+package lakegen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kglids/internal/dataframe"
+)
+
+// WideLake generates a lake that is wide in columns rather than rich in
+// rows — the regime where Algorithm 3's pairwise cost dominates and the
+// blocked similarity-edge pipeline earns its keep. Tables are grouped into
+// families of seven; a family shares column labels and value domains (so
+// columns match their family counterparts: duplicate labels, label and
+// content similarity edges), while different families use disjoint labels
+// and domains (so the overwhelming majority of same-type cross-family
+// pairs fail every threshold — the pairs candidate pruning should never
+// generate). Column slots rotate through string, int, float, boolean, and
+// date so every fine-grained type contributes a block.
+//
+// tables and colsPerTable control the width; rows is the per-table row
+// count. Tables are grouped into datasets of five.
+func WideLake(tables, colsPerTable, rows int, seed int64) *Benchmark {
+	rng := rand.New(rand.NewSource(seed))
+	if colsPerTable < 1 {
+		colsPerTable = 1
+	}
+	const familySize = 7
+	b := &Benchmark{
+		Name:        fmt.Sprintf("Wide-%dx%d", tables, colsPerTable),
+		Dataset:     map[string]string{},
+		GroundTruth: map[string][]string{},
+	}
+	for t := 0; t < tables; t++ {
+		f := t / familySize
+		df := dataframe.New(fmt.Sprintf("wide_%04d.csv", t))
+		for slot := 0; slot < colsPerTable; slot++ {
+			label := fmt.Sprintf("%s_%s", letterWord(slot, 2), letterWord(f, 3))
+			s := &dataframe.Series{Name: label}
+			for r := 0; r < rows; r++ {
+				s.Cells = append(s.Cells, dataframe.ParseCell(wideValue(rng, f, slot)))
+			}
+			df.AddColumn(s)
+		}
+		b.Tables = append(b.Tables, df)
+		b.Dataset[df.Name] = fmt.Sprintf("wide_ds_%02d", t/5)
+	}
+	return b
+}
+
+// wideValue draws one cell for a (family, slot) column. String slots
+// dominate (the issue's motivating regime — wide lakes are mostly string
+// columns) and draw from family+slot-private token pools; numeric slots
+// vary distribution shape and location per family so unrelated numeric
+// columns separate too; booleans and dates get family-specific ratios and
+// windows.
+func wideValue(rng *rand.Rand, f, slot int) string {
+	switch slot % 6 {
+	case 2: // numeric with family-specific shape
+		switch (f*7 + slot) % 4 {
+		case 0: // uniform over a private range
+			return fmt.Sprintf("%d", (f*31+slot)*100+rng.Intn(50))
+		case 1: // normal around a private mean
+			return fmt.Sprintf("%.2f", float64(f*17+slot*5)+rng.NormFloat64()*float64(2+f%5))
+		case 2: // heavy-tailed
+			return fmt.Sprintf("%.2f", 100*float64(1+f%10)*(1+rng.ExpFloat64()))
+		default: // bimodal
+			base := (f*19 + slot) * 10
+			if rng.Intn(2) == 0 {
+				return fmt.Sprintf("%d", base+rng.Intn(5))
+			}
+			return fmt.Sprintf("%d", base+40+rng.Intn(5))
+		}
+	case 3: // booleans with a family+slot-specific true ratio
+		ratio := 0.05 + 0.9*float64((f*13+slot*7)%20)/20
+		if rng.Float64() < ratio {
+			return "1"
+		}
+		return "0"
+	case 4: // dates in a family-private window
+		return fmt.Sprintf("%04d-%02d-%02d", 1900+(f*3+slot)%190, 1+rng.Intn(12), 1+rng.Intn(28))
+	default: // string from a family+slot-private token pool
+		return fmt.Sprintf("%s_%s_%d", letterWord(f, 3), letterWord(slot, 2), rng.Intn(8))
+	}
+}
+
+// letterWord encodes i as a lowercase letters-only word of the given
+// length (labels must survive tokenization, which strips digits).
+func letterWord(i, length int) string {
+	buf := make([]byte, length)
+	for k := length - 1; k >= 0; k-- {
+		buf[k] = byte('a' + i%26)
+		i /= 26
+	}
+	return string(buf)
+}

@@ -1,0 +1,442 @@
+package schema
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"kglids/internal/embed"
+	"kglids/internal/profiler"
+	"kglids/internal/vectorindex"
+)
+
+// This file is the blocked, streaming, candidate-pruned implementation of
+// Algorithm 3's pairwise phase. The exhaustive implementation (builder.go)
+// materializes every same-type cross-table pair before any worker runs —
+// O(n²) memory — and compares them all — O(n²) cosine work. Here instead:
+//
+//   - Pairs are generated per fine-grained-type block and streamed to the
+//     worker pool through a bounded channel in fixed-size batches, so the
+//     peak number of buffered pairs is O(workers × batch), independent of
+//     the lake's width.
+//
+//   - Within blocks larger than Builder.BlockSize, candidate pairs come
+//     from exact pre-filters instead of the full cross product. A pair can
+//     only produce an edge by passing one of Algorithm 3's thresholds, and
+//     each threshold has a channel that provably covers it:
+//
+//     label (α):   label similarity is a function of the two normalized
+//     labels alone — 1.0 for equal norms, else the cosine of
+//     their word embeddings. Equal-norm groups are enumerated
+//     directly, and distinct norm pairs are pre-filtered in
+//     word-embedding space with radius acos(α) (a LeaderIndex
+//     over one vector per distinct norm), then kept only when
+//     their exact cosine passes α — the same floats the final
+//     comparison computes.
+//
+//     content (θ): for non-boolean types, content similarity is the cosine
+//     of the column embeddings. A LeaderIndex over the block's
+//     embeddings answers radius-acos(θ) candidate queries with
+//     an exact superset guarantee (angular triangle inequality
+//     — see vectorindex/leader.go), so every pair with cosine
+//     ≥ θ is generated.
+//
+//     content (β): boolean columns compare true ratios: 1-|Δ| ≥ β is a 1-D
+//     interval join, answered exactly by a sorted sliding
+//     window of width 1-β.
+//
+//     The union of the channels is a superset of every pair that could
+//     pass any threshold; each candidate then goes through the same
+//     comparePair as the exhaustive path, so the edge set is identical —
+//     the randomized harness in equivalence_test.go checks this
+//     edge-for-edge against the oracle.
+//
+//   - The delta path (minNew > 0) skips blocks with no added columns;
+//     batches small relative to the Candidates target stream added×block
+//     pairs directly (building a pre-filter would cost more than it
+//     saves), and larger batches let only the added columns query the
+//     pre-filters.
+const (
+	// DefaultEdgeBlockSize is the largest same-type block still compared
+	// exhaustively when Builder.BlockSize is unset.
+	DefaultEdgeBlockSize = 256
+	// DefaultEdgeCandidates is the default target candidates per column
+	// (average pre-filter cluster size) when Builder.Candidates is unset.
+	DefaultEdgeCandidates = 64
+	// pairBatchSize is the unit of work streamed to edge workers.
+	pairBatchSize = 1024
+	// ratioEps pads the boolean true-ratio window against floating-point
+	// disagreement between |Δ| ≤ 1-β and 1-|Δ| ≥ β at the boundary; false
+	// positives are re-checked exactly by comparePair.
+	ratioEps = 1e-12
+)
+
+// EdgeBuildStats instruments one similarity build.
+type EdgeBuildStats struct {
+	// Columns is the number of profiles seen (existing + added for deltas).
+	Columns int
+	// Blocks is the number of same-type blocks processed.
+	Blocks int
+	// PrunedBlocks is how many blocks went through the candidate
+	// pre-filter rather than the exhaustive fallback.
+	PrunedBlocks int
+	// PairsCompared counts pairs that reached the exact comparison.
+	PairsCompared int64
+	// PairsExhaustive counts the pairs the O(n²) generator would have
+	// compared for the same input.
+	PairsExhaustive int64
+	// PeakPairBuffer is the maximum number of pairs resident in pipeline
+	// buffers (bounded channel plus batches under construction) at any
+	// instant. The exhaustive path reports its materialized pair slice.
+	PeakPairBuffer int64
+}
+
+func (b *Builder) blockSize() int {
+	if b.BlockSize > 0 {
+		return b.BlockSize
+	}
+	return DefaultEdgeBlockSize
+}
+
+func (b *Builder) candidateTarget() int {
+	if b.Candidates > 0 {
+		return b.Candidates
+	}
+	return DefaultEdgeCandidates
+}
+
+// pairRef is one candidate pair, by profile index, with i < j.
+type pairRef struct{ i, j int32 }
+
+// pairStream feeds candidate pairs to the worker pool through a bounded
+// channel and tracks the peak number of pairs buffered anywhere in the
+// pipeline. Batches are produced by one goroutine.
+type pairStream struct {
+	ch       chan []pairRef
+	batch    []pairRef
+	inFlight atomic.Int64
+	peak     atomic.Int64
+}
+
+func newPairStream(workers int) *pairStream {
+	return &pairStream{
+		ch:    make(chan []pairRef, workers),
+		batch: make([]pairRef, 0, pairBatchSize),
+	}
+}
+
+func (s *pairStream) emit(i, j int32) {
+	s.batch = append(s.batch, pairRef{i: i, j: j})
+	if len(s.batch) >= pairBatchSize {
+		s.flush()
+	}
+}
+
+func (s *pairStream) flush() {
+	if len(s.batch) == 0 {
+		return
+	}
+	s.notePeak(s.inFlight.Add(int64(len(s.batch))))
+	s.ch <- s.batch
+	s.batch = make([]pairRef, 0, pairBatchSize)
+}
+
+// noteBuffered records extra pairs buffered outside the channel (a
+// query's candidate set) into the peak measurement.
+func (s *pairStream) noteBuffered(extra int) {
+	s.notePeak(s.inFlight.Load() + int64(len(s.batch)) + int64(extra))
+}
+
+func (s *pairStream) notePeak(n int64) {
+	for {
+		cur := s.peak.Load()
+		if n <= cur || s.peak.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+func (s *pairStream) consumed(batch []pairRef) { s.inFlight.Add(-int64(len(batch))) }
+
+func (s *pairStream) close() {
+	s.flush()
+	close(s.ch)
+}
+
+// similarityEdgesBlocked is the streaming entry point shared by
+// SimilarityEdges (minNew 0) and SimilarityEdgesDelta.
+func (b *Builder) similarityEdgesBlocked(profiles []*profiler.ColumnProfile, minNew int) []Edge {
+	stats := EdgeBuildStats{Columns: len(profiles)}
+	labels := b.labelViewOf(profiles)
+
+	byType := map[embed.Type][]int32{}
+	for i, cp := range profiles {
+		byType[cp.Type] = append(byType[cp.Type], int32(i))
+	}
+	typeKeys := make([]string, 0, len(byType))
+	for t := range byType {
+		typeKeys = append(typeKeys, string(t))
+	}
+	sort.Strings(typeKeys)
+
+	workers := b.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	stream := newPairStream(workers)
+	results := make([][]Edge, workers)
+	counts := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var out []Edge
+			var n int64
+			for batch := range stream.ch {
+				for _, pr := range batch {
+					out = append(out, b.comparePair(profiles[pr.i], profiles[pr.j], labels.similarity(int(pr.i), int(pr.j)))...)
+				}
+				n += int64(len(batch))
+				stream.consumed(batch)
+			}
+			results[w] = out
+			counts[w] = n
+		}(w)
+	}
+
+	for _, tk := range typeKeys {
+		idxs := byType[embed.Type(tk)]
+		if minNew > 0 && int(idxs[len(idxs)-1]) < minNew {
+			continue // delta: no added column in this block
+		}
+		stats.Blocks++
+		stats.PairsExhaustive += exhaustivePairCount(profiles, idxs, minNew)
+		// A small delta into a big block streams added×all directly: the
+		// pre-filter would cost a full index build over the block to save
+		// fewer comparisons than the build performs, so per-ingest cost
+		// stays added×block, not block×leaders.
+		newInBlock := len(idxs) - sort.Search(len(idxs), func(i int) bool { return int(idxs[i]) >= minNew })
+		if len(idxs) <= b.blockSize() || (minNew > 0 && newInBlock <= b.candidateTarget()) {
+			b.streamBlockExhaustive(stream, profiles, idxs, minNew)
+		} else {
+			stats.PrunedBlocks++
+			b.streamBlockPruned(stream, profiles, labels, idxs, minNew)
+		}
+	}
+	stream.close()
+	wg.Wait()
+
+	var edges []Edge
+	for _, r := range results {
+		edges = append(edges, r...)
+	}
+	for _, c := range counts {
+		stats.PairsCompared += c
+	}
+	stats.PeakPairBuffer = stream.peak.Load()
+	b.lastStats = stats
+	SortEdges(edges)
+	return edges
+}
+
+// exhaustivePairCount computes, in O(block), how many pairs the O(n²)
+// generator would compare for this block: cross-table same-type pairs with
+// at least one side at or past minNew.
+func exhaustivePairCount(profiles []*profiler.ColumnProfile, idxs []int32, minNew int) int64 {
+	var m, mOld int64
+	perTable := map[string][2]int64{} // tableID -> {total, old}
+	for _, i := range idxs {
+		m++
+		old := int(i) < minNew
+		if old {
+			mOld++
+		}
+		t := profiles[i].TableID()
+		c := perTable[t]
+		c[0]++
+		if old {
+			c[1]++
+		}
+		perTable[t] = c
+	}
+	c2 := func(x int64) int64 { return x * (x - 1) / 2 }
+	n := c2(m) - c2(mOld)
+	for _, c := range perTable {
+		n -= c2(c[0]) - c2(c[1])
+	}
+	return n
+}
+
+// streamBlockExhaustive streams every qualifying pair — the same pairs
+// the oracle materializes, in batches instead of a slice. The outer loop
+// runs over the columns at or past minNew only (idxs are ascending), so
+// delta cost is added×block, not block².
+func (b *Builder) streamBlockExhaustive(stream *pairStream, profiles []*profiler.ColumnProfile, idxs []int32, minNew int) {
+	start := sort.Search(len(idxs), func(i int) bool { return int(idxs[i]) >= minNew })
+	for c := start; c < len(idxs); c++ {
+		for a := 0; a < c; a++ {
+			if profiles[idxs[a]].TableID() == profiles[idxs[c]].TableID() {
+				continue // only cross-table edges
+			}
+			stream.emit(idxs[a], idxs[c])
+		}
+	}
+}
+
+// ratioEntry is one boolean column in the sorted true-ratio window.
+type ratioEntry struct {
+	ratio float64
+	idx   int32
+}
+
+// streamBlockPruned generates candidates for one large block through the
+// per-threshold channels described at the top of the file, deduplicates
+// them per query column, and streams them. Every pair that could pass a
+// threshold is generated (exactness); pairs that cannot are mostly pruned
+// (performance).
+func (b *Builder) streamBlockPruned(stream *pairStream, profiles []*profiler.ColumnProfile, labels *labelView, idxs []int32, minNew int) {
+	typ := profiles[idxs[0]].Type
+
+	// Label channel: norm groups plus α-close distinct-norm adjacency.
+	labelChannel := !b.SkipLabels && b.Thresholds.Alpha <= 1
+	var groups map[string][]int32
+	var normAdj map[string][]string
+	if labelChannel {
+		groups = map[string][]int32{}
+		for _, gi := range idxs {
+			n := labels.norms[gi]
+			groups[n] = append(groups[n], gi)
+		}
+		normAdj = b.alphaCloseNorms(groups, labels, minNew)
+	}
+
+	// Content channel: leader pre-filter for embedded types, sorted
+	// true-ratio window for booleans.
+	var li *vectorindex.LeaderIndex
+	var thetaAngle float64
+	var ratios []ratioEntry
+	var ratioWindow float64
+	if typ == embed.TypeBoolean {
+		if b.Thresholds.Beta <= 1 {
+			ratios = make([]ratioEntry, len(idxs))
+			for k, gi := range idxs {
+				ratios[k] = ratioEntry{ratio: profiles[gi].Stats.TrueRatio, idx: gi}
+			}
+			sort.Slice(ratios, func(i, j int) bool { return ratios[i].ratio < ratios[j].ratio })
+			ratioWindow = 1 - b.Thresholds.Beta + ratioEps
+		}
+	} else if b.Thresholds.Theta <= 1 {
+		blockVecs := make([]embed.Vector, len(idxs))
+		for k, gi := range idxs {
+			blockVecs[k] = profiles[gi].Embed
+		}
+		thetaAngle = vectorindex.PruneAngle(b.Thresholds.Theta)
+		li = vectorindex.NewLeaderIndex(blockVecs, b.candidateTarget(), thetaAngle/2)
+	}
+
+	var cand []int32 // scratch, reused across queries
+	for _, gi := range idxs {
+		if int(gi) < minNew {
+			continue // only added columns query in the delta path
+		}
+		cand = cand[:0]
+		if labelChannel {
+			norm := labels.norms[gi]
+			cand = append(cand, groups[norm]...)
+			for _, nb := range normAdj[norm] {
+				cand = append(cand, groups[nb]...)
+			}
+		}
+		if ratios != nil {
+			cand = appendRatioWindow(cand, ratios, profiles[gi].Stats.TrueRatio, ratioWindow)
+		} else if li != nil {
+			li.Candidates(profiles[gi].Embed, thetaAngle, func(pos int32) {
+				cand = append(cand, idxs[pos])
+			})
+		}
+		stream.noteBuffered(len(cand))
+
+		sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
+		prev := int32(-1)
+		qt := profiles[gi].TableID()
+		for _, o := range cand {
+			if o == prev {
+				continue // cross-channel duplicate
+			}
+			prev = o
+			// Emit each unordered pair exactly once: under the query of
+			// its max index when both sides can query, else under the
+			// added side.
+			if o == gi || (int(o) >= minNew && o > gi) {
+				continue
+			}
+			if profiles[o].TableID() == qt {
+				continue
+			}
+			lo, hi := o, gi
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			stream.emit(lo, hi)
+		}
+	}
+}
+
+// alphaCloseNorms returns, for each normalized label that has a querying
+// column, the other distinct norms whose word-embedding cosine passes α —
+// the exact same comparison the final labelSim check performs, pre-filtered
+// by a LeaderIndex in word space.
+func (b *Builder) alphaCloseNorms(groups map[string][]int32, labels *labelView, minNew int) map[string][]string {
+	normList := make([]string, 0, len(groups))
+	for n := range groups {
+		normList = append(normList, n)
+	}
+	sort.Strings(normList)
+	vecOf := func(n string) embed.Vector { return labels.vecs[groups[n][0]] }
+
+	normVecs := make([]embed.Vector, len(normList))
+	for i, n := range normList {
+		normVecs[i] = vecOf(n)
+	}
+	alphaAngle := vectorindex.PruneAngle(b.Thresholds.Alpha)
+	li := vectorindex.NewLeaderIndex(normVecs, b.candidateTarget(), alphaAngle/2)
+
+	adj := map[string][]string{}
+	for i, n := range normList {
+		if minNew > 0 && !hasNewMember(groups[n], minNew) {
+			continue // no column of this norm will query
+		}
+		var close []string
+		li.Candidates(normVecs[i], alphaAngle, func(pos int32) {
+			other := normList[pos]
+			if other == n {
+				return
+			}
+			if embed.Cosine(normVecs[i], normVecs[pos]) >= b.Thresholds.Alpha {
+				close = append(close, other)
+			}
+		})
+		if close != nil {
+			adj[n] = close
+		}
+	}
+	return adj
+}
+
+// hasNewMember reports whether any member index is at or past minNew
+// (members are ascending).
+func hasNewMember(members []int32, minNew int) bool {
+	return len(members) > 0 && int(members[len(members)-1]) >= minNew
+}
+
+// appendRatioWindow appends every boolean column whose true ratio lies
+// within window of r — a superset of the pairs passing β, found by binary
+// search over the sorted ratios.
+func appendRatioWindow(cand []int32, ratios []ratioEntry, r, window float64) []int32 {
+	lo := sort.Search(len(ratios), func(i int) bool { return ratios[i].ratio >= r-window })
+	for i := lo; i < len(ratios) && ratios[i].ratio <= r+window; i++ {
+		cand = append(cand, ratios[i].idx)
+	}
+	return cand
+}

@@ -48,6 +48,25 @@ type Builder struct {
 	// SkipLabels disables label-similarity edges (the "Fine-Grained" only
 	// configuration of the Figure 6 ablation).
 	SkipLabels bool
+	// BlockSize bounds the exhaustive fallback of the blocked pipeline:
+	// same-fine-grained-type blocks with at most this many columns are
+	// compared pair-by-pair, larger ones go through the candidate
+	// pre-filter. 0 means DefaultEdgeBlockSize.
+	BlockSize int
+	// Candidates is the target number of candidates per column in the
+	// pre-filtered path (the average pre-filter cluster size). It tunes
+	// cost only — the pre-filter may return more candidates to preserve
+	// exactness. 0 means DefaultEdgeCandidates.
+	Candidates int
+	// Labels is the persistent label-embedding cache. Leave nil for a
+	// private per-builder cache; core.Platform shares one across every
+	// bootstrap and ingest delta so each distinct label is embedded once
+	// for the platform's lifetime.
+	Labels *LabelCache
+
+	// lastStats describes the most recent SimilarityEdges/Delta/Exhaustive
+	// run. Written at the end of each (single-threaded) build.
+	lastStats EdgeBuildStats
 }
 
 // NewBuilder returns a builder with default thresholds.
@@ -55,33 +74,42 @@ func NewBuilder() *Builder {
 	return &Builder{Thresholds: DefaultThresholds(), Words: embed.NewWordModel(), Workers: runtime.NumCPU()}
 }
 
-// labelCache memoizes per-column label embeddings and normalized forms so
-// the pairwise loop costs one cosine per pair instead of re-embedding.
-type labelCache struct {
-	vecs  []embed.Vector
-	norms []string
-}
-
-func (b *Builder) buildLabelCache(profiles []*profiler.ColumnProfile) *labelCache {
-	lc := &labelCache{vecs: make([]embed.Vector, len(profiles)), norms: make([]string, len(profiles))}
-	memo := map[string]embed.Vector{}
-	for i, cp := range profiles {
-		lc.norms[i] = normalizeLabel(cp.Column)
-		v, ok := memo[cp.Column]
-		if !ok {
-			v = b.Words.EmbedLabel(cp.Column)
-			memo[cp.Column] = v
-		}
-		lc.vecs[i] = v
+func (b *Builder) labelCache() *LabelCache {
+	if b.Labels == nil {
+		b.Labels = NewLabelCache()
 	}
-	return lc
+	return b.Labels
 }
 
-func (lc *labelCache) similarity(i, j int) float64 {
-	if lc.norms[i] == lc.norms[j] {
+// LastStats returns instrumentation from the most recent similarity build
+// on this builder (pairs compared vs. the exhaustive count, peak pair
+// buffer, blocks pruned).
+func (b *Builder) LastStats() EdgeBuildStats { return b.lastStats }
+
+// labelView gives per-profile normalized labels and label embeddings for
+// one build, backed by the persistent LabelCache: embeddings depend only
+// on the normalized label, so repeated labels (and repeated builds) cost
+// map lookups, not re-embedding.
+type labelView struct {
+	norms []string
+	vecs  []embed.Vector
+}
+
+func (b *Builder) labelViewOf(profiles []*profiler.ColumnProfile) *labelView {
+	lv := &labelView{vecs: make([]embed.Vector, len(profiles)), norms: make([]string, len(profiles))}
+	cache := b.labelCache()
+	for i, cp := range profiles {
+		lv.norms[i] = normalizeLabel(cp.Column)
+		lv.vecs[i] = cache.VecForNorm(b.Words, lv.norms[i])
+	}
+	return lv
+}
+
+func (lv *labelView) similarity(i, j int) float64 {
+	if lv.norms[i] == lv.norms[j] {
 		return 1.0
 	}
-	return embed.Cosine(lc.vecs[i], lc.vecs[j])
+	return embed.Cosine(lv.vecs[i], lv.vecs[j])
 }
 
 func normalizeLabel(s string) string {
@@ -90,9 +118,13 @@ func normalizeLabel(s string) string {
 
 // SimilarityEdges performs the pairwise comparison of Algorithm 3 (lines
 // 7-19): all column pairs with the same fine-grained type in different
-// tables, compared for label and content similarity in parallel.
+// tables, compared for label and content similarity. It runs the blocked,
+// streaming, candidate-pruned pipeline (see blocked.go): memory stays
+// bounded by workers × batch size instead of the O(n²) pair count, and
+// large blocks are pruned to ~O(n·C) comparisons with an output provably
+// identical to SimilarityEdgesExhaustive.
 func (b *Builder) SimilarityEdges(profiles []*profiler.ColumnProfile) []Edge {
-	return b.similarityEdges(profiles, 0)
+	return b.similarityEdgesBlocked(profiles, 0)
 }
 
 // SimilarityEdgesDelta compares only the pairs an incremental ingest
@@ -100,18 +132,39 @@ func (b *Builder) SimilarityEdges(profiles []*profiler.ColumnProfile) []Edge {
 // different tables). Over a sequence of adds each qualifying pair is
 // compared exactly once, so the accumulated edge set equals what
 // SimilarityEdges would produce over the final profile set — the property
-// the live-ingestion equivalence guarantee rests on.
+// the live-ingestion equivalence guarantee rests on. It shares the blocked
+// pipeline: blocks without added columns are skipped outright, and within
+// active blocks only the added columns query the pre-filter.
 func (b *Builder) SimilarityEdgesDelta(existing, added []*profiler.ColumnProfile) []Edge {
 	combined := make([]*profiler.ColumnProfile, 0, len(existing)+len(added))
 	combined = append(combined, existing...)
 	combined = append(combined, added...)
-	return b.similarityEdges(combined, len(existing))
+	return b.similarityEdgesBlocked(combined, len(existing))
 }
 
-// similarityEdges compares all same-type cross-table pairs (i, j) with
-// i < j and j >= minNew; minNew 0 means every pair.
-func (b *Builder) similarityEdges(profiles []*profiler.ColumnProfile, minNew int) []Edge {
-	labels := b.buildLabelCache(profiles)
+// SimilarityEdgesExhaustive is the reference O(n²) implementation: it
+// materializes every same-type cross-table pair up front and compares them
+// all. It exists as the oracle for the randomized equivalence harness and
+// for measuring what the blocked pipeline saves — production paths use
+// SimilarityEdges.
+func (b *Builder) SimilarityEdgesExhaustive(profiles []*profiler.ColumnProfile) []Edge {
+	return b.similarityEdgesExhaustive(profiles, 0)
+}
+
+// SimilarityEdgesDeltaExhaustive is the reference implementation of the
+// delta comparison, the oracle for delta-path equivalence tests.
+func (b *Builder) SimilarityEdgesDeltaExhaustive(existing, added []*profiler.ColumnProfile) []Edge {
+	combined := make([]*profiler.ColumnProfile, 0, len(existing)+len(added))
+	combined = append(combined, existing...)
+	combined = append(combined, added...)
+	return b.similarityEdgesExhaustive(combined, len(existing))
+}
+
+// similarityEdgesExhaustive compares all same-type cross-table pairs
+// (i, j) with i < j and j >= minNew; minNew 0 means every pair. The pair
+// slice it builds is the O(n²) memory cliff the blocked pipeline removes.
+func (b *Builder) similarityEdgesExhaustive(profiles []*profiler.ColumnProfile, minNew int) []Edge {
+	labels := b.labelViewOf(profiles)
 	// Group column indexes by fine-grained type (the pruning that
 	// Section 3.2 credits for cutting false positives and cost).
 	byType := map[embed.Type][]int{}
@@ -161,6 +214,13 @@ func (b *Builder) similarityEdges(profiles []*profiler.ColumnProfile, minNew int
 	var edges []Edge
 	for _, r := range results {
 		edges = append(edges, r...)
+	}
+	b.lastStats = EdgeBuildStats{
+		Columns:         len(profiles),
+		Blocks:          len(byType),
+		PairsCompared:   int64(len(pairs)),
+		PairsExhaustive: int64(len(pairs)),
+		PeakPairBuffer:  int64(len(pairs)),
 	}
 	SortEdges(edges)
 	return edges

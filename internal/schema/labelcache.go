@@ -1,0 +1,61 @@
+package schema
+
+import (
+	"sync"
+
+	"kglids/internal/embed"
+)
+
+// LabelCache memoizes label embeddings across similarity builds. The label
+// embedding of a column depends only on its normalized label (EmbedLabel
+// tokenizes, and tokenizing a normalized label yields the same tokens), so
+// the cache is keyed by normalized form and each distinct label costs one
+// embedding for the lifetime of the cache — core.Platform holds one and
+// threads it through every bootstrap and ingest delta, which is what keeps
+// a sequence of N small ingests linear in embedding work instead of
+// re-embedding the whole label population per batch.
+//
+// Safe for concurrent use.
+type LabelCache struct {
+	mu   sync.Mutex
+	vecs map[string]embed.Vector
+	// calls counts underlying EmbedLabel invocations (cache misses); the
+	// ingest-linearity regression test asserts it grows with distinct
+	// labels, not with total profiles processed.
+	calls int64
+}
+
+// NewLabelCache returns an empty cache.
+func NewLabelCache() *LabelCache {
+	return &LabelCache{vecs: map[string]embed.Vector{}}
+}
+
+// VecForNorm returns the embedding of a normalized label, computing and
+// memoizing it on first sight. The returned vector is shared and must be
+// treated as read-only.
+func (lc *LabelCache) VecForNorm(words *embed.WordModel, norm string) embed.Vector {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if v, ok := lc.vecs[norm]; ok {
+		return v
+	}
+	v := words.EmbedLabel(norm)
+	lc.vecs[norm] = v
+	lc.calls++
+	return v
+}
+
+// EmbedCalls returns how many labels have actually been embedded (cache
+// misses) since the cache was created.
+func (lc *LabelCache) EmbedCalls() int64 {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return lc.calls
+}
+
+// Len returns the number of distinct normalized labels cached.
+func (lc *LabelCache) Len() int {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return len(lc.vecs)
+}

@@ -1,0 +1,75 @@
+package schema
+
+import (
+	"fmt"
+	"testing"
+
+	"kglids/internal/dataframe"
+	"kglids/internal/profiler"
+)
+
+// batchProfiles builds one table of numeric columns using labels drawn
+// round-robin from the pool.
+func batchProfiles(t *testing.T, p *profiler.Profiler, table string, labels []string) []*profiler.ColumnProfile {
+	t.Helper()
+	df := dataframe.New(table)
+	for i, label := range labels {
+		s := &dataframe.Series{Name: label}
+		for r := 0; r < 8; r++ {
+			s.Cells = append(s.Cells, dataframe.ParseCell(fmt.Sprintf("%d", r*(i+1))))
+		}
+		df.AddColumn(s)
+	}
+	return p.ProfileTable("d", df)
+}
+
+// TestDeltaEmbedCallsLinear is the regression test for the quadratic
+// re-embedding bug: SimilarityEdgesDelta used to rebuild the label cache
+// over existing+added on every batch, embedding every label N times over N
+// ingests. With the persistent cache, total embed calls equal the number
+// of distinct normalized labels ever seen, independent of batch count.
+func TestDeltaEmbedCallsLinear(t *testing.T) {
+	labels := []string{"alpha", "bravo", "charlie", "delta", "echo"}
+	p := profiler.New()
+	b := NewBuilder()
+
+	var existing []*profiler.ColumnProfile
+	var callsAfterFirst int64
+	const batches = 12
+	for i := 0; i < batches; i++ {
+		added := batchProfiles(t, p, fmt.Sprintf("t%02d.csv", i), labels)
+		b.SimilarityEdgesDelta(existing, added)
+		existing = append(existing, added...)
+		if i == 0 {
+			callsAfterFirst = b.Labels.EmbedCalls()
+			if callsAfterFirst != int64(len(labels)) {
+				t.Fatalf("first batch embedded %d labels, want %d", callsAfterFirst, len(labels))
+			}
+		}
+	}
+	if got := b.Labels.EmbedCalls(); got != callsAfterFirst {
+		t.Fatalf("embed calls grew from %d to %d over %d same-label batches (quadratic re-embedding)",
+			callsAfterFirst, got, batches)
+	}
+
+	// A batch with genuinely new labels costs exactly those labels.
+	added := batchProfiles(t, p, "fresh.csv", []string{"foxtrot", "golf"})
+	b.SimilarityEdgesDelta(existing, added)
+	if got := b.Labels.EmbedCalls(); got != callsAfterFirst+2 {
+		t.Fatalf("new-label batch: embed calls = %d, want %d", got, callsAfterFirst+2)
+	}
+}
+
+// TestLabelCacheKeyedByNorm pins that labels normalizing identically share
+// one embedding ("userName" and "user_name" both normalize to
+// "user name").
+func TestLabelCacheKeyedByNorm(t *testing.T) {
+	p := profiler.New()
+	b := NewBuilder()
+	profiles := batchProfiles(t, p, "t.csv", []string{"userName", "user_name", "UserName2"})
+	b.SimilarityEdges(profiles)
+	if got := b.Labels.EmbedCalls(); got != 1 {
+		t.Fatalf("embed calls = %d, want 1 (all three labels share the norm %q)",
+			got, normalizeLabel("userName"))
+	}
+}

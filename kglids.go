@@ -79,6 +79,16 @@ type Options struct {
 	Alpha, Beta, Theta float64
 	// Workers bounds parallelism (0 = NumCPU).
 	Workers int
+	// EdgeBlockSize bounds the exhaustive fallback of the blocked
+	// similarity-edge pipeline: same-fine-grained-type column blocks up to
+	// this size are compared pair-by-pair, larger ones go through the
+	// candidate pre-filter. 0 uses the default. Tuning only — the edge
+	// set is identical for any value.
+	EdgeBlockSize int
+	// EdgeCandidates is the target candidates per column in the pre-
+	// filtered path (the pre-filter's average cluster size at scale).
+	// 0 uses the default. Tuning only.
+	EdgeCandidates int
 }
 
 // Platform is a bootstrapped KGLiDS instance. It is safe for concurrent
@@ -109,7 +119,18 @@ func Bootstrap(opts Options, tables []Table) *Platform {
 		cfg.Thresholds.Theta = opts.Theta
 	}
 	cfg.Workers = opts.Workers
+	cfg.EdgeBlockSize = opts.EdgeBlockSize
+	cfg.EdgeCandidates = opts.EdgeCandidates
 	return &Platform{core: core.Bootstrap(cfg, tables)}
+}
+
+// SetEdgeTuning adjusts the blocked similarity-edge pipeline knobs on a
+// live platform (0 keeps a knob's current value) — typically applied to a
+// freshly opened snapshot before enabling ingestion, since snapshots
+// persist thresholds but not performance tuning. The knobs change where
+// similarity-build time and memory go, never the edge set.
+func (p *Platform) SetEdgeTuning(blockSize, candidates int) {
+	p.core.SetEdgeTuning(blockSize, candidates)
 }
 
 // Save persists the bootstrapped platform — triple store, profiles,
@@ -214,8 +235,10 @@ func (p *Platform) FindUnionableColumns(a, b TableResult) []ColumnMatch {
 	return p.core.Discovery.FindUnionableColumns(a.Table, b.Table)
 }
 
-// GetPathToTable finds join paths between two discovered tables within
-// maxHops intermediates, mirroring get_path_to_table.
+// GetPathToTable finds join paths between two discovered tables of at
+// most maxHops hops (join edges), mirroring get_path_to_table. Alternate
+// routes through shared hub tables are all returned, ordered by length
+// then score.
 func (p *Platform) GetPathToTable(from, to TableResult, maxHops int) []JoinPath {
 	return p.core.Discovery.GetPathToTable(from.Table, to.Table, maxHops)
 }
