@@ -1,4 +1,4 @@
-package kglids
+package kglids_test
 
 // Benchmarks regenerating every table and figure of the paper's
 // evaluation (Section 6). Each benchmark wraps the corresponding
@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"kglids"
 	"kglids/internal/experiments"
 	"kglids/internal/lakegen"
 )
@@ -72,11 +73,11 @@ var snapshotBenchSpec = lakegen.Spec{
 	RowsPerTable: 1000, QueryTables: 10, Seed: 81,
 }
 
-func snapshotBenchTables(b testing.TB) []Table {
+func snapshotBenchTables(b testing.TB) []kglids.Table {
 	lake := lakegen.Generate(snapshotBenchSpec)
-	var tables []Table
+	var tables []kglids.Table
 	for _, df := range lake.Tables {
-		tables = append(tables, Table{Dataset: lake.Dataset[df.Name], Frame: df})
+		tables = append(tables, kglids.Table{Dataset: lake.Dataset[df.Name], Frame: df})
 	}
 	return tables
 }
@@ -88,17 +89,17 @@ func snapshotBenchTables(b testing.TB) []Table {
 func BenchmarkSnapshot_BootstrapVsLoad(b *testing.B) {
 	tables := snapshotBenchTables(b)
 	path := filepath.Join(b.TempDir(), "lake.kgs")
-	if err := Bootstrap(Options{}, tables).Save(path); err != nil {
+	if err := kglids.Bootstrap(kglids.Options{}, tables).Save(path); err != nil {
 		b.Fatal(err)
 	}
 	b.Run("Bootstrap", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			Bootstrap(Options{}, tables)
+			kglids.Bootstrap(kglids.Options{}, tables)
 		}
 	})
 	b.Run("SnapshotLoad", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := Open(path); err != nil {
+			if _, err := kglids.Open(path); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -119,7 +120,7 @@ func BenchmarkIngest_IncrementalVsRebootstrap(b *testing.B) {
 	extraID := extra[0].Dataset + "/" + extra[0].Frame.Name
 
 	b.Run("IncrementalAdd", func(b *testing.B) {
-		plat := Bootstrap(Options{}, base)
+		plat := kglids.Bootstrap(kglids.Options{}, base)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := plat.AddTables(extra); err != nil {
@@ -136,7 +137,7 @@ func BenchmarkIngest_IncrementalVsRebootstrap(b *testing.B) {
 	})
 	b.Run("Rebootstrap", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			Bootstrap(Options{}, tables)
+			kglids.Bootstrap(kglids.Options{}, tables)
 		}
 	})
 }
@@ -146,14 +147,14 @@ func BenchmarkIngest_IncrementalVsRebootstrap(b *testing.B) {
 // distances at query time (the Starmie-style alternative).
 func BenchmarkAblation_QueryViaIndexVsEmbedding(b *testing.B) {
 	lake := lakegen.Generate(benchSpec)
-	var tables []Table
+	var tables []kglids.Table
 	for _, df := range lake.Tables {
-		tables = append(tables, Table{Dataset: lake.Dataset[df.Name], Frame: df})
+		tables = append(tables, kglids.Table{Dataset: lake.Dataset[df.Name], Frame: df})
 	}
-	plat := Bootstrap(Options{}, tables)
+	plat := kglids.Bootstrap(kglids.Options{}, tables)
 	query := lake.QueryTables[0]
 	queryID := lake.Dataset[query] + "/" + query
-	var queryFrame *DataFrame
+	var queryFrame *kglids.DataFrame
 	for _, df := range lake.Tables {
 		if df.Name == query {
 			queryFrame = df

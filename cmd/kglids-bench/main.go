@@ -1,66 +1,56 @@
 // Command kglids-bench regenerates the paper's tables and figures
 // (Section 6) over the synthetic workload replicas and prints them in the
-// paper's layout.
+// paper's layout, and runs the repo's standing evaluation.
 //
 // Usage:
 //
 //	kglids-bench [-pipelines N] [-training N] [-snapshot F] [-save-snapshot F] [experiment ...]
+//	kglids-bench eval [-quick] [-out F] [-compare OLD.json] [-against NEW.json]
+//	                  [-quality-tolerance T] [-perf-tolerance T] [-concurrency N]
+//	                  [-demote IN.json]
 //
 // Experiments: table1 table2 figure5 figure6 figure4 table3 table4 table5
 // figure7 table6 figure8 figure9 snapshot ingest sparql server edges, or
 // "all" (default). Table 2 / Figure 5 share one run, as do Table 3 /
 // Table 4 / Figure 4 and Table 5 / Figure 7 and Table 6 / Figure 8.
 //
-// The snapshot experiment measures persist-once/serve-many startup: it
-// bootstraps the TUS-Small synthetic lake, saves it with the snapshot
-// codec, reloads it, verifies the reloaded graph is identical, and prints
-// the bootstrap-vs-load speedup. -save-snapshot keeps the file for reuse;
-// -snapshot skips the bootstrap and loads an existing file instead.
+// The snapshot experiment measures persist-once/serve-many startup; the
+// ingest experiment measures live mutation vs re-bootstrap; the sparql
+// experiment quantifies the ID-space query engine against the term-space
+// reference; the server experiment drives /api/v1 end-to-end through the
+// typed client; the edges experiment measures the blocked similarity-edge
+// pipeline against the exhaustive oracle. All five live in
+// internal/experiments and feed the eval trajectory.
 //
-// The ingest experiment measures live mutation on a serving platform: it
-// holds one table out of the serving replica, ingests it incrementally
-// (Platform.AddTables), verifies the result is equivalent to a fresh
-// bootstrap over the full lake, and prints the incremental-vs-rebootstrap
-// speedup (the ≥10x claim of the live-ingestion subsystem).
-//
-// The sparql experiment quantifies the ID-space query engine: it runs
-// discovery-shaped queries on the term-space reference evaluator and the
-// compiled ID-space engine over the serving replica, verifies both agree,
-// and emits a JSON record per query (term_us, id_us, cached_us, speedup)
-// for the performance trajectory.
-//
-// The server experiment measures the full serving stack end-to-end: it
-// mounts the HTTP handler on a loopback listener, drives the /api/v1
-// surface through the typed client in package kglids/client (DTO decode,
-// conditional GET, retry logic included), and emits one JSON record of
-// median request latency per endpoint plus one asynchronous
-// ingest-to-completion round-trip.
+// The eval subcommand is the standing evaluation harness: it scores
+// discovery quality (precision/recall/F1 against constructed ground truth)
+// for the platform and the vendored baselines through one shared
+// interface, runs the five perf experiments, and writes a versioned
+// BENCH_<date>.json trajectory at the current directory. -compare diffs a
+// previous trajectory against the fresh run (or against -against without
+// running) and exits non-zero on any regression beyond tolerance; -demote
+// writes a deliberately regressed copy of a trajectory so CI can prove the
+// gate fails when it should. See docs/BENCHMARKS.md.
 package main
 
 import (
-	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"net/http/httptest"
 	"os"
-	"path/filepath"
-	"sort"
+	"os/exec"
 	"strings"
 	"time"
 
 	"kglids"
-	"kglids/client"
 	"kglids/internal/experiments"
-	"kglids/internal/ingest"
-	"kglids/internal/lakegen"
-	"kglids/internal/profiler"
-	"kglids/internal/schema"
-	"kglids/internal/server"
-	"kglids/internal/sparql"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "eval" {
+		os.Exit(evalMain(os.Args[2:]))
+	}
+
 	pipelines := flag.Int("pipelines", 300, "corpus size for abstraction/AutoML experiments")
 	training := flag.Int("training", 24, "training datasets for the cleaning/transformation GNNs")
 	snapshotPath := flag.String("snapshot", "", "snapshot experiment: load this file instead of bootstrapping")
@@ -129,19 +119,22 @@ func main() {
 		}
 	}
 	if run("sparql") {
-		if err := runSPARQL(); err != nil {
+		report, err := experiments.RunSPARQLPerf(experiments.PerfOptions{})
+		if err := printJSON("SPARQL: ID-space compiled engine vs term-space reference (serving replica)", report, err); err != nil {
 			fmt.Fprintln(os.Stderr, "sparql experiment:", err)
 			os.Exit(1)
 		}
 	}
 	if run("server") {
-		if err := runServer(); err != nil {
+		report, err := experiments.RunServerPerf(experiments.PerfOptions{})
+		if err := printJSON("Server: end-to-end /api/v1 latency via the typed client (loopback)", report, err); err != nil {
 			fmt.Fprintln(os.Stderr, "server experiment:", err)
 			os.Exit(1)
 		}
 	}
 	if run("edges") {
-		if err := runEdges(); err != nil {
+		report, err := experiments.RunEdgesPerf(experiments.PerfOptions{})
+		if err := printJSON("Edges: blocked/candidate-pruned similarity pipeline vs exhaustive (wide lakes)", report, err); err != nil {
 			fmt.Fprintln(os.Stderr, "edges experiment:", err)
 			os.Exit(1)
 		}
@@ -152,16 +145,22 @@ func main() {
 	}
 }
 
-// snapshotSpec is the serving-replica lake for the snapshot experiment:
-// realistic per-table row counts (bootstrap cost scales with rows profiled;
-// snapshot load depends only on graph and embedding size, so this is the
-// regime the persist-once/serve-many architecture targets).
-var snapshotSpec = lakegen.Spec{
-	Name: "Serving", Families: 8, TablesPerFamily: 4, NoiseTables: 10,
-	RowsPerTable: 1000, QueryTables: 10, Seed: 81,
+// printJSON prints a heading and an experiment report as indented JSON.
+func printJSON[T any](heading string, report T, err error) error {
+	if err != nil {
+		return err
+	}
+	fmt.Println(heading)
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
 }
 
-// runSnapshot times bootstrap vs snapshot load over the serving replica.
+// runSnapshot times bootstrap vs snapshot load over the serving replica,
+// or, with loadPath set, just times loading an existing snapshot file.
 func runSnapshot(loadPath, savePath string) error {
 	fmt.Println("Snapshot: persist-once/serve-many startup (serving replica, 1000-row tables)")
 
@@ -177,48 +176,12 @@ func runSnapshot(loadPath, savePath string) error {
 		return nil
 	}
 
-	lake := lakegen.Generate(snapshotSpec)
-	var tables []kglids.Table
-	for _, df := range lake.Tables {
-		tables = append(tables, kglids.Table{Dataset: lake.Dataset[df.Name], Frame: df})
-	}
-	start := time.Now()
-	plat := kglids.Bootstrap(kglids.Options{}, tables)
-	bootstrap := time.Since(start)
-
-	path := savePath
-	if path == "" {
-		dir, err := os.MkdirTemp("", "kglids-bench-")
-		if err != nil {
-			return err
-		}
-		defer os.RemoveAll(dir)
-		path = filepath.Join(dir, "lake.kgs")
-	}
-	start = time.Now()
-	if err := plat.Save(path); err != nil {
-		return err
-	}
-	save := time.Since(start)
-	info, err := os.Stat(path)
+	res, err := experiments.RunSnapshotPerf(experiments.PerfOptions{SnapshotSavePath: savePath})
 	if err != nil {
 		return err
 	}
-
-	start = time.Now()
-	reloaded, err := kglids.Open(path)
-	if err != nil {
-		return err
-	}
-	load := time.Since(start)
-	if reloaded.Stats() != plat.Stats() {
-		return fmt.Errorf("reloaded stats %+v differ from bootstrap %+v", reloaded.Stats(), plat.Stats())
-	}
-
-	fmt.Printf("  tables %d | bootstrap %v | save %v | load %v | file %.1f MiB | speedup %.0fx\n",
-		len(tables),
-		bootstrap.Round(time.Millisecond), save.Round(time.Millisecond), load.Round(time.Millisecond),
-		float64(info.Size())/(1<<20), float64(bootstrap)/float64(load))
+	fmt.Printf("  tables %d | bootstrap %.0fms | save %.0fms | load %.0fms | file %.1f MiB | speedup %.0fx\n",
+		res.Tables, res.BootstrapMS, res.SaveMS, res.LoadMS, res.FileMiB, res.Speedup)
 	if savePath != "" {
 		fmt.Printf("  snapshot kept at %s (reuse with -snapshot %s)\n", savePath, savePath)
 	}
@@ -226,406 +189,151 @@ func runSnapshot(loadPath, savePath string) error {
 }
 
 // runIngest times absorbing one new table incrementally versus re-
-// bootstrapping the whole lake, and verifies the two paths are equivalent.
+// bootstrapping the whole lake.
 func runIngest() error {
 	fmt.Println("Ingest: live incremental ingestion vs full re-bootstrap (serving replica)")
-
-	lake := lakegen.Generate(snapshotSpec)
-	var tables []kglids.Table
-	for _, df := range lake.Tables {
-		tables = append(tables, kglids.Table{Dataset: lake.Dataset[df.Name], Frame: df})
-	}
-	n := len(tables)
-	base, extra := tables[:n-1], tables[n-1:]
-
-	plat := kglids.Bootstrap(kglids.Options{}, base)
-	start := time.Now()
-	if _, err := plat.AddTables(extra); err != nil {
+	res, err := experiments.RunIngestPerf(experiments.PerfOptions{})
+	if err != nil {
 		return err
 	}
-	incremental := time.Since(start)
-
-	start = time.Now()
-	fresh := kglids.Bootstrap(kglids.Options{}, tables)
-	rebootstrap := time.Since(start)
-
-	if plat.Stats() != fresh.Stats() {
-		return fmt.Errorf("incremental stats %+v diverge from rebootstrap %+v", plat.Stats(), fresh.Stats())
-	}
-	fmt.Printf("  tables %d | incremental add of 1 table %v | re-bootstrap of %d tables %v | speedup %.0fx\n",
-		n, incremental.Round(time.Millisecond), n, rebootstrap.Round(time.Millisecond),
-		float64(rebootstrap)/float64(incremental))
+	fmt.Printf("  tables %d | incremental add of 1 table %.0fms | re-bootstrap of %d tables %.0fms | speedup %.0fx\n",
+		res.Tables, res.IncrementalMS, res.Tables, res.RebootstrapMS, res.Speedup)
 	return nil
 }
 
-// sparqlQueryResult is one row of the sparql experiment's JSON output.
-type sparqlQueryResult struct {
-	Name     string  `json:"name"`
-	Query    string  `json:"query"`
-	Rows     int     `json:"rows"`
-	TermUS   float64 `json:"term_us"`
-	IDUS     float64 `json:"id_us"`
-	CachedUS float64 `json:"cached_us"`
-	Speedup  float64 `json:"speedup"`
-}
+// evalMain is the `kglids-bench eval` entry point. Exit codes: 0 success,
+// 1 regression detected or run failure, 2 usage error.
+func evalMain(args []string) int {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "CI-scale lakes and repetition counts")
+	out := fs.String("out", "", "trajectory output path (default BENCH_<YYYY-MM-DD>.json)")
+	compare := fs.String("compare", "", "gate: old trajectory file to compare the fresh run against")
+	against := fs.String("against", "", "with -compare: diff OLD against this file instead of running the eval")
+	qualityTol := fs.Float64("quality-tolerance", experiments.DefaultTolerance().Quality,
+		"max allowed absolute drop in precision/recall/F1")
+	perfTol := fs.Float64("perf-tolerance", experiments.DefaultTolerance().Perf,
+		"max allowed fractional slowdown on perf medians; <= 0 disables perf gating")
+	concurrency := fs.Int("concurrency", 1, "experiments run at once (1 for trustworthy timings)")
+	demote := fs.String("demote", "", "write a deliberately regressed copy of this trajectory to -out and exit")
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "eval: unexpected arguments: %s\n", strings.Join(fs.Args(), " "))
+		return 2
+	}
+	tol := experiments.Tolerance{Quality: *qualityTol, Perf: *perfTol}
 
-// sparqlExperiment is the JSON envelope of the sparql experiment.
-type sparqlExperiment struct {
-	Experiment string              `json:"experiment"`
-	Tables     int                 `json:"tables"`
-	Triples    int                 `json:"triples"`
-	Queries    []sparqlQueryResult `json:"queries"`
-}
-
-// medianMicros reports each function's median latency over interleaved
-// repetitions: alternating the candidates inside one loop exposes them to
-// the same GC pauses and scheduler noise, and the median shrugs off the
-// outliers a mean would keep.
-func medianMicros(fns ...func() error) ([]float64, error) {
-	const reps = 31
-	times := make([][]float64, len(fns))
-	for i := 0; i < reps; i++ {
-		for j, fn := range fns {
-			start := time.Now()
-			if err := fn(); err != nil {
-				return nil, err
-			}
-			times[j] = append(times[j], float64(time.Since(start).Nanoseconds())/1e3)
+	if *demote != "" {
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "eval: -demote requires -out")
+			return 2
 		}
-	}
-	out := make([]float64, len(fns))
-	for j := range fns {
-		sort.Float64s(times[j])
-		out[j] = times[j][reps/2]
-	}
-	return out, nil
-}
-
-// runSPARQL times the term-space reference evaluator against the compiled
-// ID-space engine (and its generation-keyed cache) over the serving
-// replica, verifying result equivalence, and prints one JSON document.
-func runSPARQL() error {
-	fmt.Println("SPARQL: ID-space compiled engine vs term-space reference (serving replica)")
-
-	lake := lakegen.Generate(snapshotSpec)
-	var tables []kglids.Table
-	for _, df := range lake.Tables {
-		tables = append(tables, kglids.Table{Dataset: lake.Dataset[df.Name], Frame: df})
-	}
-	plat := kglids.Bootstrap(kglids.Options{}, tables)
-	eng := sparql.NewEngine(plat.Core().Store)
-
-	queries := []struct{ name, src string }{
-		{"int-columns", `SELECT ?t ?c ?n WHERE {
-			?t a kglids:Table .
-			?c kglids:isPartOf ?t ; kglids:name ?n ; kglids:dataType "int" . }`},
-		{"similarity-join", `SELECT ?c ?d ?t WHERE {
-			?c kglids:contentSimilarity ?d . ?d kglids:isPartOf ?t . ?t a kglids:Table . }`},
-		{"keyword-filter", `SELECT ?t ?n WHERE {
-			?t a kglids:Table ; kglids:name ?n . FILTER(CONTAINS(LCASE(?n), ".csv") && REGEX(?n, "_t0", "i")) }`},
-		{"type-histogram", `SELECT ?dt (COUNT(?c) AS ?n) WHERE {
-			?c a kglids:Column ; kglids:dataType ?dt . } GROUP BY ?dt ORDER BY DESC(?n)`},
-	}
-
-	report := sparqlExperiment{Experiment: "sparql", Tables: len(tables), Triples: plat.Stats().Triples}
-	for _, q := range queries {
-		parsed, err := sparql.Parse(q.src)
+		t, err := readTrajectory(*demote)
 		if err != nil {
-			return fmt.Errorf("%s: %v", q.name, err)
+			fmt.Fprintln(os.Stderr, "eval:", err)
+			return 1
 		}
-		ref, err := eng.ExecReference(parsed)
+		if err := writeTrajectory(*out, experiments.Demote(t)); err != nil {
+			fmt.Fprintln(os.Stderr, "eval:", err)
+			return 1
+		}
+		fmt.Printf("eval: wrote regressed copy of %s to %s\n", *demote, *out)
+		return 0
+	}
+
+	if *against != "" {
+		if *compare == "" {
+			fmt.Fprintln(os.Stderr, "eval: -against requires -compare")
+			return 2
+		}
+		old, err := readTrajectory(*compare)
 		if err != nil {
-			return fmt.Errorf("%s (reference): %v", q.name, err)
+			fmt.Fprintln(os.Stderr, "eval:", err)
+			return 1
 		}
-		ids, err := eng.Exec(parsed)
+		fresh, err := readTrajectory(*against)
 		if err != nil {
-			return fmt.Errorf("%s (compiled): %v", q.name, err)
+			fmt.Fprintln(os.Stderr, "eval:", err)
+			return 1
 		}
-		if err := sameRows(ref, ids); err != nil {
-			return fmt.Errorf("%s: %v", q.name, err)
-		}
+		return reportCompare(*compare, *against, old, fresh, tol)
+	}
 
-		if _, err := eng.Query(q.src); err != nil { // warm the result cache
-			return err
-		}
-		med, err := medianMicros(
-			func() error { _, err := eng.ExecReference(parsed); return err },
-			func() error { _, err := eng.Exec(parsed); return err },
-			func() error { _, err := eng.Query(q.src); return err },
-		)
+	started := time.Now()
+	t, err := experiments.RunEval(experiments.EvalOptions{
+		Quick:       *quick,
+		Concurrency: *concurrency,
+		GitSHA:      gitSHA(),
+		GeneratedAt: started,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eval:", err)
+		return 1
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + started.UTC().Format("2006-01-02") + ".json"
+	}
+	if err := writeTrajectory(path, t); err != nil {
+		fmt.Fprintln(os.Stderr, "eval:", err)
+		return 1
+	}
+	fmt.Print(experiments.FormatTrajectory(t))
+	fmt.Printf("%s in %v -> %s\n", experiments.EvalSummary(t), time.Since(started).Round(time.Second), path)
+
+	if *compare != "" {
+		old, err := readTrajectory(*compare)
 		if err != nil {
-			return err
+			fmt.Fprintln(os.Stderr, "eval:", err)
+			return 1
 		}
-		termUS, idUS, cachedUS := med[0], med[1], med[2]
-
-		speedup := 0.0
-		if idUS > 0 {
-			speedup = termUS / idUS
-		}
-		report.Queries = append(report.Queries, sparqlQueryResult{
-			Name: q.name, Query: q.src, Rows: len(ids.Rows),
-			TermUS: termUS, IDUS: idUS, CachedUS: cachedUS, Speedup: speedup,
-		})
+		return reportCompare(*compare, path, old, t, tol)
 	}
-	out, err := json.MarshalIndent(report, "", "  ")
+	return 0
+}
+
+// reportCompare prints the diff verdict and returns the process exit code.
+func reportCompare(oldPath, newPath string, old, fresh *experiments.Trajectory, tol experiments.Tolerance) int {
+	regs, notes := experiments.Compare(old, fresh, tol)
+	for _, n := range notes {
+		fmt.Println(n)
+	}
+	if len(regs) == 0 {
+		fmt.Printf("compare: no regressions (%s -> %s, quality tol %.3g, perf tol %.3g)\n",
+			oldPath, newPath, tol.Quality, tol.Perf)
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "compare: %d regression(s) (%s -> %s):\n", len(regs), oldPath, newPath)
+	for _, r := range regs {
+		fmt.Fprintln(os.Stderr, "  "+r.String())
+	}
+	return 1
+}
+
+func readTrajectory(path string) (*experiments.Trajectory, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	t, err := experiments.DecodeTrajectory(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+func writeTrajectory(path string, t *experiments.Trajectory) error {
+	data, err := experiments.EncodeTrajectory(t)
 	if err != nil {
 		return err
 	}
-	fmt.Println(string(out))
-	return nil
+	return os.WriteFile(path, data, 0o644)
 }
 
-// serverSpec is the lake for the server experiment: smaller than the
-// snapshot replica because the subject under measurement is the HTTP
-// serving stack (router, middleware, DTO encode/decode, client), not
-// bootstrap cost.
-var serverSpec = lakegen.Spec{
-	Name: "HTTP", Families: 4, TablesPerFamily: 3, NoiseTables: 4,
-	RowsPerTable: 200, QueryTables: 4, Seed: 91,
-}
-
-// serverEndpointResult is one row of the server experiment's JSON output.
-type serverEndpointResult struct {
-	Name     string  `json:"name"`
-	MedianUS float64 `json:"median_us"`
-}
-
-// serverExperiment is the JSON envelope of the server experiment.
-type serverExperiment struct {
-	Experiment       string                 `json:"experiment"`
-	Tables           int                    `json:"tables"`
-	Triples          int                    `json:"triples"`
-	Endpoints        []serverEndpointResult `json:"endpoints"`
-	IngestRoundTrip  float64                `json:"ingest_roundtrip_ms"`
-	DeleteRoundTrip  float64                `json:"delete_roundtrip_ms"`
-	ConditionalReads bool                   `json:"conditional_reads"`
-}
-
-// runServer measures end-to-end /api/v1 latency through the typed client:
-// handler mounted on a loopback listener, every number includes routing,
-// middleware, JSON encode, network round-trip, and client-side DTO decode.
-// Steady-state reads revalidate with If-None-Match (the client caches
-// ETag'd bodies), which is the latency a polling client actually sees.
-func runServer() error {
-	fmt.Println("Server: end-to-end /api/v1 latency via the typed client (loopback)")
-
-	lake := lakegen.Generate(serverSpec)
-	var tables []kglids.Table
-	for _, df := range lake.Tables {
-		tables = append(tables, kglids.Table{Dataset: lake.Dataset[df.Name], Frame: df})
-	}
-	plat := kglids.Bootstrap(kglids.Options{}, tables)
-	mgr := ingest.New(plat.Core(), ingest.Options{Workers: 1, QueueSize: 8})
-	defer mgr.Close()
-	ts := httptest.NewServer(server.New(plat, server.Options{Ingest: mgr}))
-	defer ts.Close()
-
-	c, err := client.New(ts.URL)
+// gitSHA stamps the trajectory with the current commit, best-effort.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
 	if err != nil {
-		return err
+		return ""
 	}
-	ctx := context.Background()
-	q := lake.QueryTables[0]
-	tableID := lake.Dataset[q] + "/" + q
-	const sparqlQ = `SELECT ?t ?n WHERE { ?t a kglids:Table ; kglids:name ?n . }`
-
-	endpoints := []struct {
-		name string
-		call func() error
-	}{
-		{"healthz", func() error { _, err := c.Health(ctx); return err }},
-		{"stats", func() error { _, err := c.Stats(ctx); return err }},
-		{"tables", func() error { _, err := c.Tables(ctx, client.PageOpts{}); return err }},
-		{"search", func() error { _, err := c.Search(ctx, q[:3], client.PageOpts{}); return err }},
-		{"unionable", func() error { _, err := c.Unionable(ctx, tableID, 10, client.PageOpts{}); return err }},
-		{"similar", func() error { _, err := c.Similar(ctx, tableID, 10, client.PageOpts{}); return err }},
-		{"sparql", func() error { _, err := c.SPARQL(ctx, sparqlQ); return err }},
-	}
-	fns := make([]func() error, len(endpoints))
-	for i := range endpoints {
-		fns[i] = endpoints[i].call
-	}
-	// Warm caches (server result cache, client ETag cache) once so the
-	// medians report steady-state serving.
-	for _, fn := range fns {
-		if err := fn(); err != nil {
-			return err
-		}
-	}
-	med, err := medianMicros(fns...)
-	if err != nil {
-		return err
-	}
-
-	report := serverExperiment{
-		Experiment: "server", Tables: len(tables), Triples: plat.Stats().Triples,
-		ConditionalReads: true,
-	}
-	for i, ep := range endpoints {
-		report.Endpoints = append(report.Endpoints, serverEndpointResult{Name: ep.name, MedianUS: med[i]})
-	}
-
-	// One asynchronous mutation round-trip: accept → queue → profile →
-	// splice → observed done, through POST /api/v1/ingest + job polling.
-	newTable := client.IngestTable{
-		Dataset: "bench", Name: "live.csv",
-		Columns: []client.IngestColumn{
-			{Name: "k", Values: []any{"a", "b", "c", "d", "e", "f"}},
-			{Name: "v", Values: []any{1, 2, 3, 4, 5, 6}},
-		},
-	}
-	start := time.Now()
-	ref, err := c.Ingest(ctx, []client.IngestTable{newTable})
-	if err != nil {
-		return err
-	}
-	if _, err := c.WaitJob(ctx, ref.Job, 5*time.Millisecond); err != nil {
-		return err
-	}
-	report.IngestRoundTrip = float64(time.Since(start).Microseconds()) / 1e3
-
-	start = time.Now()
-	ref, err = c.DeleteTable(ctx, "bench/live.csv")
-	if err != nil {
-		return err
-	}
-	if _, err := c.WaitJob(ctx, ref.Job, 5*time.Millisecond); err != nil {
-		return err
-	}
-	report.DeleteRoundTrip = float64(time.Since(start).Microseconds()) / 1e3
-
-	out, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	fmt.Println(string(out))
-	return nil
-}
-
-// edgesLakeResult is one row of the edges experiment's JSON output.
-type edgesLakeResult struct {
-	Columns            int     `json:"columns"`
-	Tables             int     `json:"tables"`
-	Edges              int     `json:"edges"`
-	ExhaustiveMS       float64 `json:"exhaustive_ms"`
-	BlockedMS          float64 `json:"blocked_ms"`
-	Speedup            float64 `json:"speedup"`
-	ExhaustivePeakPair int64   `json:"exhaustive_peak_pairs"`
-	BlockedPeakPair    int64   `json:"blocked_peak_pairs"`
-	PairsCompared      int64   `json:"pairs_compared"`
-	Identical          bool    `json:"identical"`
-}
-
-// edgesExperiment is the JSON envelope of the edges experiment.
-type edgesExperiment struct {
-	Experiment string            `json:"experiment"`
-	Lakes      []edgesLakeResult `json:"lakes"`
-}
-
-// runEdges measures Algorithm 3's pairwise phase on generated lakes of
-// growing width: the exhaustive O(n²) oracle against the blocked,
-// candidate-pruned pipeline, reporting median build time and the peak
-// number of pairs buffered (the exhaustive path materializes every pair;
-// the blocked pipeline keeps a bounded channel's worth), and verifying the
-// two produce identical edge sets.
-func runEdges() error {
-	fmt.Println("Edges: blocked/candidate-pruned similarity pipeline vs exhaustive (wide lakes)")
-	const reps = 3
-	report := edgesExperiment{Experiment: "edges"}
-	for _, tables := range []int{35, 70, 140} {
-		lake := lakegen.WideLake(tables, 18, 30, 59)
-		prof := profiler.New()
-		var ptables []profiler.Table
-		for _, df := range lake.Tables {
-			ptables = append(ptables, profiler.Table{Dataset: lake.Dataset[df.Name], Frame: df})
-		}
-		profiles := prof.ProfileAll(ptables)
-
-		b := schema.NewBuilder()
-		var exhaustive, blocked []schema.Edge
-		exhaustiveMS := make([]float64, 0, reps)
-		blockedMS := make([]float64, 0, reps)
-		var exhaustiveStats, blockedStats schema.EdgeBuildStats
-		for r := 0; r < reps; r++ { // interleaved, median-of-reps
-			start := time.Now()
-			exhaustive = b.SimilarityEdgesExhaustive(profiles)
-			exhaustiveMS = append(exhaustiveMS, float64(time.Since(start).Microseconds())/1e3)
-			exhaustiveStats = b.LastStats()
-
-			start = time.Now()
-			blocked = b.SimilarityEdges(profiles)
-			blockedMS = append(blockedMS, float64(time.Since(start).Microseconds())/1e3)
-			blockedStats = b.LastStats()
-		}
-		sort.Float64s(exhaustiveMS)
-		sort.Float64s(blockedMS)
-
-		identical := len(exhaustive) == len(blocked)
-		if identical {
-			for i := range exhaustive {
-				if exhaustive[i] != blocked[i] {
-					identical = false
-					break
-				}
-			}
-		}
-		if !identical {
-			return fmt.Errorf("%d-column lake: blocked edges diverge from exhaustive (%d vs %d)",
-				len(profiles), len(blocked), len(exhaustive))
-		}
-		res := edgesLakeResult{
-			Columns:            len(profiles),
-			Tables:             len(lake.Tables),
-			Edges:              len(blocked),
-			ExhaustiveMS:       exhaustiveMS[reps/2],
-			BlockedMS:          blockedMS[reps/2],
-			ExhaustivePeakPair: exhaustiveStats.PeakPairBuffer,
-			BlockedPeakPair:    blockedStats.PeakPairBuffer,
-			PairsCompared:      blockedStats.PairsCompared,
-			Identical:          true,
-		}
-		if res.BlockedMS > 0 {
-			res.Speedup = res.ExhaustiveMS / res.BlockedMS
-		}
-		report.Lakes = append(report.Lakes, res)
-	}
-	out, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	fmt.Println(string(out))
-	return nil
-}
-
-// sameRows asserts two results carry the same solution multiset,
-// irrespective of enumeration order (ORDER BY ties may interleave
-// differently between engines).
-func sameRows(ref, got *sparql.Result) error {
-	canon := func(r *sparql.Result) []string {
-		vars := append([]string(nil), r.Vars...)
-		sort.Strings(vars)
-		rows := make([]string, len(r.Rows))
-		for i, row := range r.Rows {
-			var sb strings.Builder
-			for _, v := range vars {
-				if t, ok := row[v]; ok {
-					sb.WriteString(v + "=" + t.Key())
-				}
-				sb.WriteByte('|')
-			}
-			rows[i] = sb.String()
-		}
-		sort.Strings(rows)
-		return rows
-	}
-	a, b := canon(got), canon(ref)
-	if len(a) != len(b) {
-		return fmt.Errorf("compiled %d rows, reference %d rows", len(a), len(b))
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return fmt.Errorf("row %d differs: compiled %q, reference %q", i, a[i], b[i])
-		}
-	}
-	return nil
+	return strings.TrimSpace(string(out))
 }

@@ -4,17 +4,20 @@ package baselines_test
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
 	"time"
 
+	"kglids/internal/baselines"
 	"kglids/internal/baselines/autolearn"
 	"kglids/internal/baselines/graphgen"
 	"kglids/internal/baselines/holoclean"
 	"kglids/internal/baselines/santos"
 	"kglids/internal/baselines/starmie"
 	"kglids/internal/dataframe"
+	"kglids/internal/experiments"
 	"kglids/internal/lakegen"
 	"kglids/internal/pipeline"
 	"kglids/internal/store"
@@ -163,6 +166,50 @@ func TestStarmieTextBeatsNumeric(t *testing.T) {
 	}
 	if textScore <= numScore {
 		t.Errorf("text similarity %v should exceed numeric %v", textScore, numScore)
+	}
+}
+
+// TestGoldenQuality pins the exact precision/recall every Discoverer scores
+// on the fixed-seed quick evaluation lake. Every randomness source in the
+// pipeline is seeded, so these values are bit-reproducible across machines;
+// any drift means a behaviour change in a discovery method (or in lakegen)
+// that must be reviewed, not absorbed.
+func TestGoldenQuality(t *testing.T) {
+	golden := map[string]struct {
+		k    int
+		p, r float64
+	}{
+		"KGLiDS/unionable":  {3, 10.0 / 24, 15.0 / 32},
+		"KGLiDS/joinable":   {4, 23.0 / 32, 0.8},
+		"SANTOS/unionable":  {3, 14.0 / 24, 23.0 / 32},
+		"Starmie/unionable": {3, 16.0 / 24, 25.0 / 32},
+	}
+	lake := lakegen.GenerateEval(lakegen.QuickEvalSpec)
+	seen := map[string]bool{}
+	for _, d := range baselines.All() {
+		for _, q := range experiments.RunQuality(lake, d) {
+			key := q.Method + "/" + q.Task
+			seen[key] = true
+			want, ok := golden[key]
+			if !ok {
+				t.Errorf("unexpected quality row %s", key)
+				continue
+			}
+			if q.K != want.k {
+				t.Errorf("%s: k = %d, want %d", key, q.K, want.k)
+			}
+			if math.Abs(q.Precision-want.p) > 1e-9 {
+				t.Errorf("%s: precision = %.9f, want %.9f", key, q.Precision, want.p)
+			}
+			if math.Abs(q.Recall-want.r) > 1e-9 {
+				t.Errorf("%s: recall = %.9f, want %.9f", key, q.Recall, want.r)
+			}
+		}
+	}
+	for key := range golden {
+		if !seen[key] {
+			t.Errorf("quality row %s missing", key)
+		}
 	}
 }
 

@@ -13,15 +13,11 @@ import (
 	"strings"
 	"time"
 
-	"kglids/internal/baselines/santos"
-	"kglids/internal/baselines/starmie"
+	"kglids/internal/baselines"
 	"kglids/internal/core"
-	"kglids/internal/dataframe"
 	"kglids/internal/embed"
 	"kglids/internal/lakegen"
 	"kglids/internal/profiler"
-	"kglids/internal/rdf"
-	"kglids/internal/schema"
 )
 
 // BenchmarkStats is one column of Table 1.
@@ -155,78 +151,28 @@ func prAt(b *lakegen.Benchmark, ks []int, retrieve func(query string, k int) []s
 }
 
 // RunDiscoveryBenchmark runs the three systems on one benchmark replica,
-// producing a Table 2 row group and Figure 5 curves.
+// producing a Table 2 row group and Figure 5 curves. Every system is
+// preprocessed and queried through the shared baselines.Discoverer
+// interface, so the comparison cannot drift between methods.
 func RunDiscoveryBenchmark(spec lakegen.Spec) []DiscoverySystemRun {
 	b := lakegen.Generate(spec)
 	ks := KSweep(spec.Name)
-	byName := map[string]*dataframe.DataFrame{}
-	for _, df := range b.Tables {
-		byName[df.Name] = df
-	}
 	var out []DiscoverySystemRun
-
-	// SANTOS.
-	start := time.Now()
-	sIdx := santos.Preprocess(b.Tables)
-	sPre := time.Since(start)
-	sRun := DiscoverySystemRun{Benchmark: spec.Name, System: "SANTOS", Preprocess: sPre}
-	start = time.Now()
-	sRun.PrecisionAtK, sRun.RecallAtK = prAt(b, ks, func(q string, k int) []string {
-		var names []string
-		for _, r := range sIdx.Query(q, k) {
-			names = append(names, r.Table)
-		}
-		return names
-	})
-	sRun.AvgQuery = time.Since(start) / time.Duration(len(ks)*len(b.QueryTables))
-	out = append(out, sRun)
-
-	// Starmie.
-	start = time.Now()
-	stIdx := starmie.Preprocess(b.Tables)
-	stPre := time.Since(start)
-	stRun := DiscoverySystemRun{Benchmark: spec.Name, System: "Starmie", Preprocess: stPre}
-	start = time.Now()
-	stRun.PrecisionAtK, stRun.RecallAtK = prAt(b, ks, func(q string, k int) []string {
-		var names []string
-		for _, r := range stIdx.Query(byName[q], k) {
-			names = append(names, r.Table)
-		}
-		return names
-	})
-	stRun.AvgQuery = time.Since(start) / time.Duration(len(ks)*len(b.QueryTables))
-	out = append(out, stRun)
-
-	// KGLiDS.
-	out = append(out, runKGLiDSDiscovery(spec.Name, b, ks, core.DefaultConfig(), "KGLiDS"))
+	for _, d := range []baselines.Discoverer{baselines.NewSantos(), baselines.NewStarmie(), baselines.NewKGLiDS()} {
+		out = append(out, runDiscoverer(spec.Name, b, ks, d))
+	}
 	return out
 }
 
-// runKGLiDSDiscovery bootstraps the platform over the lake and answers the
-// union queries via the materialized similarity edges.
-func runKGLiDSDiscovery(benchName string, b *lakegen.Benchmark, ks []int, cfg core.Config, label string) DiscoverySystemRun {
-	var tables []core.Table
-	for _, df := range b.Tables {
-		tables = append(tables, core.Table{Dataset: b.Dataset[df.Name], Frame: df})
-	}
+// runDiscoverer preprocesses the lake with one method and sweeps the
+// Figure 5 k-values over the query tables.
+func runDiscoverer(benchName string, b *lakegen.Benchmark, ks []int, d baselines.Discoverer) DiscoverySystemRun {
 	start := time.Now()
-	plat := core.Bootstrap(cfg, tables)
+	d.Preprocess(b)
 	pre := time.Since(start)
-	run := DiscoverySystemRun{Benchmark: benchName, System: label, Preprocess: pre}
-	iriToName := map[string]string{}
-	for _, df := range b.Tables {
-		id := b.Dataset[df.Name] + "/" + df.Name
-		iriToName[schema.TableIRI(id).Value] = df.Name
-	}
+	run := DiscoverySystemRun{Benchmark: benchName, System: d.Name(), Preprocess: pre}
 	start = time.Now()
-	run.PrecisionAtK, run.RecallAtK = prAt(b, ks, func(q string, k int) []string {
-		id := b.Dataset[q] + "/" + q
-		var names []string
-		for _, r := range plat.Discovery.UnionableTables(rdf.IRI(schema.TableIRI(id).Value), k) {
-			names = append(names, iriToName[r.Table.Value])
-		}
-		return names
-	})
+	run.PrecisionAtK, run.RecallAtK = prAt(b, ks, d.Unionable)
 	run.AvgQuery = time.Since(start) / time.Duration(len(ks)*len(b.QueryTables))
 	return run
 }
@@ -322,7 +268,7 @@ func RunFigure6() []DiscoverySystemRun {
 	}
 	var out []DiscoverySystemRun
 	for _, c := range configs {
-		out = append(out, runKGLiDSDiscovery(spec.Name, b, ks, c.cfg, c.label))
+		out = append(out, runDiscoverer(spec.Name, b, ks, baselines.NewKGLiDSWith(c.label, c.cfg)))
 	}
 	return out
 }

@@ -1,0 +1,611 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"kglids"
+	"kglids/client"
+	"kglids/internal/ingest"
+	"kglids/internal/lakegen"
+	"kglids/internal/profiler"
+	"kglids/internal/schema"
+	"kglids/internal/server"
+	"kglids/internal/sparql"
+)
+
+// ServingSpec is the serving-replica lake shared by the snapshot, ingest,
+// and sparql perf experiments: realistic per-table row counts (bootstrap
+// cost scales with rows profiled; snapshot load depends only on graph and
+// embedding size, so this is the regime the persist-once/serve-many
+// architecture targets).
+var ServingSpec = lakegen.Spec{
+	Name: "Serving", Families: 8, TablesPerFamily: 4, NoiseTables: 10,
+	RowsPerTable: 1000, QueryTables: 10, Seed: 81,
+}
+
+// QuickServingSpec is the CI-scale serving replica: same shape, a fraction
+// of the rows, so the full eval runs in seconds on a PR runner.
+var QuickServingSpec = lakegen.Spec{
+	Name: "Serving-quick", Families: 5, TablesPerFamily: 3, NoiseTables: 6,
+	RowsPerTable: 150, QueryTables: 6, Seed: 81,
+}
+
+// httpSpec is the lake for the server experiment: smaller than the serving
+// replica because the subject under measurement is the HTTP serving stack
+// (router, middleware, DTO encode/decode, client), not bootstrap cost.
+var httpSpec = lakegen.Spec{
+	Name: "HTTP", Families: 4, TablesPerFamily: 3, NoiseTables: 4,
+	RowsPerTable: 200, QueryTables: 4, Seed: 91,
+}
+
+var quickHTTPSpec = lakegen.Spec{
+	Name: "HTTP-quick", Families: 3, TablesPerFamily: 3, NoiseTables: 3,
+	RowsPerTable: 100, QueryTables: 3, Seed: 91,
+}
+
+// PerfOptions configures the perf experiments. Quick shrinks every lake
+// and repetition count to PR-gate scale; the full setting reproduces the
+// numbers quoted in ARCHITECTURE.md.
+type PerfOptions struct {
+	Quick bool
+	// SnapshotSavePath, when set, keeps the snapshot experiment's file at
+	// this path for reuse (kglids-bench -save-snapshot).
+	SnapshotSavePath string
+}
+
+func (o PerfOptions) servingSpec() lakegen.Spec {
+	if o.Quick {
+		return QuickServingSpec
+	}
+	return ServingSpec
+}
+
+func (o PerfOptions) httpSpec() lakegen.Spec {
+	if o.Quick {
+		return quickHTTPSpec
+	}
+	return httpSpec
+}
+
+// reps is the repetition count behind every reported median.
+func (o PerfOptions) reps() int {
+	if o.Quick {
+		return 7
+	}
+	return 31
+}
+
+func (o PerfOptions) edgeLakeSizes() []int {
+	if o.Quick {
+		return []int{35, 70}
+	}
+	return []int{35, 70, 140}
+}
+
+// lakeTables materializes a generated lake as platform tables.
+func lakeTables(lake *lakegen.Benchmark) []kglids.Table {
+	var tables []kglids.Table
+	for _, df := range lake.Tables {
+		tables = append(tables, kglids.Table{Dataset: lake.Dataset[df.Name], Frame: df})
+	}
+	return tables
+}
+
+// MedianMicros reports each function's median latency in microseconds over
+// reps interleaved repetitions: alternating the candidates inside one loop
+// exposes them to the same GC pauses and scheduler noise, and the median
+// shrugs off the outliers a mean would keep.
+func MedianMicros(reps int, fns ...func() error) ([]float64, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	times := make([][]float64, len(fns))
+	for i := 0; i < reps; i++ {
+		for j, fn := range fns {
+			start := time.Now()
+			if err := fn(); err != nil {
+				return nil, err
+			}
+			times[j] = append(times[j], float64(time.Since(start).Nanoseconds())/1e3)
+		}
+	}
+	out := make([]float64, len(fns))
+	for j := range fns {
+		sort.Float64s(times[j])
+		out[j] = times[j][reps/2]
+	}
+	return out, nil
+}
+
+// SnapshotPerf is the snapshot experiment's result: persist-once/
+// serve-many startup cost against a full re-bootstrap.
+type SnapshotPerf struct {
+	Experiment  string  `json:"experiment"`
+	Tables      int     `json:"tables"`
+	Triples     int     `json:"triples"`
+	BootstrapMS float64 `json:"bootstrap_ms"`
+	SaveMS      float64 `json:"save_ms"`
+	LoadMS      float64 `json:"load_ms"`
+	FileMiB     float64 `json:"file_mib"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// Result flattens the experiment into the trajectory schema.
+func (p *SnapshotPerf) Result() PerfResult {
+	return PerfResult{Experiment: "snapshot", Metrics: map[string]float64{
+		"tables":       float64(p.Tables),
+		"bootstrap_ms": p.BootstrapMS,
+		"save_ms":      p.SaveMS,
+		"load_ms":      p.LoadMS,
+		"file_mib":     p.FileMiB,
+		"load_speedup": p.Speedup,
+	}}
+}
+
+// RunSnapshotPerf times bootstrap vs snapshot save/load over the serving
+// replica and verifies the reloaded graph is identical.
+func RunSnapshotPerf(o PerfOptions) (*SnapshotPerf, error) {
+	lake := lakegen.Generate(o.servingSpec())
+	tables := lakeTables(lake)
+	start := time.Now()
+	plat := kglids.Bootstrap(kglids.Options{}, tables)
+	bootstrap := time.Since(start)
+
+	path := o.SnapshotSavePath
+	if path == "" {
+		dir, err := os.MkdirTemp("", "kglids-bench-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		path = filepath.Join(dir, "lake.kgs")
+	}
+	start = time.Now()
+	if err := plat.Save(path); err != nil {
+		return nil, err
+	}
+	save := time.Since(start)
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+
+	start = time.Now()
+	reloaded, err := kglids.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	load := time.Since(start)
+	if reloaded.Stats() != plat.Stats() {
+		return nil, fmt.Errorf("reloaded stats %+v differ from bootstrap %+v", reloaded.Stats(), plat.Stats())
+	}
+
+	res := &SnapshotPerf{
+		Experiment:  "snapshot",
+		Tables:      len(tables),
+		Triples:     plat.Stats().Triples,
+		BootstrapMS: float64(bootstrap.Microseconds()) / 1e3,
+		SaveMS:      float64(save.Microseconds()) / 1e3,
+		LoadMS:      float64(load.Microseconds()) / 1e3,
+		FileMiB:     float64(info.Size()) / (1 << 20),
+	}
+	if load > 0 {
+		res.Speedup = float64(bootstrap) / float64(load)
+	}
+	return res, nil
+}
+
+// IngestPerf is the ingest experiment's result: live incremental ingestion
+// of one table against re-bootstrapping the whole lake.
+type IngestPerf struct {
+	Experiment    string  `json:"experiment"`
+	Tables        int     `json:"tables"`
+	IncrementalMS float64 `json:"incremental_ms"`
+	RebootstrapMS float64 `json:"rebootstrap_ms"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// Result flattens the experiment into the trajectory schema.
+func (p *IngestPerf) Result() PerfResult {
+	return PerfResult{Experiment: "ingest", Metrics: map[string]float64{
+		"tables":         float64(p.Tables),
+		"incremental_ms": p.IncrementalMS,
+		"rebootstrap_ms": p.RebootstrapMS,
+		"ingest_speedup": p.Speedup,
+	}}
+}
+
+// RunIngestPerf times absorbing one new table incrementally versus re-
+// bootstrapping, and verifies the two paths are equivalent.
+func RunIngestPerf(o PerfOptions) (*IngestPerf, error) {
+	lake := lakegen.Generate(o.servingSpec())
+	tables := lakeTables(lake)
+	n := len(tables)
+	base, extra := tables[:n-1], tables[n-1:]
+
+	plat := kglids.Bootstrap(kglids.Options{}, base)
+	start := time.Now()
+	if _, err := plat.AddTables(extra); err != nil {
+		return nil, err
+	}
+	incremental := time.Since(start)
+
+	start = time.Now()
+	fresh := kglids.Bootstrap(kglids.Options{}, tables)
+	rebootstrap := time.Since(start)
+
+	if plat.Stats() != fresh.Stats() {
+		return nil, fmt.Errorf("incremental stats %+v diverge from rebootstrap %+v", plat.Stats(), fresh.Stats())
+	}
+	res := &IngestPerf{
+		Experiment:    "ingest",
+		Tables:        n,
+		IncrementalMS: float64(incremental.Microseconds()) / 1e3,
+		RebootstrapMS: float64(rebootstrap.Microseconds()) / 1e3,
+	}
+	if incremental > 0 {
+		res.Speedup = float64(rebootstrap) / float64(incremental)
+	}
+	return res, nil
+}
+
+// SPARQLQueryPerf is one query's row of the sparql experiment.
+type SPARQLQueryPerf struct {
+	Name     string  `json:"name"`
+	Query    string  `json:"query"`
+	Rows     int     `json:"rows"`
+	TermUS   float64 `json:"term_us"`
+	IDUS     float64 `json:"id_us"`
+	CachedUS float64 `json:"cached_us"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// SPARQLPerf is the sparql experiment's result: the compiled ID-space
+// engine against the term-space reference, per discovery-shaped query.
+type SPARQLPerf struct {
+	Experiment string            `json:"experiment"`
+	Tables     int               `json:"tables"`
+	Triples    int               `json:"triples"`
+	Queries    []SPARQLQueryPerf `json:"queries"`
+}
+
+// Result flattens the experiment into the trajectory schema, one metric
+// triple per query.
+func (p *SPARQLPerf) Result() PerfResult {
+	metrics := map[string]float64{"triples": float64(p.Triples)}
+	for _, q := range p.Queries {
+		metrics[q.Name+"_id_us"] = q.IDUS
+		metrics[q.Name+"_cached_us"] = q.CachedUS
+		metrics[q.Name+"_speedup"] = q.Speedup
+	}
+	return PerfResult{Experiment: "sparql", Metrics: metrics}
+}
+
+// RunSPARQLPerf times the term-space reference evaluator against the
+// compiled ID-space engine (and its generation-keyed cache) over the
+// serving replica, verifying result equivalence per query.
+func RunSPARQLPerf(o PerfOptions) (*SPARQLPerf, error) {
+	lake := lakegen.Generate(o.servingSpec())
+	tables := lakeTables(lake)
+	plat := kglids.Bootstrap(kglids.Options{}, tables)
+	eng := sparql.NewEngine(plat.Core().Store)
+
+	queries := []struct{ name, src string }{
+		{"int-columns", `SELECT ?t ?c ?n WHERE {
+			?t a kglids:Table .
+			?c kglids:isPartOf ?t ; kglids:name ?n ; kglids:dataType "int" . }`},
+		{"similarity-join", `SELECT ?c ?d ?t WHERE {
+			?c kglids:contentSimilarity ?d . ?d kglids:isPartOf ?t . ?t a kglids:Table . }`},
+		{"keyword-filter", `SELECT ?t ?n WHERE {
+			?t a kglids:Table ; kglids:name ?n . FILTER(CONTAINS(LCASE(?n), ".csv") && REGEX(?n, "_t0", "i")) }`},
+		{"type-histogram", `SELECT ?dt (COUNT(?c) AS ?n) WHERE {
+			?c a kglids:Column ; kglids:dataType ?dt . } GROUP BY ?dt ORDER BY DESC(?n)`},
+	}
+
+	report := &SPARQLPerf{Experiment: "sparql", Tables: len(tables), Triples: plat.Stats().Triples}
+	for _, q := range queries {
+		parsed, err := sparql.Parse(q.src)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", q.name, err)
+		}
+		ref, err := eng.ExecReference(parsed)
+		if err != nil {
+			return nil, fmt.Errorf("%s (reference): %v", q.name, err)
+		}
+		ids, err := eng.Exec(parsed)
+		if err != nil {
+			return nil, fmt.Errorf("%s (compiled): %v", q.name, err)
+		}
+		if err := sameRows(ref, ids); err != nil {
+			return nil, fmt.Errorf("%s: %v", q.name, err)
+		}
+
+		if _, err := eng.Query(q.src); err != nil { // warm the result cache
+			return nil, err
+		}
+		med, err := MedianMicros(o.reps(),
+			func() error { _, err := eng.ExecReference(parsed); return err },
+			func() error { _, err := eng.Exec(parsed); return err },
+			func() error { _, err := eng.Query(q.src); return err },
+		)
+		if err != nil {
+			return nil, err
+		}
+		termUS, idUS, cachedUS := med[0], med[1], med[2]
+
+		speedup := 0.0
+		if idUS > 0 {
+			speedup = termUS / idUS
+		}
+		report.Queries = append(report.Queries, SPARQLQueryPerf{
+			Name: q.name, Query: q.src, Rows: len(ids.Rows),
+			TermUS: termUS, IDUS: idUS, CachedUS: cachedUS, Speedup: speedup,
+		})
+	}
+	return report, nil
+}
+
+// ServerEndpointPerf is one endpoint's row of the server experiment.
+type ServerEndpointPerf struct {
+	Name     string  `json:"name"`
+	MedianUS float64 `json:"median_us"`
+}
+
+// ServerPerf is the server experiment's result: end-to-end /api/v1 latency
+// through the typed client over a loopback listener.
+type ServerPerf struct {
+	Experiment       string               `json:"experiment"`
+	Tables           int                  `json:"tables"`
+	Triples          int                  `json:"triples"`
+	Endpoints        []ServerEndpointPerf `json:"endpoints"`
+	IngestRoundTrip  float64              `json:"ingest_roundtrip_ms"`
+	DeleteRoundTrip  float64              `json:"delete_roundtrip_ms"`
+	ConditionalReads bool                 `json:"conditional_reads"`
+}
+
+// Result flattens the experiment into the trajectory schema.
+func (p *ServerPerf) Result() PerfResult {
+	metrics := map[string]float64{
+		"ingest_roundtrip_ms": p.IngestRoundTrip,
+		"delete_roundtrip_ms": p.DeleteRoundTrip,
+	}
+	for _, ep := range p.Endpoints {
+		metrics[ep.Name+"_us"] = ep.MedianUS
+	}
+	return PerfResult{Experiment: "server", Metrics: metrics}
+}
+
+// RunServerPerf measures end-to-end /api/v1 latency through the typed
+// client: handler mounted on a loopback listener, every number includes
+// routing, middleware, JSON encode, network round-trip, and client-side
+// DTO decode. Steady-state reads revalidate with If-None-Match (the client
+// caches ETag'd bodies), which is the latency a polling client actually
+// sees.
+func RunServerPerf(o PerfOptions) (*ServerPerf, error) {
+	lake := lakegen.Generate(o.httpSpec())
+	tables := lakeTables(lake)
+	plat := kglids.Bootstrap(kglids.Options{}, tables)
+	mgr := ingest.New(plat.Core(), ingest.Options{Workers: 1, QueueSize: 8})
+	defer mgr.Close()
+	ts := httptest.NewServer(server.New(plat, server.Options{Ingest: mgr}))
+	defer ts.Close()
+
+	c, err := client.New(ts.URL)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	q := lake.QueryTables[0]
+	tableID := lake.Dataset[q] + "/" + q
+	const sparqlQ = `SELECT ?t ?n WHERE { ?t a kglids:Table ; kglids:name ?n . }`
+
+	endpoints := []struct {
+		name string
+		call func() error
+	}{
+		{"healthz", func() error { _, err := c.Health(ctx); return err }},
+		{"stats", func() error { _, err := c.Stats(ctx); return err }},
+		{"tables", func() error { _, err := c.Tables(ctx, client.PageOpts{}); return err }},
+		{"search", func() error { _, err := c.Search(ctx, q[:3], client.PageOpts{}); return err }},
+		{"unionable", func() error { _, err := c.Unionable(ctx, tableID, 10, client.PageOpts{}); return err }},
+		{"similar", func() error { _, err := c.Similar(ctx, tableID, 10, client.PageOpts{}); return err }},
+		{"sparql", func() error { _, err := c.SPARQL(ctx, sparqlQ); return err }},
+	}
+	fns := make([]func() error, len(endpoints))
+	for i := range endpoints {
+		fns[i] = endpoints[i].call
+	}
+	// Warm caches (server result cache, client ETag cache) once so the
+	// medians report steady-state serving.
+	for _, fn := range fns {
+		if err := fn(); err != nil {
+			return nil, err
+		}
+	}
+	med, err := MedianMicros(o.reps(), fns...)
+	if err != nil {
+		return nil, err
+	}
+
+	report := &ServerPerf{
+		Experiment: "server", Tables: len(tables), Triples: plat.Stats().Triples,
+		ConditionalReads: true,
+	}
+	for i, ep := range endpoints {
+		report.Endpoints = append(report.Endpoints, ServerEndpointPerf{Name: ep.name, MedianUS: med[i]})
+	}
+
+	// One asynchronous mutation round-trip: accept → queue → profile →
+	// splice → observed done, through POST /api/v1/ingest + job polling.
+	newTable := client.IngestTable{
+		Dataset: "bench", Name: "live.csv",
+		Columns: []client.IngestColumn{
+			{Name: "k", Values: []any{"a", "b", "c", "d", "e", "f"}},
+			{Name: "v", Values: []any{1, 2, 3, 4, 5, 6}},
+		},
+	}
+	start := time.Now()
+	ref, err := c.Ingest(ctx, []client.IngestTable{newTable})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.WaitJob(ctx, ref.Job, 5*time.Millisecond); err != nil {
+		return nil, err
+	}
+	report.IngestRoundTrip = float64(time.Since(start).Microseconds()) / 1e3
+
+	start = time.Now()
+	ref, err = c.DeleteTable(ctx, "bench/live.csv")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.WaitJob(ctx, ref.Job, 5*time.Millisecond); err != nil {
+		return nil, err
+	}
+	report.DeleteRoundTrip = float64(time.Since(start).Microseconds()) / 1e3
+	return report, nil
+}
+
+// EdgesLakePerf is one lake size's row of the edges experiment.
+type EdgesLakePerf struct {
+	Columns            int     `json:"columns"`
+	Tables             int     `json:"tables"`
+	Edges              int     `json:"edges"`
+	ExhaustiveMS       float64 `json:"exhaustive_ms"`
+	BlockedMS          float64 `json:"blocked_ms"`
+	Speedup            float64 `json:"speedup"`
+	ExhaustivePeakPair int64   `json:"exhaustive_peak_pairs"`
+	BlockedPeakPair    int64   `json:"blocked_peak_pairs"`
+	PairsCompared      int64   `json:"pairs_compared"`
+	Identical          bool    `json:"identical"`
+}
+
+// EdgesPerf is the edges experiment's result: the blocked,
+// candidate-pruned similarity pipeline against the exhaustive oracle over
+// lakes of growing width.
+type EdgesPerf struct {
+	Experiment string          `json:"experiment"`
+	Lakes      []EdgesLakePerf `json:"lakes"`
+}
+
+// Result flattens the experiment into the trajectory schema, keyed by lake
+// width.
+func (p *EdgesPerf) Result() PerfResult {
+	metrics := map[string]float64{}
+	for _, l := range p.Lakes {
+		key := fmt.Sprintf("%dt", l.Tables)
+		metrics["blocked_"+key+"_ms"] = l.BlockedMS
+		metrics["exhaustive_"+key+"_ms"] = l.ExhaustiveMS
+		metrics[key+"_speedup"] = l.Speedup
+		metrics[key+"_edges"] = float64(l.Edges)
+	}
+	return PerfResult{Experiment: "edges", Metrics: metrics}
+}
+
+// RunEdgesPerf measures Algorithm 3's pairwise phase on generated lakes of
+// growing width: the exhaustive O(n²) oracle against the blocked,
+// candidate-pruned pipeline, reporting median build time and the peak
+// number of pairs buffered, and verifying the two produce identical edge
+// sets.
+func RunEdgesPerf(o PerfOptions) (*EdgesPerf, error) {
+	const reps = 3
+	report := &EdgesPerf{Experiment: "edges"}
+	for _, tables := range o.edgeLakeSizes() {
+		lake := lakegen.WideLake(tables, 18, 30, 59)
+		prof := profiler.New()
+		var ptables []profiler.Table
+		for _, df := range lake.Tables {
+			ptables = append(ptables, profiler.Table{Dataset: lake.Dataset[df.Name], Frame: df})
+		}
+		profiles := prof.ProfileAll(ptables)
+
+		b := schema.NewBuilder()
+		var exhaustive, blocked []schema.Edge
+		exhaustiveMS := make([]float64, 0, reps)
+		blockedMS := make([]float64, 0, reps)
+		var exhaustiveStats, blockedStats schema.EdgeBuildStats
+		for r := 0; r < reps; r++ { // interleaved, median-of-reps
+			start := time.Now()
+			exhaustive = b.SimilarityEdgesExhaustive(profiles)
+			exhaustiveMS = append(exhaustiveMS, float64(time.Since(start).Microseconds())/1e3)
+			exhaustiveStats = b.LastStats()
+
+			start = time.Now()
+			blocked = b.SimilarityEdges(profiles)
+			blockedMS = append(blockedMS, float64(time.Since(start).Microseconds())/1e3)
+			blockedStats = b.LastStats()
+		}
+		sort.Float64s(exhaustiveMS)
+		sort.Float64s(blockedMS)
+
+		identical := len(exhaustive) == len(blocked)
+		if identical {
+			for i := range exhaustive {
+				if exhaustive[i] != blocked[i] {
+					identical = false
+					break
+				}
+			}
+		}
+		if !identical {
+			return nil, fmt.Errorf("%d-column lake: blocked edges diverge from exhaustive (%d vs %d)",
+				len(profiles), len(blocked), len(exhaustive))
+		}
+		res := EdgesLakePerf{
+			Columns:            len(profiles),
+			Tables:             len(lake.Tables),
+			Edges:              len(blocked),
+			ExhaustiveMS:       exhaustiveMS[reps/2],
+			BlockedMS:          blockedMS[reps/2],
+			ExhaustivePeakPair: exhaustiveStats.PeakPairBuffer,
+			BlockedPeakPair:    blockedStats.PeakPairBuffer,
+			PairsCompared:      blockedStats.PairsCompared,
+			Identical:          true,
+		}
+		if res.BlockedMS > 0 {
+			res.Speedup = res.ExhaustiveMS / res.BlockedMS
+		}
+		report.Lakes = append(report.Lakes, res)
+	}
+	return report, nil
+}
+
+// sameRows asserts two results carry the same solution multiset,
+// irrespective of enumeration order (ORDER BY ties may interleave
+// differently between engines).
+func sameRows(ref, got *sparql.Result) error {
+	canon := func(r *sparql.Result) []string {
+		vars := append([]string(nil), r.Vars...)
+		sort.Strings(vars)
+		rows := make([]string, len(r.Rows))
+		for i, row := range r.Rows {
+			var sb strings.Builder
+			for _, v := range vars {
+				if t, ok := row[v]; ok {
+					sb.WriteString(v + "=" + t.Key())
+				}
+				sb.WriteByte('|')
+			}
+			rows[i] = sb.String()
+		}
+		sort.Strings(rows)
+		return rows
+	}
+	a, b := canon(got), canon(ref)
+	if len(a) != len(b) {
+		return fmt.Errorf("compiled %d rows, reference %d rows", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("row %d differs: compiled %q, reference %q", i, a[i], b[i])
+		}
+	}
+	return nil
+}

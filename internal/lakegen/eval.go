@@ -1,0 +1,154 @@
+package lakegen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"kglids/internal/dataframe"
+)
+
+// EvalSpec controls ground-truth evaluation-lake generation: a family-based
+// benchmark (unionable ground truth by construction, as in Generate) with
+// additional joinable pairs planted across families. Each planted pair gets
+// a shared key column — same name, same value domain — appended to two
+// tables from different families, so the pair is joinable by construction
+// without becoming unionable (one column out of many).
+type EvalSpec struct {
+	Base Spec
+	// JoinPairs is the number of cross-family joinable pairs to plant.
+	JoinPairs int
+	// KeyCardinality is the distinct-value count of each planted key
+	// column (small enough that both sides of a pair share most values).
+	KeyCardinality int
+}
+
+// EvalLake is a generated lake with both unionable and joinable ground
+// truth. Unionable truth is family membership (Benchmark.GroundTruth);
+// joinable truth is family membership plus the planted key pairs — family
+// members share column domains and are therefore joinable by construction
+// too.
+type EvalLake struct {
+	*Benchmark
+	// JoinTruth maps a table name to the tables joinable with it.
+	JoinTruth map[string][]string
+	// PlantedJoins lists the cross-family pairs that share a key column.
+	PlantedJoins [][2]string
+}
+
+// QuickEvalSpec is the CI-scale evaluation lake: small enough that the
+// full quality sweep (platform + every vendored baseline) runs in seconds,
+// large enough that precision and recall discriminate between methods.
+var QuickEvalSpec = EvalSpec{
+	Base: Spec{
+		Name: "eval-quick", Families: 5, TablesPerFamily: 4, NoiseTables: 6,
+		RowsPerTable: 120, QueryTables: 8, Seed: 71,
+	},
+	JoinPairs:      4,
+	KeyCardinality: 24,
+}
+
+// FullEvalSpec is the full evaluation lake, scaled like the TUS replica.
+var FullEvalSpec = EvalSpec{
+	Base: Spec{
+		Name: "eval-full", Families: 10, TablesPerFamily: 5, NoiseTables: 14,
+		RowsPerTable: 200, QueryTables: 14, Seed: 72,
+	},
+	JoinPairs:      8,
+	KeyCardinality: 32,
+}
+
+// GenerateEval builds an evaluation lake: the base family benchmark plus
+// planted joinable key columns and the combined join ground truth.
+func GenerateEval(spec EvalSpec) *EvalLake {
+	b := Generate(spec.Base)
+	lake := &EvalLake{Benchmark: b, JoinTruth: map[string][]string{}}
+
+	// Family membership is joinable ground truth: members share column
+	// value domains (slices of one master table), so they join on those
+	// columns by construction.
+	for table, others := range b.GroundTruth {
+		lake.JoinTruth[table] = append([]string(nil), others...)
+	}
+
+	// Group family tables by dataset to pick planting sites. Datasets are
+	// "family_NN" for family tables and "noise_NN" for noise tables.
+	byFamily := map[string][]string{}
+	var families []string
+	for _, df := range b.Tables {
+		ds := b.Dataset[df.Name]
+		if len(ds) >= 7 && ds[:7] == "family_" {
+			if _, ok := byFamily[ds]; !ok {
+				families = append(families, ds)
+			}
+			byFamily[ds] = append(byFamily[ds], df.Name)
+		}
+	}
+	sort.Strings(families)
+	for _, f := range families {
+		sort.Strings(byFamily[f])
+	}
+	if len(families) < 2 {
+		return lake
+	}
+
+	byName := map[string]*dataframe.DataFrame{}
+	for _, df := range b.Tables {
+		byName[df.Name] = df
+	}
+
+	rng := rand.New(rand.NewSource(spec.Base.Seed + 7919))
+	for p := 0; p < spec.JoinPairs; p++ {
+		famA := byFamily[families[p%len(families)]]
+		famB := byFamily[families[(p+1)%len(families)]]
+		a := famA[(p/len(families))%len(famA)]
+		c := famB[(p/len(families))%len(famB)]
+		if a == c {
+			continue
+		}
+		plantKey(rng, p, spec.KeyCardinality, byName[a], byName[c])
+		lake.PlantedJoins = append(lake.PlantedJoins, [2]string{a, c})
+		lake.JoinTruth[a] = appendUnique(lake.JoinTruth[a], c)
+		lake.JoinTruth[c] = appendUnique(lake.JoinTruth[c], a)
+	}
+	return lake
+}
+
+// plantKey appends one shared key column to both tables: same column name,
+// values drawn from the same small pool, so the pair gets a high-certainty
+// content-similarity edge (joinable) while the tables remain non-unionable
+// overall. The name is a pair-unique nonsense word — pairs must not share
+// name tokens, or label-similarity edges would link every planted column
+// lake-wide and pollute the unionable ground truth.
+func plantKey(rng *rand.Rand, pairIdx, cardinality int, a, c *dataframe.DataFrame) {
+	if cardinality < 2 {
+		cardinality = 2
+	}
+	pool := make([]string, cardinality)
+	for i := range pool {
+		pool[i] = fmt.Sprintf("pk%02d-%05d", pairIdx, rng.Intn(90000)+10000)
+	}
+	name := noiseSyllables[(3*pairIdx)%len(noiseSyllables)] +
+		noiseSyllables[(7*pairIdx+1)%len(noiseSyllables)] +
+		noiseSyllables[(11*pairIdx+5)%len(noiseSyllables)]
+	for _, df := range []*dataframe.DataFrame{a, c} {
+		colName := name
+		for n := 2; df.HasColumn(colName); n++ {
+			colName = fmt.Sprintf("%s_%d", name, n)
+		}
+		s := &dataframe.Series{Name: colName}
+		for r := 0; r < df.NumRows(); r++ {
+			s.Cells = append(s.Cells, dataframe.ParseCell(pool[rng.Intn(len(pool))]))
+		}
+		df.AddColumn(s)
+	}
+}
+
+func appendUnique(list []string, v string) []string {
+	for _, x := range list {
+		if x == v {
+			return list
+		}
+	}
+	return append(list, v)
+}

@@ -90,6 +90,99 @@ func TestTypeDiversity(t *testing.T) {
 	}
 }
 
+func TestGenerateEval(t *testing.T) {
+	lake := GenerateEval(QuickEvalSpec)
+	if len(lake.PlantedJoins) != QuickEvalSpec.JoinPairs {
+		t.Fatalf("planted %d pairs, want %d", len(lake.PlantedJoins), QuickEvalSpec.JoinPairs)
+	}
+
+	byName := map[string]map[string]map[string]bool{} // table -> column -> value set
+	for _, df := range lake.Tables {
+		cols := map[string]map[string]bool{}
+		for i := 0; i < df.NumCols(); i++ {
+			s := df.ColumnAt(i)
+			vals := map[string]bool{}
+			for _, c := range s.Cells {
+				vals[c.S] = true
+			}
+			cols[s.Name] = vals
+		}
+		byName[df.Name] = cols
+	}
+
+	for _, pair := range lake.PlantedJoins {
+		a, c := pair[0], pair[1]
+		if lake.Dataset[a] == lake.Dataset[c] {
+			t.Errorf("pair %v planted within one family %s", pair, lake.Dataset[a])
+		}
+		// The pair must share a column name whose value pools overlap —
+		// that is what makes it joinable by construction.
+		shared := false
+		for name, avals := range byName[a] {
+			cvals, ok := byName[c][name]
+			if !ok {
+				continue
+			}
+			overlap := 0
+			for v := range avals {
+				if cvals[v] {
+					overlap++
+				}
+			}
+			if overlap > 0 {
+				shared = true
+			}
+		}
+		if !shared {
+			t.Errorf("pair %v shares no column with overlapping values", pair)
+		}
+	}
+
+	// Join truth is symmetric and contains unionable (family) truth.
+	for table, others := range lake.JoinTruth {
+		for _, o := range others {
+			back := false
+			for _, b := range lake.JoinTruth[o] {
+				if b == table {
+					back = true
+				}
+			}
+			if !back {
+				t.Fatalf("join truth not symmetric: %s -> %s", table, o)
+			}
+		}
+	}
+	for table, others := range lake.GroundTruth {
+		joinable := map[string]bool{}
+		for _, o := range lake.JoinTruth[table] {
+			joinable[o] = true
+		}
+		for _, o := range others {
+			if !joinable[o] {
+				t.Fatalf("family member %s -> %s missing from join truth", table, o)
+			}
+		}
+	}
+}
+
+func TestGenerateEvalDeterministic(t *testing.T) {
+	a, b := GenerateEval(QuickEvalSpec), GenerateEval(QuickEvalSpec)
+	if len(a.PlantedJoins) != len(b.PlantedJoins) {
+		t.Fatal("nondeterministic planting")
+	}
+	for i := range a.PlantedJoins {
+		if a.PlantedJoins[i] != b.PlantedJoins[i] {
+			t.Fatal("nondeterministic pair selection")
+		}
+	}
+	for i := range a.Tables {
+		at, bt := a.Tables[i], b.Tables[i]
+		if at.Name != bt.Name || at.NumCols() != bt.NumCols() || at.NumRows() != bt.NumRows() {
+			t.Fatalf("nondeterministic table %s", at.Name)
+		}
+	}
+}
+
 func TestGenerateTask(t *testing.T) {
 	d := GenerateTask(TaskSpec{ID: 1, Name: "t", Rows: 200, NumFeatures: 4, CatFeatures: 2, Classes: 2, NullRate: 0.1, Seed: 1})
 	if d.Frame.NumRows() != 200 || d.Frame.NumCols() != 7 {
