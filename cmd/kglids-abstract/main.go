@@ -11,7 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 
 	"kglids/internal/pipeline"
@@ -19,6 +19,7 @@ import (
 
 func main() {
 	flag.Parse()
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: kglids-abstract script.py [...]")
 		os.Exit(2)
@@ -27,11 +28,12 @@ func main() {
 	for _, path := range flag.Args() {
 		src, err := os.ReadFile(path)
 		if err != nil {
-			log.Fatal(err)
+			logger.Error("reading script failed", "path", path, "err", err)
+			os.Exit(1)
 		}
 		abs := a.Abstract(pipeline.Script{ID: path, Source: string(src)})
 		if abs.ParseError != nil {
-			log.Printf("%s: %v", path, abs.ParseError)
+			logger.Warn("script did not parse", "path", path, "err", abs.ParseError)
 			continue
 		}
 		fmt.Printf("== %s: %d statements ==\n", path, len(abs.Statements))

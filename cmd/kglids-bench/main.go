@@ -8,6 +8,7 @@
 //	kglids-bench eval [-quick] [-out F] [-compare OLD.json] [-against NEW.json]
 //	                  [-quality-tolerance T] [-perf-tolerance T] [-concurrency N]
 //	                  [-demote IN.json]
+//	kglids-bench checkmetrics [-require FAMILY]... <file|url|->
 //
 // Experiments: table1 table2 figure5 figure6 figure4 table3 table4 table5
 // figure7 table6 figure8 figure9 snapshot ingest sparql server edges, or
@@ -31,12 +32,20 @@
 // running) and exits non-zero on any regression beyond tolerance; -demote
 // writes a deliberately regressed copy of a trajectory so CI can prove the
 // gate fails when it should. See docs/BENCHMARKS.md.
+//
+// The checkmetrics subcommand validates a Prometheus text exposition
+// (file, URL, or stdin) and optionally asserts named families are
+// present; CI uses it to smoke-test a live kglids-server /metrics
+// endpoint. See docs/OBSERVABILITY.md.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"strings"
@@ -44,11 +53,15 @@ import (
 
 	"kglids"
 	"kglids/internal/experiments"
+	"kglids/internal/obs"
 )
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "eval" {
 		os.Exit(evalMain(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "checkmetrics" {
+		os.Exit(checkMetricsMain(os.Args[2:]))
 	}
 
 	pipelines := flag.Int("pipelines", 300, "corpus size for abstraction/AutoML experiments")
@@ -290,6 +303,77 @@ func evalMain(args []string) int {
 	}
 	return 0
 }
+
+// checkMetricsMain is the `kglids-bench checkmetrics` entry point: it
+// validates a Prometheus text exposition — from a file, an http(s) URL,
+// or stdin ("-") — against the 0.0.4 structural rules (TYPE lines,
+// histogram bucket monotonicity, label escaping) and optionally requires
+// named metric families to be present. CI boots kglids-server with
+// -debug-addr and points this at /metrics so a malformed or empty
+// exposition fails the build. Exit codes: 0 valid, 1 invalid or
+// unreadable, 2 usage error.
+func checkMetricsMain(args []string) int {
+	fs := flag.NewFlagSet("checkmetrics", flag.ExitOnError)
+	var require requiredFamilies
+	fs.Var(&require, "require", "metric family that must be present (repeatable)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: kglids-bench checkmetrics [-require FAMILY]... <file|url|->")
+		return 2
+	}
+	src := fs.Arg(0)
+
+	var data []byte
+	var err error
+	switch {
+	case src == "-":
+		data, err = io.ReadAll(os.Stdin)
+	case strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://"):
+		var resp *http.Response
+		if resp, err = http.Get(src); err == nil {
+			data, err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err == nil && resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("GET %s: status %s", src, resp.Status)
+			}
+		}
+	default:
+		data, err = os.ReadFile(src)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkmetrics:", err)
+		return 1
+	}
+
+	if err := obs.ValidateExposition(bytes.NewReader(data)); err != nil {
+		fmt.Fprintln(os.Stderr, "checkmetrics: invalid exposition:", err)
+		return 1
+	}
+	families := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			families[strings.Fields(name)[0]] = true
+		}
+	}
+	missing := 0
+	for _, want := range require {
+		if !families[want] {
+			fmt.Fprintf(os.Stderr, "checkmetrics: required family %q missing\n", want)
+			missing++
+		}
+	}
+	if missing > 0 {
+		return 1
+	}
+	fmt.Printf("checkmetrics: %s valid (%d families)\n", src, len(families))
+	return 0
+}
+
+// requiredFamilies is a repeatable -require flag.
+type requiredFamilies []string
+
+func (r *requiredFamilies) String() string     { return strings.Join(*r, ",") }
+func (r *requiredFamilies) Set(v string) error { *r = append(*r, v); return nil }
 
 // reportCompare prints the diff verdict and returns the process exit code.
 func reportCompare(oldPath, newPath string, old, fresh *experiments.Trajectory, tol experiments.Tolerance) int {

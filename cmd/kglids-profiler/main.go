@@ -13,7 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,6 +27,7 @@ func main() {
 	lakeDir := flag.String("lake", "", "data lake directory (required)")
 	breakdown := flag.Bool("breakdown", false, "print the fine-grained type breakdown instead of profiles")
 	flag.Parse()
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	if *lakeDir == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -38,7 +39,7 @@ func main() {
 		}
 		df, err := dataframe.ReadCSVFile(path)
 		if err != nil {
-			log.Printf("skipping %s: %v", path, err)
+			logger.Warn("skipping unreadable CSV", "path", path, "err", err)
 			return nil
 		}
 		dataset := filepath.Base(filepath.Dir(path))
@@ -46,10 +47,12 @@ func main() {
 		return nil
 	})
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("lake walk failed", "err", err)
+		os.Exit(1)
 	}
 	if len(tables) == 0 {
-		log.Fatalf("no CSV files under %s", *lakeDir)
+		logger.Error("no CSV files under lake", "lake", *lakeDir)
+		os.Exit(1)
 	}
 	p := profiler.New()
 	profiles := p.ProfileAll(tables)
@@ -63,7 +66,8 @@ func main() {
 	for _, cp := range profiles {
 		data, err := cp.JSON()
 		if err != nil {
-			log.Fatal(err)
+			logger.Error("encoding profile failed", "err", err)
+			os.Exit(1)
 		}
 		fmt.Println(string(data))
 	}

@@ -18,6 +18,7 @@
 //	kglids-server -lake DIR [-save-snapshot FILE] [-addr :8080]
 //	kglids-server -snapshot FILE [-addr :8080]
 //	kglids-server -lake DIR -ingest [-ingest-workers N] [-ingest-queue N]
+//	kglids-server -lake DIR -debug-addr :9090 [-pprof] [-slow-query-ms 250]
 //
 // -save-snapshot persists the platform after it is ready (from either
 // source), so the next start can skip bootstrapping.
@@ -28,6 +29,16 @@
 // no restart, no re-bootstrap. On shutdown queued jobs drain before the
 // process exits (and before -save-snapshot runs, when given, so the saved
 // snapshot reflects every accepted job).
+//
+// -debug-addr starts a second listener serving the diagnostics surface —
+// /metrics (Prometheus text exposition), /debug/vars (expvar), and with
+// -pprof the runtime profiles under /debug/pprof — kept off the public
+// API address so operators can firewall it separately. -slow-query-ms
+// logs any SPARQL query slower than the threshold with its per-stage
+// breakdown. See docs/OBSERVABILITY.md.
+//
+// Logs are structured (log/slog): -log-format json emits one JSON object
+// per line for ingestion into log pipelines, -log-level sets the floor.
 //
 // -edge-block-size and -edge-candidates tune the blocked similarity-edge
 // pipeline used by bootstrap and every ingest delta (see
@@ -40,7 +51,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -66,26 +77,43 @@ func main() {
 	ingestQueue := flag.Int("ingest-queue", 64, "bounded ingestion job queue size")
 	edgeBlockSize := flag.Int("edge-block-size", 0, "similarity pipeline: largest same-type column block compared exhaustively (0 = default)")
 	edgeCandidates := flag.Int("edge-candidates", 0, "similarity pipeline: target pre-filter candidates per column (0 = default)")
-	accessLog := flag.Bool("access-log", true, "log one line per request (method, path, status, duration, request ID)")
+	accessLog := flag.Bool("access-log", true, "log one structured line per request (request ID, route, status, bytes, duration)")
+	debugAddr := flag.String("debug-addr", "", "listen address for the diagnostics mux (/metrics, /debug/vars); empty disables it")
+	pprofFlag := flag.Bool("pprof", false, "serve runtime profiles under /debug/pprof on the diagnostics mux (needs -debug-addr)")
+	slowQueryMS := flag.Int("slow-query-ms", 0, "log SPARQL queries slower than this many milliseconds with their stage breakdown (0 disables)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	flag.Parse()
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kglids-server:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
+
 	if *lakeDir == "" && *snapshotPath == "" {
 		fmt.Fprintln(os.Stderr, "kglids-server: need -lake DIR or -snapshot FILE")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	plat, err := ready(*lakeDir, *snapshotPath, *edgeBlockSize, *edgeCandidates)
+	plat, err := ready(logger, *lakeDir, *snapshotPath, *edgeBlockSize, *edgeCandidates)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("startup failed", "err", err)
+		os.Exit(1)
+	}
+	if *slowQueryMS > 0 {
+		plat.SetSlowQuery(time.Duration(*slowQueryMS) * time.Millisecond)
 	}
 	stats := plat.Stats()
-	log.Printf("LiDS graph ready: %d triples, %d tables, %d similarity edges",
-		stats.Triples, stats.Tables, stats.SimilarityEdges)
+	logger.Info("LiDS graph ready",
+		"triples", stats.Triples, "tables", stats.Tables, "similarity_edges", stats.SimilarityEdges)
 
 	var manager *ingest.Manager
 	if *ingestMode {
 		manager = ingest.New(plat.Core(), ingest.Options{Workers: *ingestWorkers, QueueSize: *ingestQueue})
-		log.Printf("live ingestion enabled: %d workers, queue of %d", *ingestWorkers, *ingestQueue)
+		logger.Info("live ingestion enabled", "workers", *ingestWorkers, "queue", *ingestQueue)
 	}
 
 	saveIfAsked := func() {
@@ -94,16 +122,19 @@ func main() {
 		}
 		start := time.Now()
 		if err := plat.Save(*saveSnapshot); err != nil {
-			log.Printf("snapshot save: %v", err)
+			logger.Error("snapshot save failed", "path", *saveSnapshot, "err", err)
 			return
 		}
-		log.Printf("snapshot saved to %s in %v", *saveSnapshot, time.Since(start).Round(time.Millisecond))
+		logger.Info("snapshot saved", "path", *saveSnapshot,
+			"duration", time.Since(start).Round(time.Millisecond).String())
 	}
 	saveIfAsked()
 
-	srvOpts := server.Options{RequestTimeout: *timeout, Ingest: manager}
-	if *accessLog {
-		srvOpts.Logf = log.Printf
+	srvOpts := server.Options{
+		RequestTimeout: *timeout,
+		Ingest:         manager,
+		Logger:         logger,
+		AccessLog:      *accessLog,
 	}
 	srv := &http.Server{
 		Addr:    *addr,
@@ -116,23 +147,46 @@ func main() {
 		IdleTimeout:       120 * time.Second,
 	}
 
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           server.NewDebugHandler(plat, *pprofFlag),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			logger.Info("diagnostics on", "addr", *debugAddr, "pprof", *pprofFlag)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
+	} else if *pprofFlag {
+		logger.Warn("-pprof has no effect without -debug-addr")
+	}
+
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Print("shutting down...")
+		logger.Info("shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if debugSrv != nil {
+			if err := debugSrv.Shutdown(ctx); err != nil {
+				logger.Warn("debug shutdown", "err", err)
+			}
+		}
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("shutdown: %v", err)
+			logger.Warn("shutdown", "err", err)
 		}
 	}()
 
-	log.Printf("serving on %s", *addr)
+	logger.Info("serving", "addr", *addr)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		logger.Error("listen failed", "err", err)
+		os.Exit(1)
 	}
 	<-done
 
@@ -140,9 +194,36 @@ func main() {
 		// Stop accepting mutations and drain queued jobs, then persist the
 		// final state if a snapshot path was given — accepted jobs must not
 		// vanish on restart.
-		log.Print("draining ingestion jobs...")
+		logger.Info("draining ingestion jobs")
 		manager.Close()
 		saveIfAsked()
+	}
+}
+
+// buildLogger assembles the process logger from the -log-format and
+// -log-level flags.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
 	}
 }
 
@@ -150,10 +231,10 @@ func main() {
 // path when both sources are given. The edge-tuning knobs apply to the
 // bootstrap similarity build and to every later ingest delta; snapshots
 // persist thresholds but not tuning, so they are re-applied after a load.
-func ready(lakeDir, snapshotPath string, edgeBlockSize, edgeCandidates int) (*kglids.Platform, error) {
+func ready(logger *slog.Logger, lakeDir, snapshotPath string, edgeBlockSize, edgeCandidates int) (*kglids.Platform, error) {
 	if snapshotPath != "" {
 		if lakeDir != "" {
-			log.Printf("both -lake and -snapshot given; loading snapshot %s", snapshotPath)
+			logger.Info("both -lake and -snapshot given; loading snapshot", "path", snapshotPath)
 		}
 		start := time.Now()
 		plat, err := kglids.Open(snapshotPath)
@@ -161,28 +242,29 @@ func ready(lakeDir, snapshotPath string, edgeBlockSize, edgeCandidates int) (*kg
 			return nil, err
 		}
 		plat.SetEdgeTuning(edgeBlockSize, edgeCandidates)
-		log.Printf("snapshot %s loaded in %v (no re-profiling)",
-			snapshotPath, time.Since(start).Round(time.Millisecond))
+		logger.Info("snapshot loaded (no re-profiling)", "path", snapshotPath,
+			"duration", time.Since(start).Round(time.Millisecond).String())
 		return plat, nil
 	}
 
-	tables, err := readLake(lakeDir)
+	tables, err := readLake(logger, lakeDir)
 	if err != nil {
 		return nil, err
 	}
-	log.Printf("bootstrapping over %d tables...", len(tables))
+	logger.Info("bootstrapping", "tables", len(tables))
 	start := time.Now()
 	plat := kglids.Bootstrap(kglids.Options{
 		EdgeBlockSize:  edgeBlockSize,
 		EdgeCandidates: edgeCandidates,
 	}, tables)
-	log.Printf("bootstrap finished in %v", time.Since(start).Round(time.Millisecond))
+	logger.Info("bootstrap finished",
+		"duration", time.Since(start).Round(time.Millisecond).String())
 	return plat, nil
 }
 
 // readLake walks dir for CSV files; each becomes a table whose dataset is
 // its parent directory name. Unreadable files are skipped with a warning.
-func readLake(dir string) ([]kglids.Table, error) {
+func readLake(logger *slog.Logger, dir string) ([]kglids.Table, error) {
 	var tables []kglids.Table
 	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
 		if err != nil || info.IsDir() || !strings.HasSuffix(strings.ToLower(path), ".csv") {
@@ -190,7 +272,7 @@ func readLake(dir string) ([]kglids.Table, error) {
 		}
 		df, err := dataframe.ReadCSVFile(path)
 		if err != nil {
-			log.Printf("skipping %s: %v", path, err)
+			logger.Warn("skipping unreadable table", "path", path, "err", err)
 			return nil
 		}
 		tables = append(tables, kglids.Table{Dataset: filepath.Base(filepath.Dir(path)), Frame: df})

@@ -370,6 +370,14 @@ func (p *Platform) HasTable(id string) bool {
 	return ok
 }
 
+// TableCount returns the number of tables currently in the platform —
+// an O(1) read for metric scrapes, unlike Stats which walks the store.
+func (p *Platform) TableCount() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.TableEmbeddings)
+}
+
 // TableEmbedding returns the embedding of a table, safe against concurrent
 // ingestion.
 func (p *Platform) TableEmbedding(id string) (embed.Vector, bool) {

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"kglids/internal/rdf"
 	"kglids/internal/sparql"
@@ -663,3 +664,7 @@ func (e *Engine) SPARQLContext(ctx context.Context, query string) (*sparql.Resul
 
 // CacheStats reports the SPARQL result-cache counters (tests, monitoring).
 func (e *Engine) CacheStats() sparql.CacheStats { return e.eng.CacheStats() }
+
+// SetSlowQuery forwards the slow-query log threshold to the SPARQL
+// engine; 0 disables the slow-query log.
+func (e *Engine) SetSlowQuery(d time.Duration) { e.eng.SetSlowQuery(d) }

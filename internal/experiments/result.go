@@ -208,13 +208,49 @@ func perfDirection(key string) int {
 	}
 }
 
+// perfCaps are absolute bounds on fresh-trajectory metrics, applied no
+// matter what the perf tolerance is. The capped metrics are in-process
+// ratios (dimensionless percentages), comparable across machines, so
+// they stay gated even in the cross-machine CI setting where relative
+// perf gating is disabled (-perf-tolerance 0).
+var perfCaps = map[string]float64{
+	// The observability middleware must cost at most 2% of request
+	// latency on a representative read route (docs/OBSERVABILITY.md).
+	"server/instrument_overhead_pct": 2.0,
+}
+
+// applyPerfCaps checks the fresh trajectory against perfCaps and appends
+// a regression per violated cap. Old carries the cap itself so the gate
+// output reads "cap 2 exceeded" rather than implying a baseline delta.
+func applyPerfCaps(fresh *Trajectory, regs []Regression) []Regression {
+	for _, p := range fresh.Perf {
+		keys := make([]string, 0, len(p.Metrics))
+		for k := range p.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if limit, ok := perfCaps[p.Experiment+"/"+k]; ok && p.Metrics[k] > limit {
+				regs = append(regs, Regression{
+					Metric: fmt.Sprintf("cap:%s:%s", p.Experiment, k),
+					Old:    limit, New: p.Metrics[k], Limit: limit,
+				})
+			}
+		}
+	}
+	return regs
+}
+
 // Compare diffs two trajectories under a tolerance. It returns the
 // regressions (a non-empty slice fails the gate) and human-readable notes
 // about anything compared loosely or skipped: quality coverage is strict
 // (every old quality cell must exist in new), while perf metrics are
 // compared on the intersection, with disappearances noted, because quick
-// and full runs legitimately cover different experiment sizes.
+// and full runs legitimately cover different experiment sizes. Absolute
+// perfCaps on the fresh trajectory are enforced unconditionally, before
+// any tolerance is consulted.
 func Compare(old, fresh *Trajectory, tol Tolerance) (regs []Regression, notes []string) {
+	regs = applyPerfCaps(fresh, regs)
 	if old.Quick != fresh.Quick {
 		notes = append(notes, fmt.Sprintf("note: comparing quick=%v against quick=%v trajectories", old.Quick, fresh.Quick))
 	}
@@ -317,6 +353,11 @@ func Demote(t *Trajectory) *Trajectory {
 				metrics[k] = v / 4
 			default:
 				metrics[k] = v
+				// Push absolutely-capped metrics past their cap so the
+				// self-test proves the cap gate fires too.
+				if limit, ok := perfCaps[p.Experiment+"/"+k]; ok {
+					metrics[k] = limit * 2
+				}
 			}
 		}
 		c.Perf = append(c.Perf, PerfResult{Experiment: p.Experiment, Metrics: metrics})

@@ -191,6 +191,49 @@ func TestComparePerfToleranceDisabled(t *testing.T) {
 	}
 }
 
+// TestComparePerfCapUnconditional: absolute caps gate the fresh
+// trajectory even with perf tolerance disabled (the CI setting), and an
+// in-cap value passes.
+func TestComparePerfCapUnconditional(t *testing.T) {
+	withOverhead := func(pct float64) *Trajectory {
+		tr := sampleTrajectory()
+		tr.Perf = append(tr.Perf, PerfResult{Experiment: "server",
+			Metrics: map[string]float64{"instrument_overhead_pct": pct}})
+		return tr
+	}
+	regs, _ := Compare(withOverhead(1.4), withOverhead(3.5), Tolerance{Quality: 0.02, Perf: 0})
+	found := false
+	for _, r := range regs {
+		if r.Metric == "cap:server:instrument_overhead_pct" {
+			found = true
+			if r.Limit != 2.0 || r.New != 3.5 {
+				t.Errorf("cap regression misreported: %+v", r)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("over-cap overhead not gated with perf tolerance disabled: %v", regs)
+	}
+
+	regs, _ = Compare(withOverhead(1.4), withOverhead(1.9), Tolerance{Quality: 0.02, Perf: 0})
+	if len(regs) != 0 {
+		t.Errorf("in-cap overhead gated: %v", regs)
+	}
+
+	// Demote must push the capped metric over its cap so the CI self-test
+	// also proves this gate fires.
+	regs, _ = Compare(withOverhead(1.4), Demote(withOverhead(1.4)), Tolerance{Quality: 0.02, Perf: 0})
+	found = false
+	for _, r := range regs {
+		if strings.HasPrefix(r.Metric, "cap:") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Demote did not trip the absolute cap: %v", regs)
+	}
+}
+
 func TestCompareDirectionSemantics(t *testing.T) {
 	// Informational metrics (no unit suffix, no "speedup") never gate.
 	fresh := sampleTrajectory()

@@ -186,6 +186,7 @@ func (m *Manager) enqueue(j *job) (int, error) {
 		m.order = append(m.order, j.ID)
 		m.pruneLocked()
 		m.mu.Unlock()
+		mQueueDepth.Inc()
 		return j.ID, nil
 	default:
 		m.mu.Unlock()
@@ -226,6 +227,8 @@ func (m *Manager) worker() {
 }
 
 func (m *Manager) run(j *job) {
+	mQueueDepth.Dec()
+	mWorkersBusy.Inc()
 	m.mu.Lock()
 	j.State = Running
 	j.StartedAt = time.Now()
@@ -249,7 +252,23 @@ func (m *Manager) run(j *job) {
 	} else {
 		j.State = Done
 	}
+	outcome := string(j.State)
+	dur := j.FinishedAt.Sub(j.StartedAt)
+	kind := string(j.Kind)
+	nAdded, nUpdated, nSkipped := len(j.Added), len(j.Updated), len(j.Skipped)
 	m.mu.Unlock()
+	mWorkersBusy.Dec()
+	mJobs.WithLabelValues(kind, outcome).Inc()
+	mJobSeconds.WithLabelValues(kind, outcome).Observe(dur.Seconds())
+	if nAdded > 0 {
+		mTablesIngested.WithLabelValues("added").Add(uint64(nAdded))
+	}
+	if nUpdated > 0 {
+		mTablesIngested.WithLabelValues("updated").Add(uint64(nUpdated))
+	}
+	if nSkipped > 0 {
+		mTablesIngested.WithLabelValues("skipped").Add(uint64(nSkipped))
+	}
 	close(j.done)
 }
 

@@ -1,0 +1,24 @@
+package ingest
+
+import "kglids/internal/obs"
+
+// Job-manager metrics, registered once into the process-wide registry.
+// Queue depth and worker busyness are maintained incrementally at the
+// enqueue/run transitions (no lock beyond what the transitions already
+// hold); job counters are labeled by kind and outcome so dashboards can
+// separate add failures from remove failures.
+var (
+	mQueueDepth = obs.Default.NewGauge("kglids_ingest_queue_depth",
+		"Jobs accepted but not yet picked up by a worker.")
+	mWorkersBusy = obs.Default.NewGauge("kglids_ingest_workers_busy",
+		"Workers currently running a job.")
+	mJobs = obs.Default.NewCounterVec("kglids_ingest_jobs_total",
+		"Finished ingestion jobs by kind (add, remove) and outcome (done, failed).",
+		"kind", "outcome")
+	mJobSeconds = obs.Default.NewHistogramVec("kglids_ingest_job_seconds",
+		"Job duration from worker pickup to terminal state, by kind and outcome.",
+		obs.DefaultLatencyBuckets, "kind", "outcome")
+	mTablesIngested = obs.Default.NewCounterVec("kglids_ingest_tables_total",
+		"Tables processed by add jobs, by result: added, updated, or skipped (unchanged fingerprint).",
+		"result")
+)

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux builds the diagnostics surface served on -debug-addr,
+// deliberately separate from the public /api/v1 mux:
+//
+//	/metrics      Prometheus text exposition of reg
+//	/debug/vars   expvar JSON (cmdline, memstats, anything Published)
+//	/debug/pprof  runtime profiles, only when enablePprof is set
+//
+// collect functions run before each /metrics render — the server uses
+// one to refresh point-in-time gauges (store sizes, cache entries,
+// queue depth) from the live platform so scrape cost is paid by the
+// scraper, not the hot path.
+func NewDebugMux(reg *Registry, enablePprof bool, collect ...func()) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		for _, fn := range collect {
+			fn()
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			// The write already started; nothing useful to send the client.
+			return
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	if enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}

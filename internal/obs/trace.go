@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Trace is a request-scoped collection of named stage timings, threaded
+// through context.Context so the SPARQL engine, the store, and the
+// snapshot layer can report spans without knowing who is listening. The
+// zero trace is ready to use; a nil *Trace is a valid no-op receiver, so
+// un-instrumented call paths (library use, tests) pay one nil check.
+type Trace struct {
+	// ID correlates the trace with logs — the server sets it to the
+	// request's X-Request-ID.
+	ID string
+
+	start time.Time
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Span is one completed stage within a trace.
+type Span struct {
+	Name  string
+	Start time.Time
+	Dur   time.Duration
+}
+
+// NewTrace starts a trace identified by id.
+func NewTrace(id string) *Trace {
+	return &Trace{ID: id, start: time.Now()}
+}
+
+// StartSpan begins a stage and returns its closer; call the closer when
+// the stage completes. Safe on a nil trace (both calls no-op).
+func (t *Trace) StartSpan(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		t.mu.Lock()
+		t.spans = append(t.spans, Span{Name: name, Start: start, Dur: d})
+		t.mu.Unlock()
+	}
+}
+
+// AddSpan records an already-measured stage. Safe on a nil trace.
+func (t *Trace) AddSpan(name string, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Start: start, Dur: d})
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the completed spans in completion order. Safe
+// on a nil trace (returns nil).
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Elapsed is the time since the trace started; zero for a nil trace.
+func (t *Trace) Elapsed() time.Duration {
+	if t == nil || t.start.IsZero() {
+		return 0
+	}
+	return time.Since(t.start)
+}
+
+// traceKey is the private context key for the trace.
+type traceKey struct{}
+
+// WithTrace returns a context carrying t.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil — and nil is safe
+// to call every Trace method on, so callers never need to branch.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

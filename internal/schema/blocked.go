@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"kglids/internal/embed"
 	"kglids/internal/profiler"
@@ -166,6 +167,7 @@ func (s *pairStream) close() {
 // similarityEdgesBlocked is the streaming entry point shared by
 // SimilarityEdges (minNew 0) and SimilarityEdgesDelta.
 func (b *Builder) similarityEdgesBlocked(profiles []*profiler.ColumnProfile, minNew int) []Edge {
+	buildStart := time.Now()
 	stats := EdgeBuildStats{Columns: len(profiles)}
 	labels := b.labelViewOf(profiles)
 
@@ -236,6 +238,14 @@ func (b *Builder) similarityEdgesBlocked(profiles []*profiler.ColumnProfile, min
 	}
 	stats.PeakPairBuffer = stream.peak.Load()
 	b.lastStats = stats
+	kind := "bootstrap"
+	if minNew > 0 {
+		kind = "delta"
+	}
+	mEdgeBuildSeconds.WithLabelValues(kind).Observe(time.Since(buildStart).Seconds())
+	mEdgePairsCompared.Add(uint64(stats.PairsCompared))
+	mEdgePairsExhaustive.Add(uint64(stats.PairsExhaustive))
+	mEdgePrunedBlocks.Add(uint64(stats.PrunedBlocks))
 	SortEdges(edges)
 	return edges
 }

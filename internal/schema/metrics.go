@@ -1,0 +1,19 @@
+package schema
+
+import "kglids/internal/obs"
+
+// Similarity-edge construction metrics. kind distinguishes a full
+// bootstrap build from an ingest delta; the pair counters expose the
+// candidate-pruning ratio (pairs_compared / pairs_exhaustive) that
+// docs/BENCHMARKS.md charts.
+var (
+	mEdgeBuildSeconds = obs.Default.NewHistogramVec("kglids_edges_build_seconds",
+		"Similarity-edge build duration by kind (bootstrap, delta).",
+		obs.DefaultLatencyBuckets, "kind")
+	mEdgePairsCompared = obs.Default.NewCounter("kglids_edges_pairs_compared_total",
+		"Column pairs actually compared by the blocked pipeline.")
+	mEdgePairsExhaustive = obs.Default.NewCounter("kglids_edges_pairs_exhaustive_total",
+		"Column pairs the exhaustive O(n^2) generator would have compared.")
+	mEdgePrunedBlocks = obs.Default.NewCounter("kglids_edges_pruned_blocks_total",
+		"Same-type blocks routed through the candidate pre-filter.")
+)

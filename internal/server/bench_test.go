@@ -1,0 +1,42 @@
+package server
+
+import (
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// benchHandler is a minimal inner handler so the middleware delta, not
+// the route work, dominates the numbers.
+var benchHandler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+})
+
+func benchChain(metrics bool) http.Handler {
+	cfg := chain{logger: discardLogger(), metrics: metrics}
+	return withObservability(cfg, benchHandler)
+}
+
+func BenchmarkMiddlewareMetricsOn(b *testing.B) {
+	h := benchChain(true)
+	req := httptest.NewRequest(http.MethodGet, "/api/v1/healthz", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ServeHTTP(httptest.NewRecorder(), req)
+	}
+}
+
+func BenchmarkMiddlewareMetricsOff(b *testing.B) {
+	h := benchChain(false)
+	req := httptest.NewRequest(http.MethodGet, "/api/v1/healthz", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ServeHTTP(httptest.NewRecorder(), req)
+	}
+}

@@ -1,0 +1,34 @@
+package server
+
+import (
+	"net/http"
+
+	"kglids"
+	"kglids/internal/obs"
+)
+
+// NewDebugHandler returns the diagnostics surface served on a dedicated
+// listener (`kglids-server -debug-addr`), deliberately separate from the
+// public /api/v1 handler: /metrics (Prometheus text exposition of the
+// process-wide registry), /debug/vars (expvar), and — when enablePprof
+// is set — /debug/pprof.
+//
+// Point-in-time sizes (store quads, dictionary terms, graphs,
+// generation, table count, SPARQL cache residency) are refreshed from
+// the live platform on each scrape, so their cost lands on the scraper
+// rather than the serving hot path. Counters and histograms stream in
+// from the instrumented layers continuously.
+func NewDebugHandler(plat *kglids.Platform, enablePprof bool) http.Handler {
+	return obs.NewDebugMux(obs.Default, enablePprof, func() {
+		if plat == nil {
+			return
+		}
+		st := plat.Core().Store
+		mStoreQuads.Set(int64(st.Len()))
+		mStoreTerms.Set(int64(st.Dict().Len()))
+		mStoreGraphs.Set(int64(st.GraphCount()))
+		mStoreGeneration.Set(int64(st.Generation()))
+		mPlatformTables.Set(int64(plat.Core().TableCount()))
+		mSPARQLCacheEntries.Set(int64(plat.Core().Discovery.CacheStats().Entries))
+	})
+}

@@ -40,7 +40,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
@@ -77,10 +77,18 @@ type Options struct {
 	// GET /jobs, GET /jobs/{id}, DELETE /tables/{id}); nil serves
 	// read-only.
 	Ingest *ingest.Manager
-	// Logf, when non-nil, receives one access-log line per request
-	// (method, path, status, bytes, duration, request ID). log.Printf is
-	// the usual value; nil disables access logging.
-	Logf func(format string, args ...any)
+	// Logger receives the server's structured logs (panics, write
+	// failures, and — with AccessLog — one line per request carrying
+	// request_id, route, method, status, bytes, and duration). Nil means
+	// slog.Default().
+	Logger *slog.Logger
+	// AccessLog enables the per-request structured access-log line.
+	AccessLog bool
+	// DisableMetrics turns off metric recording and request tracing in
+	// the middleware chain. It exists for the bench harness, which
+	// serves the same platform with metrics on and off to measure
+	// instrumentation overhead; production servers leave it false.
+	DisableMetrics bool
 }
 
 // errorEnvelope is the uniform error response body.
@@ -102,6 +110,14 @@ func New(plat *kglids.Platform, opts Options) http.Handler {
 	if timeout <= 0 {
 		timeout = DefaultRequestTimeout
 	}
+	cfg := chain{
+		logger:    opts.Logger,
+		accessLog: opts.AccessLog,
+		metrics:   !opts.DisableMetrics,
+	}
+	if cfg.logger == nil {
+		cfg.logger = slog.Default()
+	}
 	s := &server{plat: plat, ingest: opts.Ingest}
 	mux := http.NewServeMux()
 	s.registerLegacy(mux)
@@ -110,9 +126,9 @@ func New(plat *kglids.Platform, opts Options) http.Handler {
 		writeError(w, http.StatusNotFound, "unknown endpoint "+r.URL.Path)
 	})
 
-	var h http.Handler = withTimeout(timeout, mux)
-	h = withGzip(h)
-	h = withObservability(opts.Logf, h)
+	var h http.Handler = withTimeout(cfg, timeout, mux)
+	h = withGzip(cfg, h)
+	h = withObservability(cfg, h)
 	return h
 }
 
@@ -311,7 +327,7 @@ func writeJSONAs(w http.ResponseWriter, status int, contentType string, v any) {
 	w.Header().Set("Content-Type", contentType)
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("server: encode response: %v", err)
+		slog.Warn("server: encode response failed", "err", err)
 	}
 }
 

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -13,6 +14,12 @@ import (
 	"kglids/internal/lakegen"
 	"kglids/internal/pipegen"
 )
+
+// testChain is the middleware configuration tests use when exercising a
+// layer directly: metrics on, no access log, default logger.
+func testChain() chain {
+	return chain{logger: slog.Default(), metrics: true}
+}
 
 func testPlatform(t testing.TB) (*kglids.Platform, *lakegen.Benchmark) {
 	t.Helper()
@@ -192,7 +199,7 @@ func TestTimeoutEnvelope(t *testing.T) {
 		}
 		w.WriteHeader(http.StatusOK)
 	})
-	h := withTimeout(20*time.Millisecond, slow)
+	h := withTimeout(testChain(), 20*time.Millisecond, slow)
 	req := httptest.NewRequest(http.MethodGet, "/slow", nil)
 	rec := httptest.NewRecorder()
 	start := time.Now()
@@ -207,7 +214,7 @@ func TestTimeoutEnvelope(t *testing.T) {
 }
 
 func TestPanicBecomes500(t *testing.T) {
-	h := withTimeout(time.Second, http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+	h := withTimeout(testChain(), time.Second, http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
 		panic("boom")
 	}))
 	rec := httptest.NewRecorder()

@@ -57,6 +57,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"kglids/internal/core"
 	"kglids/internal/embed"
@@ -104,12 +105,21 @@ var (
 // paused (via the platform's ingest lock) while the payload is encoded, so
 // a snapshot taken on a serving platform is always job-consistent: it
 // never captures a half-applied mutation.
-func Write(w io.Writer, p *core.Platform) error {
+func Write(w io.Writer, p *core.Platform) (err error) {
+	start := time.Now()
+	defer func() {
+		outcome := "ok"
+		if err != nil {
+			outcome = "error"
+		}
+		mSnapshotSeconds.WithLabelValues("save", outcome).Observe(time.Since(start).Seconds())
+	}()
 	payload := func() []byte {
 		p.IngestLock()
 		defer p.IngestUnlock() // release even if encoding panics
 		return encodePayload(p)
 	}()
+	mSnapshotBytes.Set(int64(len(payload)))
 	var hdr [headerLen]byte
 	copy(hdr[0:4], magic[:])
 	binary.LittleEndian.PutUint16(hdr[4:6], Version)
@@ -154,7 +164,15 @@ func Save(path string, p *core.Platform) error {
 }
 
 // Read deserializes a snapshot and reassembles a query-ready platform.
-func Read(r io.Reader) (*core.Platform, error) {
+func Read(r io.Reader) (p *core.Platform, err error) {
+	start := time.Now()
+	defer func() {
+		outcome := "ok"
+		if err != nil {
+			outcome = "error"
+		}
+		mSnapshotSeconds.WithLabelValues("load", outcome).Observe(time.Since(start).Seconds())
+	}()
 	var hdr [headerLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("%w: header: %v", ErrTruncated, err)
@@ -175,6 +193,7 @@ func Read(r io.Reader) (*core.Platform, error) {
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, fmt.Errorf("%w: payload: %v", ErrTruncated, err)
 	}
+	mSnapshotBytes.Set(int64(len(payload)))
 	if crc32.ChecksumIEEE(payload) != wantCRC {
 		return nil, ErrChecksum
 	}

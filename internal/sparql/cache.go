@@ -10,9 +10,10 @@ const DefaultCacheCapacity = 256
 
 // CacheStats reports cumulative cache behaviour.
 type CacheStats struct {
-	Hits    uint64
-	Misses  uint64
-	Entries int
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
 }
 
 // queryCache is a bounded LRU of query results keyed on query text, each
@@ -21,12 +22,22 @@ type CacheStats struct {
 // live ingestion invalidates the whole cache for free — no subscription,
 // no epoch scanning, just the comparison that was needed anyway.
 type queryCache struct {
-	mu      sync.Mutex
-	cap     int
-	ll      *list.List               // front = most recently used
-	entries map[string]*list.Element // query text -> element
-	hits    uint64
-	misses  uint64
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List               // front = most recently used
+	entries   map[string]*list.Element // query text -> element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// evict removes one element, counting it in both the local stats and the
+// process-wide metrics. Callers hold c.mu.
+func (c *queryCache) evict(el *list.Element) {
+	c.ll.Remove(el)
+	delete(c.entries, el.Value.(*cacheEntry).key)
+	c.evictions++
+	mCacheEvictions.Inc()
 }
 
 type cacheEntry struct {
@@ -45,18 +56,20 @@ func (c *queryCache) get(key string, gen uint64) (*Result, bool) {
 	el, ok := c.entries[key]
 	if !ok {
 		c.misses++
+		mCacheMisses.Inc()
 		return nil, false
 	}
 	ent := el.Value.(*cacheEntry)
 	if ent.gen != gen {
 		// Stale: computed against a store state that no longer exists.
-		c.ll.Remove(el)
-		delete(c.entries, key)
+		c.evict(el)
 		c.misses++
+		mCacheMisses.Inc()
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
 	c.hits++
+	mCacheHits.Inc()
 	return ent.res, true
 }
 
@@ -74,9 +87,7 @@ func (c *queryCache) put(key string, gen uint64, res *Result) {
 	}
 	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, gen: gen, res: res})
 	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evict(c.ll.Back())
 	}
 }
 
@@ -85,14 +96,12 @@ func (c *queryCache) resize(capacity int) {
 	defer c.mu.Unlock()
 	c.cap = capacity
 	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evict(c.ll.Back())
 	}
 }
 
 func (c *queryCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len()}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.ll.Len()}
 }

@@ -1,6 +1,10 @@
 package sparql
 
-import "kglids/internal/store"
+import (
+	"time"
+
+	"kglids/internal/store"
+)
 
 // unmatchable is the ID substituted for a constant term that is not in the
 // store's dictionary. It can never appear in an index (IDs are dense from
@@ -45,6 +49,9 @@ type compiledQuery struct {
 	slots map[string]int
 	names []string // slot -> variable name
 	root  *cGroup
+	// planDur accumulates the time spent in planPatterns across all
+	// groups, so the "plan" stage can be reported apart from lowering.
+	planDur time.Duration
 }
 
 // compile lowers q against the view: every variable in the query (patterns,
@@ -137,7 +144,9 @@ func (c *compiledQuery) compileGroup(g *GroupPattern, v *store.View, gid store.T
 		return &cGroup{}
 	}
 	cg := &cGroup{filters: g.Filters}
+	planStart := time.Now()
 	cg.patterns = c.planPatterns(g.Triples, v, gid, bound)
+	c.planDur += time.Since(planStart)
 	for _, ct := range cg.patterns {
 		markBound(ct, bound)
 	}

@@ -2,12 +2,17 @@ package sparql
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"log/slog"
 	"regexp"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"kglids/internal/obs"
 	"kglids/internal/rdf"
 	"kglids/internal/store"
 )
@@ -49,6 +54,9 @@ func (r *Result) Get(i int, v string) rdf.Term { return r.Rows[i][v] }
 type Engine struct {
 	st    *store.Store
 	cache *queryCache
+	// slowNanos, when positive, is the slow-query threshold: any query
+	// whose wall time reaches it is logged with its per-stage breakdown.
+	slowNanos atomic.Int64
 }
 
 // NewEngine returns an engine over st with a DefaultCacheCapacity-sized
@@ -59,6 +67,12 @@ func NewEngine(st *store.Store) *Engine {
 
 // SetCacheCapacity resizes the query-result cache; 0 disables caching.
 func (e *Engine) SetCacheCapacity(n int) { e.cache.resize(n) }
+
+// SetSlowQuery sets the slow-query log threshold; 0 disables it.
+// Queries at or over the threshold emit one structured warning with the
+// query text, total duration, outcome, and parse/compile/plan/execute/
+// materialize stage times.
+func (e *Engine) SetSlowQuery(d time.Duration) { e.slowNanos.Store(int64(d)) }
 
 // CacheStats reports cumulative cache behaviour (tests and monitoring).
 func (e *Engine) CacheStats() CacheStats { return e.cache.stats() }
@@ -71,19 +85,39 @@ func (e *Engine) Query(src string) (*Result, error) {
 
 // QueryContext is Query under a context: cancellation or deadline expiry
 // stops the evaluation mid-iteration and returns the context's error.
+//
+// Evaluation is traced: parse, compile, plan, execute, and materialize
+// stage durations land in the process-wide histograms and — when the
+// context carries an obs.Trace (the server installs one per request) —
+// on the trace, which is what the slow-query log prints.
 func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	slow := time.Duration(e.slowNanos.Load())
+	tr := obs.FromContext(ctx)
+	if tr == nil && slow > 0 {
+		// No caller-supplied trace, but the slow log needs the stage
+		// breakdown: open a local one.
+		tr = obs.NewTrace("")
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	start := time.Now()
 	// Cache lookup and parsing both happen before the view is acquired:
 	// hits never parse, and parsing — which doesn't touch the store — never
 	// extends the window during which a waiting writer blocks.
 	gen := e.st.Generation()
 	if res, ok := e.cache.get(src, gen); ok {
+		mQueries.WithLabelValues("cache_hit").Inc()
 		return res, nil
 	}
+	parseStart := time.Now()
 	q, err := Parse(src)
+	parseDur := time.Since(parseStart)
+	mStage.WithLabelValues("parse").Observe(parseDur.Seconds())
+	tr.AddSpan("parse", parseStart, parseDur)
 	if err != nil {
+		mQueries.WithLabelValues("parse_error").Inc()
 		return nil, err
 	}
 	v := e.st.AcquireView()
@@ -93,15 +127,76 @@ func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) 
 		// concurrent writer can't make us recompute a cached result.
 		gen = g
 		if res, ok := e.cache.get(src, gen); ok {
+			mQueries.WithLabelValues("cache_hit").Inc()
 			return res, nil
 		}
 	}
-	res, err := compile(q, v).execute(ctx, v)
+	res, err := compileTimed(tr, q, v).execute(ctx, v)
+	outcome := "ok"
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		outcome = "cancelled"
+		mCancellations.Inc()
+	case err != nil:
+		outcome = "error"
+	}
+	mQueries.WithLabelValues(outcome).Inc()
+	if total := time.Since(start); slow > 0 && total >= slow {
+		logSlow(src, total, outcome, tr)
+	}
 	if err != nil {
 		return nil, err
 	}
 	e.cache.put(src, gen, res)
 	return res, nil
+}
+
+// compileTimed lowers and plans q, splitting the wall time between the
+// "compile" (lowering: slot assignment, constant resolution) and "plan"
+// (cardinality-based join ordering) stages.
+func compileTimed(tr *obs.Trace, q *Query, v *store.View) *compiledQuery {
+	compileStart := time.Now()
+	cq := compile(q, v)
+	total := time.Since(compileStart)
+	lower := total - cq.planDur
+	if lower < 0 {
+		lower = 0
+	}
+	mStage.WithLabelValues("compile").Observe(lower.Seconds())
+	mStage.WithLabelValues("plan").Observe(cq.planDur.Seconds())
+	tr.AddSpan("compile", compileStart, lower)
+	tr.AddSpan("plan", compileStart, cq.planDur)
+	return cq
+}
+
+// logSlow emits the slow-query warning: total wall time, outcome, the
+// originating request (when the trace came from the server), and every
+// recorded stage.
+func logSlow(src string, total time.Duration, outcome string, tr *obs.Trace) {
+	args := []any{
+		"duration_ms", float64(total.Microseconds()) / 1e3,
+		"outcome", outcome,
+		"query", truncateQuery(src),
+	}
+	if tr != nil {
+		if tr.ID != "" {
+			args = append(args, "request_id", tr.ID)
+		}
+		for _, s := range tr.Spans() {
+			args = append(args, "stage_"+s.Name+"_ms", float64(s.Dur.Microseconds())/1e3)
+		}
+	}
+	slog.Warn("slow sparql query", args...)
+}
+
+// truncateQuery bounds the query text quoted in log lines.
+func truncateQuery(src string) string {
+	const max = 300
+	src = strings.Join(strings.Fields(src), " ")
+	if len(src) > max {
+		return src[:max] + "..."
+	}
+	return src
 }
 
 // Exec executes a parsed query on the compiled path (uncached: the cache
@@ -117,7 +212,7 @@ func (e *Engine) ExecContext(ctx context.Context, q *Query) (*Result, error) {
 	}
 	v := e.st.AcquireView()
 	defer v.Close()
-	return compile(q, v).execute(ctx, v)
+	return compileTimed(obs.FromContext(ctx), q, v).execute(ctx, v)
 }
 
 // QueryReference parses and executes src on the term-space reference path.

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"sort"
+	"time"
 
+	"kglids/internal/obs"
 	"kglids/internal/rdf"
 	"kglids/internal/store"
 )
@@ -60,9 +62,12 @@ func (s slotEnv) value(name string) (rdf.Term, bool) {
 // execute streams the compiled query and materializes the result. Solutions
 // stay as []TermID rows until the final projection; only FILTER operands,
 // ORDER BY keys, aggregate inputs, and projected columns are ever decoded.
+// The streaming match and the materialization are timed as the "execute"
+// and "materialize" stages.
 func (c *compiledQuery) execute(ctx context.Context, v *store.View) (*Result, error) {
 	es := &execState{ctx: ctx, v: v, c: c, row: make([]store.TermID, len(c.names))}
 	q := c.q
+	tr := obs.FromContext(ctx)
 
 	// LIMIT push-down: with no modifier that needs the full solution set,
 	// evaluation can stop as soon as offset+limit rows exist.
@@ -71,6 +76,7 @@ func (c *compiledQuery) execute(ctx context.Context, v *store.View) (*Result, er
 		earlyStop = q.Offset + q.Limit
 	}
 
+	execStart := time.Now()
 	var rows [][]store.TermID
 	err := c.root.run(es, store.UnionGraph, func() error {
 		rows = append(rows, append([]store.TermID(nil), es.row...))
@@ -79,18 +85,28 @@ func (c *compiledQuery) execute(ctx context.Context, v *store.View) (*Result, er
 		}
 		return nil
 	})
+	execDur := time.Since(execStart)
+	mStage.WithLabelValues("execute").Observe(execDur.Seconds())
+	tr.AddSpan("execute", execStart, execDur)
 	if err != nil && !errors.Is(err, errStop) {
 		return nil, err
 	}
 
+	matStart := time.Now()
+	var res *Result
 	if len(q.GroupBy) > 0 || hasAggregates(q) {
 		sols, err := c.aggregateIDs(v, rows)
 		if err != nil {
 			return nil, err
 		}
-		return finishRows(q, sols), nil
+		res = finishRows(q, sols)
+	} else {
+		res = c.materialize(v, rows)
 	}
-	return c.materialize(v, rows), nil
+	matDur := time.Since(matStart)
+	mStage.WithLabelValues("materialize").Observe(matDur.Seconds())
+	tr.AddSpan("materialize", matStart, matDur)
+	return res, nil
 }
 
 // run streams the group's solutions, extending es.row; stage order matches

@@ -221,6 +221,19 @@ func (st *Store) Graphs() []rdf.Term {
 	return out
 }
 
+// GraphCount returns the number of named graphs (the union pseudo-graph
+// excluded) without decoding their terms — cheap enough for a metrics
+// scrape, unlike Graphs.
+func (st *Store) GraphCount() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	n := len(st.graphs)
+	if _, ok := st.graphs[unionGraph]; ok {
+		n--
+	}
+	return n
+}
+
 // NodeCount returns the number of distinct subjects and objects across all
 // quads (the "unique nodes" statistic of Table 3).
 func (st *Store) NodeCount() int {

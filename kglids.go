@@ -200,6 +200,11 @@ func (p *Platform) Stats() Stats { return p.core.Stats() }
 // actually changed.
 func (p *Platform) Generation() uint64 { return p.core.Store.Generation() }
 
+// SetSlowQuery enables the SPARQL slow-query log: any query whose wall
+// time reaches d is logged (via log/slog) with its per-stage breakdown.
+// Zero disables it. kglids-server wires this to -slow-query-ms.
+func (p *Platform) SetSlowQuery(d time.Duration) { p.core.Discovery.SetSlowQuery(d) }
+
 // Query runs an ad-hoc SPARQL query on the compiled ID-space engine.
 // Repeated queries are served from a bounded result cache keyed on (query
 // text, store generation) — live ingestion invalidates it automatically.
