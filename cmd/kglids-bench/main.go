@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	kglids-bench [-pipelines N] [-training N] [-snapshot F] [-save-snapshot F] [experiment ...]
+//	kglids-bench [-pipelines N] [-training N] [-snapshot F] [-save-snapshot F]
+//	             [-query-workers N] [experiment ...]
 //	kglids-bench eval [-quick] [-out F] [-compare OLD.json] [-against NEW.json]
 //	                  [-quality-tolerance T] [-perf-tolerance T] [-concurrency N]
 //	                  [-demote IN.json]
@@ -18,7 +19,9 @@
 // The snapshot experiment measures persist-once/serve-many startup; the
 // ingest experiment measures live mutation vs re-bootstrap; the sparql
 // experiment quantifies the ID-space query engine against the term-space
-// reference; the server experiment drives /api/v1 end-to-end through the
+// reference and the morsel-parallel executor against the serial oracle
+// (-query-workers sets the measured width); the server experiment drives
+// /api/v1 end-to-end through the
 // typed client; the edges experiment measures the blocked similarity-edge
 // pipeline against the exhaustive oracle. All five live in
 // internal/experiments and feed the eval trajectory.
@@ -68,6 +71,7 @@ func main() {
 	training := flag.Int("training", 24, "training datasets for the cleaning/transformation GNNs")
 	snapshotPath := flag.String("snapshot", "", "snapshot experiment: load this file instead of bootstrapping")
 	saveSnapshot := flag.String("save-snapshot", "", "snapshot experiment: keep the saved snapshot at this path")
+	queryWorkers := flag.Int("query-workers", 0, "sparql experiment: parallel execution width (0 = number of CPUs)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -132,7 +136,7 @@ func main() {
 		}
 	}
 	if run("sparql") {
-		report, err := experiments.RunSPARQLPerf(experiments.PerfOptions{})
+		report, err := experiments.RunSPARQLPerf(experiments.PerfOptions{QueryWorkers: *queryWorkers})
 		if err := printJSON("SPARQL: ID-space compiled engine vs term-space reference (serving replica)", report, err); err != nil {
 			fmt.Fprintln(os.Stderr, "sparql experiment:", err)
 			os.Exit(1)

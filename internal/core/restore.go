@@ -9,6 +9,7 @@ import (
 	"kglids/internal/pipeline"
 	"kglids/internal/profiler"
 	"kglids/internal/schema"
+	"kglids/internal/sparql"
 	"kglids/internal/store"
 	"kglids/internal/vectorindex"
 )
@@ -43,6 +44,10 @@ type RestoredState struct {
 	// the same thresholds as the original bootstrap. Nil falls back to
 	// DefaultConfig.
 	Config *Config
+	// QueryCache holds the SPARQL result-cache entries saved with the
+	// snapshot; they re-pin to the restored store's generation so the first
+	// repeat of a hot discovery query is a cache hit, not a re-execution.
+	QueryCache []sparql.CacheEntry
 }
 
 // Restore reassembles a query-ready Platform from decoded snapshot state.
@@ -92,6 +97,11 @@ func Restore(st RestoredState) (*Platform, error) {
 	p.Discovery = discovery.New(p.Store)
 	if len(st.Scripts) > 0 {
 		p.AddPipelines(st.Scripts)
+	}
+	// Seed the query cache last: AddPipelines mutates the store, and import
+	// pins each entry to the store generation current at this point.
+	if len(st.QueryCache) > 0 {
+		p.Discovery.CacheImport(st.QueryCache)
 	}
 	return p, nil
 }

@@ -9,9 +9,11 @@ package discovery
 
 import (
 	"context"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kglids/internal/rdf"
@@ -23,6 +25,11 @@ import (
 type Engine struct {
 	st  *store.Store
 	eng *sparql.Engine
+
+	// workers is the parallel width for similarTables' per-column scoring
+	// fan-out; 0 means the GOMAXPROCS default, 1 keeps it serial. The
+	// SPARQL engine's morsel executor is configured to the same width.
+	workers atomic.Int32
 
 	// corpusMu guards the memoized keyword-search corpus, rebuilt only
 	// when the store generation moves.
@@ -286,9 +293,12 @@ func (e *Engine) similarTables(table rdf.Term, k int, kind similarityKind) []Tab
 		return nil
 	}
 
-	// score[otherTable] = sum over query columns of the best match score.
-	scores := map[store.TermID]float64{}
-	for _, col := range cols {
+	// Per-column scoring is independent work over a shared read-only view,
+	// so it fans out to the configured worker width: workers claim column
+	// indexes through a shared counter and fill a per-column result slot.
+	// The merge then accumulates in column order, so every returned score
+	// is byte-identical to the serial path regardless of worker count.
+	scoreCol := func(col store.TermID) map[store.TermID]float64 {
 		colTerm := dict.Term(col)
 		best := map[store.TermID]float64{}
 		for _, pred := range preds {
@@ -321,6 +331,37 @@ func (e *Engine) similarTables(table rdf.Term, k int, kind similarityKind) []Tab
 				return true
 			})
 		}
+		return best
+	}
+	bests := make([]map[store.TermID]float64, len(cols))
+	if w := e.scoreWorkers(); w > 1 && len(cols) > 1 {
+		if w > len(cols) {
+			w = len(cols)
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(cols) {
+						return
+					}
+					bests[i] = scoreCol(cols[i])
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i, col := range cols {
+			bests[i] = scoreCol(col)
+		}
+	}
+	// score[otherTable] = sum over query columns of the best match score.
+	scores := map[store.TermID]float64{}
+	for _, best := range bests {
 		for ot, s := range best {
 			scores[ot] += s
 		}
@@ -668,3 +709,30 @@ func (e *Engine) CacheStats() sparql.CacheStats { return e.eng.CacheStats() }
 // SetSlowQuery forwards the slow-query log threshold to the SPARQL
 // engine; 0 disables the slow-query log.
 func (e *Engine) SetSlowQuery(d time.Duration) { e.eng.SetSlowQuery(d) }
+
+// SetWorkers sets the parallel execution width for both the SPARQL
+// morsel executor and the discovery scoring fan-out. 0 restores the
+// GOMAXPROCS default; 1 forces the serial path (the equivalence oracle).
+func (e *Engine) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.workers.Store(int32(n))
+	e.eng.SetWorkers(n)
+}
+
+// scoreWorkers resolves the configured width for discovery-side scoring.
+func (e *Engine) scoreWorkers() int {
+	if w := e.workers.Load(); w > 0 {
+		return int(w)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// CacheExport returns the current-generation SPARQL result-cache entries
+// for snapshot persistence.
+func (e *Engine) CacheExport() []sparql.CacheEntry { return e.eng.CacheExport() }
+
+// CacheImport seeds the SPARQL result cache from snapshot entries,
+// re-pinning them to the restored store's generation.
+func (e *Engine) CacheImport(entries []sparql.CacheEntry) { e.eng.CacheImport(entries) }

@@ -9,6 +9,7 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -61,6 +62,18 @@ type PerfOptions struct {
 	// SnapshotSavePath, when set, keeps the snapshot experiment's file at
 	// this path for reuse (kglids-bench -save-snapshot).
 	SnapshotSavePath string
+	// QueryWorkers is the parallel width the sparql experiment measures the
+	// morsel executor at; 0 uses one worker per CPU (kglids-bench
+	// -query-workers).
+	QueryWorkers int
+}
+
+// queryWorkers resolves the measured parallel width.
+func (o PerfOptions) queryWorkers() int {
+	if o.QueryWorkers > 0 {
+		return o.QueryWorkers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (o PerfOptions) servingSpec() lakegen.Spec {
@@ -271,12 +284,22 @@ type SPARQLQueryPerf struct {
 }
 
 // SPARQLPerf is the sparql experiment's result: the compiled ID-space
-// engine against the term-space reference, per discovery-shaped query.
+// engine against the term-space reference, per discovery-shaped query,
+// plus the morsel executor's serial-vs-parallel comparison on the widest
+// discovery join.
 type SPARQLPerf struct {
 	Experiment string            `json:"experiment"`
 	Tables     int               `json:"tables"`
 	Triples    int               `json:"triples"`
 	Queries    []SPARQLQueryPerf `json:"queries"`
+	// Workers is the parallel width the serial-vs-parallel pair ran at;
+	// SerialUS is the 1-worker median, ParallelUS the Workers-wide median,
+	// on the 4-pattern discovery join. ParallelSpeedup approaches Workers
+	// on an idle multi-core box and 1.0 when GOMAXPROCS=1.
+	Workers         int     `json:"workers"`
+	SerialUS        float64 `json:"serial_us"`
+	ParallelUS      float64 `json:"parallel_us"`
+	ParallelSpeedup float64 `json:"parallel_speedup"`
 }
 
 // Result flattens the experiment into the trajectory schema, one metric
@@ -288,6 +311,9 @@ func (p *SPARQLPerf) Result() PerfResult {
 		metrics[q.Name+"_cached_us"] = q.CachedUS
 		metrics[q.Name+"_speedup"] = q.Speedup
 	}
+	metrics["serial_us"] = p.SerialUS
+	metrics["parallel_us"] = p.ParallelUS
+	metrics["parallel_speedup"] = p.ParallelSpeedup
 	return PerfResult{Experiment: "sparql", Metrics: metrics}
 }
 
@@ -351,6 +377,46 @@ func RunSPARQLPerf(o PerfOptions) (*SPARQLPerf, error) {
 			Name: q.name, Query: q.src, Rows: len(ids.Rows),
 			TermUS: termUS, IDUS: idUS, CachedUS: cachedUS, Speedup: speedup,
 		})
+	}
+
+	// Morsel-driven parallelism on the widest discovery join: the same
+	// 4-pattern query at 1 worker (the serial oracle) and at the configured
+	// width, with result equivalence asserted before timing. The leading
+	// pattern's candidate domain (similarity-edge subjects) partitions
+	// across workers; speedup approaches the width on an idle multi-core
+	// box and honestly reports ~1.0 when GOMAXPROCS=1.
+	const discoveryQ = `SELECT ?c ?d ?t ?n WHERE {
+		?c kglids:contentSimilarity ?d . ?d kglids:isPartOf ?t .
+		?t a kglids:Table ; kglids:name ?n . }`
+	parsed, err := sparql.Parse(discoveryQ)
+	if err != nil {
+		return nil, fmt.Errorf("discovery-join: %v", err)
+	}
+	workers := o.queryWorkers()
+	eng.SetWorkers(1)
+	serialRes, err := eng.Exec(parsed)
+	if err != nil {
+		return nil, fmt.Errorf("discovery-join (serial): %v", err)
+	}
+	eng.SetWorkers(workers)
+	parallelRes, err := eng.Exec(parsed)
+	if err != nil {
+		return nil, fmt.Errorf("discovery-join (%d workers): %v", workers, err)
+	}
+	if err := sameRows(serialRes, parallelRes); err != nil {
+		return nil, fmt.Errorf("discovery-join: parallel diverges from serial: %v", err)
+	}
+	med, err := MedianMicros(o.reps(),
+		func() error { eng.SetWorkers(1); _, err := eng.Exec(parsed); return err },
+		func() error { eng.SetWorkers(workers); _, err := eng.Exec(parsed); return err },
+	)
+	if err != nil {
+		return nil, err
+	}
+	report.Workers = workers
+	report.SerialUS, report.ParallelUS = med[0], med[1]
+	if report.ParallelUS > 0 {
+		report.ParallelSpeedup = report.SerialUS / report.ParallelUS
 	}
 	return report, nil
 }

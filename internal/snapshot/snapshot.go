@@ -8,7 +8,9 @@
 // insertion order, and the HNSW approximate index graph — plus the raw
 // pipeline scripts, which are re-abstracted on load (deterministic and
 // cheap; their triples are already in the store, so re-linking deduplicates
-// to a no-op).
+// to a no-op). The SPARQL result cache rides along: current-generation
+// entries are saved and re-pinned to the restored store's generation, so a
+// restarted server answers hot discovery queries warm.
 //
 // # File format (version 1)
 //
@@ -34,6 +36,7 @@
 //	7    ANN     HNSW graph: parameters, entry, nodes with per-level links
 //	8    SCRIPT  pipeline scripts: id, source, metadata
 //	9    CONF    bootstrap config: α/β/θ thresholds, label-skip flag
+//	10   QCACHE  SPARQL result cache: query text, result vars and rows
 //
 // Truncated files, checksum mismatches, unknown versions, and structurally
 // invalid sections all fail loading with a descriptive error; a snapshot
@@ -65,6 +68,7 @@ import (
 	"kglids/internal/profiler"
 	"kglids/internal/rdf"
 	"kglids/internal/schema"
+	"kglids/internal/sparql"
 	"kglids/internal/store"
 	"kglids/internal/vectorindex"
 )
@@ -87,6 +91,10 @@ const (
 	secANN     = 7
 	secScripts = 8
 	secConfig  = 9
+	// secQueryCache persists the current-generation SPARQL result cache so
+	// a restarted server answers hot discovery queries warm. Older readers
+	// skip the unknown tag; the snapshot stays loadable either way.
+	secQueryCache = 10
 )
 
 // Errors distinguishing the failure modes of Read.
@@ -352,6 +360,32 @@ func encodePayload(p *core.Platform) []byte {
 			w.f64(s.Meta.Score)
 		}
 	})
+	section(secQueryCache, func(w *writer) {
+		entries := p.Discovery.CacheExport()
+		w.uint(len(entries))
+		for _, e := range entries {
+			w.str(e.Query)
+			w.uint(len(e.Res.Vars))
+			for _, v := range e.Res.Vars {
+				w.str(v)
+			}
+			w.uint(len(e.Res.Rows))
+			for _, row := range e.Res.Rows {
+				// Rows encode in Vars order with a presence flag per cell, so
+				// identical caches produce byte-identical snapshots despite
+				// Binding being a map.
+				for _, v := range e.Res.Vars {
+					t, ok := row[v]
+					if !ok {
+						w.u8(0)
+						continue
+					}
+					w.u8(1)
+					w.term(t)
+				}
+			}
+		}
+	})
 	return out.buf.Bytes()
 }
 
@@ -385,7 +419,7 @@ func decodePayload(payload []byte) (*core.RestoredState, error) {
 		}
 		// Known tags must be unique: duplicate sections would hand the same
 		// output variables to two decoder goroutines.
-		if tag >= secDict && tag <= secConfig {
+		if tag >= secDict && tag <= secQueryCache {
 			if seenTags[tag] {
 				top.fail("duplicate section tag %d", tag)
 				break
@@ -538,6 +572,31 @@ func decodePayload(payload []byte) (*core.RestoredState, error) {
 					s.Meta.Votes = int(r.varint())
 					s.Meta.Score = r.f64()
 					st.Scripts = append(st.Scripts, s)
+				}
+			}
+		case secQueryCache:
+			decode = func(r *reader) {
+				n := r.count()
+				st.QueryCache = make([]sparql.CacheEntry, 0, n)
+				for i := 0; i < n && r.err == nil; i++ {
+					ent := sparql.CacheEntry{Query: r.str(), Res: &sparql.Result{}}
+					nv := r.count()
+					ent.Res.Vars = make([]string, 0, nv)
+					for v := 0; v < nv && r.err == nil; v++ {
+						ent.Res.Vars = append(ent.Res.Vars, r.str())
+					}
+					nr := r.count()
+					ent.Res.Rows = make([]sparql.Binding, 0, nr)
+					for j := 0; j < nr && r.err == nil; j++ {
+						row := make(sparql.Binding, nv)
+						for _, v := range ent.Res.Vars {
+							if r.u8() == 1 {
+								row[v] = r.term(0)
+							}
+						}
+						ent.Res.Rows = append(ent.Res.Rows, row)
+					}
+					st.QueryCache = append(st.QueryCache, ent)
 				}
 			}
 		default:

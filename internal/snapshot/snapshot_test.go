@@ -101,6 +101,41 @@ func TestRoundTripDiscoveryIdentical(t *testing.T) {
 	}
 }
 
+// TestRoundTripWarmQueryCache: results cached before the save come back
+// warm — the restored platform's first repeat of a saved query is a cache
+// hit (no re-execution) with identical rows, re-pinned to the restored
+// store's generation.
+func TestRoundTripWarmQueryCache(t *testing.T) {
+	plat, _ := fixture(t)
+	const sq = `SELECT ?t ?n WHERE { ?t a kglids:Table ; kglids:name ?n . }`
+	want, err := plat.Query(sq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := roundTrip(t, plat)
+
+	before := restored.Discovery.CacheStats()
+	got, err := restored.Query(sq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := restored.Discovery.CacheStats()
+	if after.Hits != before.Hits+1 || after.Misses != before.Misses {
+		t.Fatalf("saved query should hit the restored cache: before %+v, after %+v", before, after)
+	}
+	if !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Fatalf("warm cached rows differ:\n got %v\nwant %v", got.Rows, want.Rows)
+	}
+
+	// A query never run before the save must still miss.
+	if _, err := restored.Query(`SELECT ?c WHERE { ?c a kglids:Column . }`); err != nil {
+		t.Fatal(err)
+	}
+	if final := restored.Discovery.CacheStats(); final.Misses != after.Misses+1 {
+		t.Fatalf("unsaved query should miss: %+v", final)
+	}
+}
+
 func TestRoundTripEmbeddingSearchIdentical(t *testing.T) {
 	plat, lake := fixture(t)
 	restored := roundTrip(t, plat)

@@ -46,6 +46,29 @@ type cacheEntry struct {
 	res *Result
 }
 
+// CacheEntry is one persistable query-cache entry: query text and its
+// shareable result. The snapshot layer stores current-generation entries
+// so a restarted server answers hot discovery queries warm.
+type CacheEntry struct {
+	Query string
+	Res   *Result
+}
+
+// export returns the entries computed at gen, least-recently-used first,
+// so importing with put() in order reproduces the recency order.
+func (c *queryCache) export(gen uint64) []CacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CacheEntry, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		ent := el.Value.(*cacheEntry)
+		if ent.gen == gen {
+			out = append(out, CacheEntry{Query: ent.key, Res: ent.res})
+		}
+	}
+	return out
+}
+
 func newQueryCache(capacity int) *queryCache {
 	return &queryCache{cap: capacity, ll: list.New(), entries: map[string]*list.Element{}}
 }

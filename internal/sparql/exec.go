@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log/slog"
 	"regexp"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -57,6 +58,9 @@ type Engine struct {
 	// slowNanos, when positive, is the slow-query threshold: any query
 	// whose wall time reaches it is logged with its per-stage breakdown.
 	slowNanos atomic.Int64
+	// workers is the morsel-driven parallel execution width; 0 means the
+	// GOMAXPROCS default, 1 selects the serial executor.
+	workers atomic.Int32
 }
 
 // NewEngine returns an engine over st with a DefaultCacheCapacity-sized
@@ -76,6 +80,49 @@ func (e *Engine) SetSlowQuery(d time.Duration) { e.slowNanos.Store(int64(d)) }
 
 // CacheStats reports cumulative cache behaviour (tests and monitoring).
 func (e *Engine) CacheStats() CacheStats { return e.cache.stats() }
+
+// SetWorkers sets the morsel-driven parallel execution width: how many
+// goroutines a single query may fan out over. 1 selects the serial
+// executor (the equivalence oracle); n <= 0 restores the GOMAXPROCS
+// default. The width may be changed at any time; in-flight queries keep
+// the width they started with.
+func (e *Engine) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.workers.Store(int32(n))
+}
+
+// Workers reports the effective parallel execution width.
+func (e *Engine) Workers() int {
+	if w := e.workers.Load(); w > 0 {
+		return int(w)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// CacheExport returns the cached results computed at the store's current
+// generation, least-recently-used first, so re-importing in order
+// reproduces the recency order. Snapshot persistence calls this under the
+// platform's ingest lock, where the current generation covers every live
+// entry.
+func (e *Engine) CacheExport() []CacheEntry {
+	return e.cache.export(e.st.Generation())
+}
+
+// CacheImport seeds the cache with previously exported entries, pinning
+// them to the store's current generation: a restored store re-derives its
+// own generation counter, so entries re-key on import rather than
+// carrying a stale saved generation.
+func (e *Engine) CacheImport(entries []CacheEntry) {
+	gen := e.st.Generation()
+	for _, ent := range entries {
+		if ent.Query == "" || ent.Res == nil {
+			continue
+		}
+		e.cache.put(ent.Query, gen, ent.Res)
+	}
+}
 
 // Query parses and executes src on the compiled ID-space path, serving
 // repeated queries from the generation-keyed result cache.
@@ -131,7 +178,7 @@ func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) 
 			return res, nil
 		}
 	}
-	res, err := compileTimed(tr, q, v).execute(ctx, v)
+	res, err := compileTimed(tr, q, v).execute(ctx, v, e.Workers())
 	outcome := "ok"
 	switch {
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
@@ -212,7 +259,7 @@ func (e *Engine) ExecContext(ctx context.Context, q *Query) (*Result, error) {
 	}
 	v := e.st.AcquireView()
 	defer v.Close()
-	return compileTimed(obs.FromContext(ctx), q, v).execute(ctx, v)
+	return compileTimed(obs.FromContext(ctx), q, v).execute(ctx, v, e.Workers())
 }
 
 // QueryReference parses and executes src on the term-space reference path.

@@ -1,0 +1,354 @@
+package sparql
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"kglids/internal/rdf"
+	"kglids/internal/store"
+)
+
+// Morsel-driven parallel execution: the leading (most selective) pattern's
+// candidate ID domain — the keys of the index level matchEncoded would walk
+// for it — is split into fixed-size morsels that a bounded worker pool
+// claims through a shared atomic counter (work stealing by increment, so a
+// worker that drew cheap morsels simply claims more). Each worker owns a
+// private execState but shares the one read-locked store View; it runs the
+// unchanged streaming slot-row iterator over the whole root group with the
+// partition slot pre-bound to each candidate in turn, so shared variables,
+// OPTIONALs, FILTERs, and nested groups need no parallel-specific code.
+// Candidates are distinct, and every solution binds the partition variable
+// to exactly one of them, so the union over morsels is the exact serial
+// solution multiset — the serial executor (workers=1) stays selectable as
+// the equivalence oracle.
+const (
+	// maxMorselSize caps a morsel's candidate count; small domains shrink
+	// morsels further so every worker still gets claim opportunities.
+	maxMorselSize = 256
+	// morselsPerWorker is the claim-opportunity target per worker that the
+	// morsel size is derived from: more morsels than workers is what lets
+	// the shared counter balance skewed per-candidate work.
+	morselsPerWorker = 4
+	// minParallelCandidates is the smallest domain worth fanning out;
+	// below it, goroutine startup and merge overhead beat any overlap.
+	minParallelCandidates = 8
+)
+
+// parallelPlan is a query found eligible for morsel-driven execution:
+// the candidate domain, the slot each candidate pre-binds, and — for
+// ORDER BY + LIMIT queries — the top-k push-down parameters.
+type parallelPlan struct {
+	c       *compiledQuery
+	v       *store.View
+	keys    []store.TermID // candidate domain of the partition slot
+	slot    int            // slot pre-bound to each candidate
+	morsel  int            // candidates per morsel (fixed per execution)
+	workers int
+	// topK, when >= 0, bounds per-worker heaps at offset+limit rows;
+	// orderSlots/orderDesc mirror the ORDER BY spec against slots, with
+	// -1 for keys materialize would read as unbound (non-projected).
+	topK       int
+	orderSlots []int
+	orderDesc  []bool
+}
+
+// planParallel decides whether the compiled query can fan out: it needs
+// more than one worker, a root group with at least one pattern, and a
+// partitionable candidate domain for that leading pattern (its variable
+// subject or object, per the index matchEncoded would choose).
+func (c *compiledQuery) planParallel(v *store.View, workers int) *parallelPlan {
+	if workers <= 1 || len(c.root.patterns) == 0 {
+		return nil
+	}
+	ct := c.root.patterns[0]
+	constID := func(n cNode) store.TermID {
+		if n.slot < 0 {
+			return n.id
+		}
+		return 0
+	}
+	keys, pos := v.CandidateIDs(constID(ct.s), constID(ct.p), constID(ct.o), store.UnionGraph)
+	var node cNode
+	switch pos {
+	case store.PartitionSubject:
+		node = ct.s
+	case store.PartitionObject:
+		node = ct.o
+	default:
+		return nil
+	}
+	if node.slot < 0 || len(keys) < minParallelCandidates || len(keys) < 2*workers {
+		return nil
+	}
+	morsel := len(keys) / (workers * morselsPerWorker)
+	if morsel < 1 {
+		morsel = 1
+	}
+	if morsel > maxMorselSize {
+		morsel = maxMorselSize
+	}
+	p := &parallelPlan{c: c, v: v, keys: keys, slot: node.slot, morsel: morsel, workers: workers, topK: -1}
+	q := c.q
+	if len(q.OrderBy) > 0 && q.Limit >= 0 && q.Offset+q.Limit > 0 &&
+		!q.Distinct && len(q.GroupBy) == 0 && !hasAggregates(q) && !q.Star {
+		// Top-k push-down computes the same sort keys materialize will:
+		// only projected ORDER BY variables participate; the rest read as
+		// unbound. SELECT * is excluded — its projection depends on which
+		// variables end up bound, unknowable mid-stream.
+		projected := map[string]bool{}
+		for _, pr := range q.Projection {
+			projected[pr.Var] = true
+		}
+		p.topK = q.Offset + q.Limit
+		p.orderSlots = make([]int, len(q.OrderBy))
+		p.orderDesc = make([]bool, len(q.OrderBy))
+		for j, k := range q.OrderBy {
+			p.orderSlots[j] = -1
+			if s, ok := c.slots[k.Var]; ok && projected[k.Var] {
+				p.orderSlots[j] = s
+			}
+			p.orderDesc[j] = k.Desc
+		}
+	}
+	return p
+}
+
+// cmpKeys compares two decoded ORDER BY key tuples in sort order
+// (negative: a sorts before b), honoring per-column DESC.
+func (p *parallelPlan) cmpKeys(a, b []rdf.Term) int {
+	for j := range a {
+		c := compareTerms(a[j], b[j])
+		if c == 0 {
+			continue
+		}
+		if p.orderDesc[j] {
+			c = -c
+		}
+		return c
+	}
+	return 0
+}
+
+// run executes the plan and returns the merged ID rows, ready for the
+// shared materialization tail. Merging is morsel-order concatenation —
+// order-preserving with respect to the claim sequence — or, under top-k
+// push-down, the union of the per-worker heaps (at most workers×k rows)
+// that materialize's sort then reduces to the final k.
+func (p *parallelPlan) run(ctx context.Context, earlyStop int) ([][]store.TermID, error) {
+	numMorsels := (len(p.keys) + p.morsel - 1) / p.morsel
+	w := p.workers
+	if w > numMorsels {
+		w = numMorsels
+	}
+	mQueryWorkers.Observe(float64(w))
+
+	var (
+		next    atomic.Int64               // shared morsel claim counter
+		stop    atomic.Bool                // LIMIT satisfied: cancel outstanding morsels
+		emitted atomic.Int64               // global row count (earlyStop mode)
+		cutoff  atomic.Pointer[[]rdf.Term] // tightest published k-th key (top-k mode)
+	)
+	buckets := make([][][]store.TermID, numMorsels)
+	heaps := make([]*topKHeap, w)
+	errs := make([]error, w)
+
+	worker := func(wi int) error {
+		es := &execState{ctx: ctx, v: p.v, c: p.c, row: make([]store.TermID, len(p.c.names))}
+		var heap *topKHeap
+		if p.topK >= 0 {
+			heap = &topKHeap{k: p.topK, plan: p, dict: p.v.Dict()}
+			heaps[wi] = heap
+		}
+		for {
+			if stop.Load() {
+				return nil
+			}
+			// Morsel-granular poll: each iterator ticks only every 1024
+			// hits, so a fan-out would otherwise overshoot a deadline by
+			// workers×1024 hits before anyone noticed.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			m := int(next.Add(1)) - 1
+			if m >= numMorsels {
+				return nil
+			}
+			mMorsels.Inc()
+			lo := m * p.morsel
+			hi := lo + p.morsel
+			if hi > len(p.keys) {
+				hi = len(p.keys)
+			}
+			var rows [][]store.TermID
+			emit := func() error {
+				if heap != nil {
+					heap.offer(es.row, &cutoff)
+					return nil
+				}
+				rows = append(rows, append([]store.TermID(nil), es.row...))
+				if earlyStop >= 0 && emitted.Add(1) >= int64(earlyStop) {
+					// offset+limit rows exist globally and no modifier
+					// needs more: provably final, stop claiming morsels.
+					stop.Store(true)
+					return errStop
+				}
+				return nil
+			}
+			for _, key := range p.keys[lo:hi] {
+				es.row[p.slot] = key
+				err := p.c.root.run(es, store.UnionGraph, emit)
+				es.row[p.slot] = 0
+				if err != nil {
+					buckets[m] = rows
+					return err
+				}
+			}
+			buckets[m] = rows
+		}
+	}
+
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			errs[wi] = worker(wi)
+		}(wi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, errStop) {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		// Merge-stage check: a deadline that expired between the workers'
+		// last ticks and the join must not start the merge.
+		return nil, err
+	}
+	var out [][]store.TermID
+	if p.topK >= 0 {
+		for _, h := range heaps {
+			if h != nil {
+				out = append(out, h.rows...)
+			}
+		}
+		return out, nil
+	}
+	for _, b := range buckets {
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// topKHeap is one worker's bounded candidate set for ORDER BY + LIMIT
+// push-down: a max-heap of at most k rows keyed on decoded ORDER BY
+// columns, worst row at the root. Once full, its worst key is published
+// as a global cutoff; any worker's row sorting strictly after the cutoff
+// is provably outside the global top-k, because the publisher already
+// holds k rows that sort at or before it and will carry them to the
+// merge. Ties at the cutoff are kept — which of several equal-key rows
+// survives LIMIT is unspecified either way.
+type topKHeap struct {
+	k    int
+	plan *parallelPlan
+	dict *store.Dictionary
+	rows [][]store.TermID
+	keys [][]rdf.Term
+}
+
+// key decodes row's ORDER BY columns exactly as materialize does:
+// non-projected or unbound columns stay the zero term.
+func (h *topKHeap) key(row []store.TermID) []rdf.Term {
+	ks := make([]rdf.Term, len(h.plan.orderSlots))
+	for j, s := range h.plan.orderSlots {
+		if s >= 0 && row[s] != 0 {
+			ks[j] = h.dict.Term(row[s])
+		}
+	}
+	return ks
+}
+
+// offer considers one streamed row for the worker's top-k.
+func (h *topKHeap) offer(row []store.TermID, cutoff *atomic.Pointer[[]rdf.Term]) {
+	key := h.key(row)
+	if c := cutoff.Load(); c != nil && h.plan.cmpKeys(key, *c) > 0 {
+		mTopKSkipped.Inc()
+		return
+	}
+	if len(h.rows) < h.k {
+		h.rows = append(h.rows, append([]store.TermID(nil), row...))
+		h.keys = append(h.keys, key)
+		h.siftUp(len(h.rows) - 1)
+		if len(h.rows) == h.k {
+			h.publish(cutoff)
+		}
+		return
+	}
+	if h.plan.cmpKeys(key, h.keys[0]) >= 0 {
+		// Not better than the local worst: the heap already holds k rows
+		// sorting at or before this one.
+		mTopKSkipped.Inc()
+		return
+	}
+	h.rows[0] = append(h.rows[0][:0], row...)
+	h.keys[0] = key
+	h.siftDown(0)
+	h.publish(cutoff)
+}
+
+// publish tightens the shared cutoff to this worker's k-th key when it
+// improves on the current bound (CAS loop: cutoffs only ever tighten).
+func (h *topKHeap) publish(cutoff *atomic.Pointer[[]rdf.Term]) {
+	for {
+		cur := cutoff.Load()
+		if cur != nil && h.plan.cmpKeys(h.keys[0], *cur) >= 0 {
+			return
+		}
+		worst := append([]rdf.Term(nil), h.keys[0]...)
+		if cutoff.CompareAndSwap(cur, &worst) {
+			return
+		}
+	}
+}
+
+// worse reports whether element i sorts strictly after element j (the
+// max-heap order: the root is the worst kept row).
+func (h *topKHeap) worse(i, j int) bool { return h.plan.cmpKeys(h.keys[i], h.keys[j]) > 0 }
+
+func (h *topKHeap) swap(i, j int) {
+	h.rows[i], h.rows[j] = h.rows[j], h.rows[i]
+	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+}
+
+func (h *topKHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.worse(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *topKHeap) siftDown(i int) {
+	n := len(h.rows)
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < n && h.worse(l, worst) {
+			worst = l
+		}
+		if r < n && h.worse(r, worst) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h.swap(i, worst)
+		i = worst
+	}
+}

@@ -205,6 +205,13 @@ func (p *Platform) Generation() uint64 { return p.core.Store.Generation() }
 // Zero disables it. kglids-server wires this to -slow-query-ms.
 func (p *Platform) SetSlowQuery(d time.Duration) { p.core.Discovery.SetSlowQuery(d) }
 
+// SetQueryWorkers sets the parallel width of SPARQL execution and
+// discovery scoring: the morsel-driven executor partitions the leading
+// pattern's candidates across this many workers. 0 restores the
+// GOMAXPROCS default; 1 forces the serial path (the equivalence oracle).
+// kglids-server wires this to -query-workers.
+func (p *Platform) SetQueryWorkers(n int) { p.core.Discovery.SetWorkers(n) }
+
 // Query runs an ad-hoc SPARQL query on the compiled ID-space engine.
 // Repeated queries are served from a bounded result cache keyed on (query
 // text, store generation) — live ingestion invalidates it automatically.
