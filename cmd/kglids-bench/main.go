@@ -12,9 +12,10 @@
 //	kglids-bench checkmetrics [-require FAMILY]... <file|url|->
 //
 // Experiments: table1 table2 figure5 figure6 figure4 table3 table4 table5
-// figure7 table6 figure8 figure9 snapshot ingest sparql server edges, or
-// "all" (default). Table 2 / Figure 5 share one run, as do Table 3 /
-// Table 4 / Figure 4 and Table 5 / Figure 7 and Table 6 / Figure 8.
+// figure7 table6 figure8 figure9 snapshot ingest sparql server edges
+// connectors, or "all" (default). Table 2 / Figure 5 share one run, as do
+// Table 3 / Table 4 / Figure 4 and Table 5 / Figure 7 and Table 6 /
+// Figure 8.
 //
 // The snapshot experiment measures persist-once/serve-many startup; the
 // ingest experiment measures live mutation vs re-bootstrap; the sparql
@@ -23,13 +24,16 @@
 // (-query-workers sets the measured width); the server experiment drives
 // /api/v1 end-to-end through the
 // typed client; the edges experiment measures the blocked similarity-edge
-// pipeline against the exhaustive oracle. All five live in
-// internal/experiments and feed the eval trajectory.
+// pipeline against the exhaustive oracle; the connectors experiment
+// streams a generated lake 10x larger than its resident chunk budget
+// through the one-pass profiler against the materialize-then-profile
+// path, proving byte-identical profiles in bounded memory. All six live
+// in internal/experiments and feed the eval trajectory.
 //
 // The eval subcommand is the standing evaluation harness: it scores
 // discovery quality (precision/recall/F1 against constructed ground truth)
 // for the platform and the vendored baselines through one shared
-// interface, runs the five perf experiments, and writes a versioned
+// interface, runs the six perf experiments, and writes a versioned
 // BENCH_<date>.json trajectory at the current directory. -compare diffs a
 // previous trajectory against the fresh run (or against -against without
 // running) and exits non-zero on any regression beyond tolerance; -demote
@@ -72,6 +76,7 @@ func main() {
 	snapshotPath := flag.String("snapshot", "", "snapshot experiment: load this file instead of bootstrapping")
 	saveSnapshot := flag.String("save-snapshot", "", "snapshot experiment: keep the saved snapshot at this path")
 	queryWorkers := flag.Int("query-workers", 0, "sparql experiment: parallel execution width (0 = number of CPUs)")
+	quick := flag.Bool("quick", false, "connectors experiment: CI-scale lake")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -153,6 +158,13 @@ func main() {
 		report, err := experiments.RunEdgesPerf(experiments.PerfOptions{})
 		if err := printJSON("Edges: blocked/candidate-pruned similarity pipeline vs exhaustive (wide lakes)", report, err); err != nil {
 			fmt.Fprintln(os.Stderr, "edges experiment:", err)
+			os.Exit(1)
+		}
+	}
+	if run("connectors") {
+		report, err := experiments.RunConnectorsPerf(experiments.PerfOptions{Quick: *quick})
+		if err := printJSON("Connectors: streaming one-pass profiler vs materialize-then-profile (lakegen:// lake)", report, err); err != nil {
+			fmt.Fprintln(os.Stderr, "connectors experiment:", err)
 			os.Exit(1)
 		}
 	}

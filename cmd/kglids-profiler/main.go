@@ -1,61 +1,71 @@
 // Command kglids-profiler runs KGLiDS Data Profiling (Algorithm 2) over a
-// directory of CSV files and emits one column profile per line as JSON —
-// the profile documents the KG construction consumes.
+// connector source and emits one column profile per line as JSON — the
+// profile documents the KG construction consumes.
 //
 // Usage:
 //
-//	kglids-profiler -lake DIR [-breakdown]
+//	kglids-profiler -source URI [-breakdown] [-chunk-rows N] [-reservoir N]
+//	kglids-profiler -lake DIR   [-breakdown]
 //
-// The directory layout is lake/<dataset>/<table>.csv; bare CSVs directly
-// under the lake directory form a dataset named after the directory.
+// -source accepts any registered connector URI (dir://, jsonl://,
+// http://, https://, lakegen://); -lake DIR is shorthand for dir://DIR.
+// Tables stream through the one-pass profiler in bounded memory, so the
+// lake never has to fit in RAM. For dir:// the layout is
+// lake/<dataset>/<table>.csv; bare CSVs directly under the lake
+// directory form a dataset named after the directory.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
-	"path/filepath"
-	"strings"
+	"os/signal"
 
-	"kglids/internal/dataframe"
+	"kglids/internal/connector"
 	"kglids/internal/embed"
 	"kglids/internal/profiler"
 )
 
 func main() {
-	lakeDir := flag.String("lake", "", "data lake directory (required)")
+	lakeDir := flag.String("lake", "", "data lake directory (shorthand for -source dir://DIR)")
+	source := flag.String("source", "", "connector URI to profile (dir://, jsonl://, http://, lakegen://)")
 	breakdown := flag.Bool("breakdown", false, "print the fine-grained type breakdown instead of profiles")
+	chunkRows := flag.Int("chunk-rows", 0, "rows per streamed chunk (0 = connector default)")
+	reservoir := flag.Int("reservoir", 0, "per-column sample reservoir size (0 = profiler default)")
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	if *lakeDir == "" {
+	uri := *source
+	if uri == "" && *lakeDir != "" {
+		uri = "dir://" + *lakeDir
+	}
+	if uri == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	var tables []profiler.Table
-	err := filepath.Walk(*lakeDir, func(path string, info os.FileInfo, err error) error {
-		if err != nil || info.IsDir() || !strings.HasSuffix(strings.ToLower(path), ".csv") {
-			return err
-		}
-		df, err := dataframe.ReadCSVFile(path)
-		if err != nil {
-			logger.Warn("skipping unreadable CSV", "path", path, "err", err)
-			return nil
-		}
-		dataset := filepath.Base(filepath.Dir(path))
-		tables = append(tables, profiler.Table{Dataset: dataset, Frame: df})
-		return nil
-	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	src, err := connector.OpenWith(uri, connector.Options{ChunkRows: *chunkRows})
 	if err != nil {
-		logger.Error("lake walk failed", "err", err)
-		os.Exit(1)
-	}
-	if len(tables) == 0 {
-		logger.Error("no CSV files under lake", "lake", *lakeDir)
+		logger.Error("opening source failed", "uri", uri, "err", err)
 		os.Exit(1)
 	}
 	p := profiler.New()
-	profiles := p.ProfileAll(tables)
+	p.ReservoirSize = *reservoir
+	profiles, tableErrs, err := p.ProfileSource(ctx, src)
+	if err != nil {
+		logger.Error("profiling source failed", "uri", uri, "err", err)
+		os.Exit(1)
+	}
+	for id, terr := range tableErrs {
+		logger.Warn("skipping unreadable table", "table", id, "err", terr)
+	}
+	if len(profiles) == 0 {
+		logger.Error("no readable tables in source", "uri", uri)
+		os.Exit(1)
+	}
 	if *breakdown {
 		bd := profiler.TypeBreakdown(profiles)
 		for _, t := range embed.AllTypes {

@@ -5,10 +5,14 @@
 // KGLiDS Interfaces in service form (paper Section 5). See
 // docs/SERVER_API.md for the endpoint reference.
 //
-// The platform comes from one of two sources:
+// The platform comes from one of three sources:
 //
 //   - -lake DIR      bootstrap from a directory of CSV files (profile,
 //     build the LiDS graph, index embeddings) — minutes for large lakes;
+//   - -source URI    bootstrap by streaming a lake connector (dir://,
+//     jsonl://, http(s)://, lakegen://) through the one-pass profiler in
+//     bounded memory — the lake never has to fit in RAM, and the
+//     resulting graph is equivalent to the -lake path over the same data;
 //   - -snapshot FILE load a snapshot previously written with
 //     -save-snapshot (or kglids.Platform.Save) — milliseconds, with
 //     query results identical to the bootstrap that produced it.
@@ -16,6 +20,7 @@
 // Usage:
 //
 //	kglids-server -lake DIR [-save-snapshot FILE] [-addr :8080]
+//	kglids-server -source dir:///data/lake [-chunk-rows N] [-reservoir N]
 //	kglids-server -snapshot FILE [-addr :8080]
 //	kglids-server -lake DIR -ingest [-ingest-workers N] [-ingest-queue N]
 //	kglids-server -lake DIR -debug-addr :9090 [-pprof] [-slow-query-ms 250]
@@ -73,6 +78,9 @@ import (
 
 func main() {
 	lakeDir := flag.String("lake", "", "data lake directory of CSV files (bootstrap source)")
+	source := flag.String("source", "", "connector URI to bootstrap by streaming (dir://, jsonl://, http://, lakegen://)")
+	chunkRows := flag.Int("chunk-rows", 0, "streaming connectors: rows per chunk (0 = default)")
+	reservoir := flag.Int("reservoir", 0, "streaming profiler: per-column sample reservoir size (0 = default)")
 	snapshotPath := flag.String("snapshot", "", "snapshot file to load instead of bootstrapping")
 	saveSnapshot := flag.String("save-snapshot", "", "write the ready platform to this snapshot file")
 	addr := flag.String("addr", ":8080", "listen address")
@@ -98,13 +106,21 @@ func main() {
 	}
 	slog.SetDefault(logger)
 
-	if *lakeDir == "" && *snapshotPath == "" {
-		fmt.Fprintln(os.Stderr, "kglids-server: need -lake DIR or -snapshot FILE")
+	if *lakeDir == "" && *snapshotPath == "" && *source == "" {
+		fmt.Fprintln(os.Stderr, "kglids-server: need -lake DIR, -source URI, or -snapshot FILE")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	plat, err := ready(logger, *lakeDir, *snapshotPath, *edgeBlockSize, *edgeCandidates)
+	plat, err := ready(logger, bootSources{
+		lakeDir:        *lakeDir,
+		source:         *source,
+		snapshotPath:   *snapshotPath,
+		edgeBlockSize:  *edgeBlockSize,
+		edgeCandidates: *edgeCandidates,
+		chunkRows:      *chunkRows,
+		reservoir:      *reservoir,
+	})
 	if err != nil {
 		logger.Error("startup failed", "err", err)
 		os.Exit(1)
@@ -236,36 +252,69 @@ func buildLogger(format, level string) (*slog.Logger, error) {
 	}
 }
 
+// bootSources carries the platform-source flags into ready.
+type bootSources struct {
+	lakeDir        string
+	source         string
+	snapshotPath   string
+	edgeBlockSize  int
+	edgeCandidates int
+	chunkRows      int
+	reservoir      int
+}
+
 // ready produces a serving-ready platform, preferring the snapshot fast
-// path when both sources are given. The edge-tuning knobs apply to the
+// path when several sources are given, then the streaming connector,
+// then the in-memory lake walk. The edge-tuning knobs apply to the
 // bootstrap similarity build and to every later ingest delta; snapshots
 // persist thresholds but not tuning, so they are re-applied after a load.
-func ready(logger *slog.Logger, lakeDir, snapshotPath string, edgeBlockSize, edgeCandidates int) (*kglids.Platform, error) {
-	if snapshotPath != "" {
-		if lakeDir != "" {
-			logger.Info("both -lake and -snapshot given; loading snapshot", "path", snapshotPath)
+func ready(logger *slog.Logger, b bootSources) (*kglids.Platform, error) {
+	if b.snapshotPath != "" {
+		if b.lakeDir != "" || b.source != "" {
+			logger.Info("multiple platform sources given; loading snapshot", "path", b.snapshotPath)
 		}
 		start := time.Now()
-		plat, err := kglids.Open(snapshotPath)
+		plat, err := kglids.Open(b.snapshotPath)
 		if err != nil {
 			return nil, err
 		}
-		plat.SetEdgeTuning(edgeBlockSize, edgeCandidates)
-		logger.Info("snapshot loaded (no re-profiling)", "path", snapshotPath,
+		plat.SetEdgeTuning(b.edgeBlockSize, b.edgeCandidates)
+		logger.Info("snapshot loaded (no re-profiling)", "path", b.snapshotPath,
 			"duration", time.Since(start).Round(time.Millisecond).String())
 		return plat, nil
 	}
 
-	tables, err := readLake(logger, lakeDir)
+	opts := kglids.Options{
+		EdgeBlockSize:  b.edgeBlockSize,
+		EdgeCandidates: b.edgeCandidates,
+		ChunkRows:      b.chunkRows,
+		ReservoirSize:  b.reservoir,
+	}
+	if b.source != "" {
+		if b.lakeDir != "" {
+			logger.Info("both -lake and -source given; streaming the connector", "uri", b.source)
+		}
+		logger.Info("bootstrapping from connector", "uri", b.source)
+		start := time.Now()
+		plat, failed, err := kglids.BootstrapSource(context.Background(), opts, b.source)
+		if err != nil {
+			return nil, err
+		}
+		for id, ferr := range failed {
+			logger.Warn("skipping unreadable table", "table", id, "err", ferr)
+		}
+		logger.Info("bootstrap finished",
+			"duration", time.Since(start).Round(time.Millisecond).String())
+		return plat, nil
+	}
+
+	tables, err := readLake(logger, b.lakeDir)
 	if err != nil {
 		return nil, err
 	}
 	logger.Info("bootstrapping", "tables", len(tables))
 	start := time.Now()
-	plat := kglids.Bootstrap(kglids.Options{
-		EdgeBlockSize:  edgeBlockSize,
-		EdgeCandidates: edgeCandidates,
-	}, tables)
+	plat := kglids.Bootstrap(opts, tables)
 	logger.Info("bootstrap finished",
 		"duration", time.Since(start).Round(time.Millisecond).String())
 	return plat, nil

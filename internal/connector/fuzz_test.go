@@ -1,0 +1,57 @@
+package connector
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"testing"
+)
+
+// FuzzCSVChunks throws arbitrary bytes at the hardened CSV chunker and
+// checks the streaming invariants that the profiler's accumulators rely
+// on: no panics, every chunk is rectangular with exactly the header's
+// column count, and every Next after exhaustion keeps returning io.EOF.
+func FuzzCSVChunks(f *testing.F) {
+	f.Add([]byte("a,b\n1,2\n3,4\n"))
+	f.Add([]byte("\xEF\xBB\xBFa,b\n\"x,y\",2\n"))
+	f.Add([]byte("a,b\n\"multi\nline\",2\nragged\n"))
+	f.Add([]byte("a,,a\n1,2,3\n"))
+	f.Add([]byte("\"unterminated\na,b\n"))
+	f.Add([]byte{0x00, 0xFF, 0xFE, '\n', ','})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rc := io.NopCloser(bytes.NewReader(data))
+		r, err := newCSVChunkReader("fuzz", "fuzz.csv", rc, ',', 7)
+		if err != nil {
+			return // empty or headerless input is a legitimate open error
+		}
+		defer r.Close()
+		ncols := len(r.Columns())
+		if ncols == 0 {
+			t.Fatal("open succeeded with zero columns")
+		}
+		for {
+			chunk, err := r.Next(context.Background())
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return // terminal read errors are allowed, panics are not
+			}
+			if len(chunk.Cols) != ncols {
+				t.Fatalf("chunk has %d columns, header has %d", len(chunk.Cols), ncols)
+			}
+			n := chunk.Rows()
+			if n == 0 {
+				t.Fatal("empty chunk instead of io.EOF")
+			}
+			for i, cells := range chunk.Cols {
+				if len(cells) != n {
+					t.Fatalf("column %d has %d cells, chunk claims %d rows", i, len(cells), n)
+				}
+			}
+		}
+		if _, err := r.Next(context.Background()); err != io.EOF {
+			t.Fatalf("Next after EOF = %v", err)
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package connector
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"path"
+	"strings"
+	"time"
+)
+
+// httpSource streams one remote CSV/TSV over HTTP(S) — a single-table
+// source (the URI names one file, not a listing). Transient failures
+// (transport errors, 5xx, 429) are retried with exponential backoff; 4xx
+// other than 429 fail immediately. The table fingerprint comes from the
+// server's validators (ETag, Last-Modified, Content-Length) probed with a
+// HEAD request, so the ingest manager can skip an unchanged remote file
+// without downloading it; a server that answers HEAD badly just yields
+// fingerprint 0 ("unknown, always ingest").
+type httpSource struct {
+	scheme string // "http" or "https"
+	rawURL string
+	opts   Options
+}
+
+// httpClient bounds how long one response can take end to end. The
+// timeout covers the whole body read, which is what a streaming reader
+// actually consumes — a stalled lake download should fail, not hang an
+// ingest worker forever.
+var httpClient = &http.Client{Timeout: 5 * time.Minute}
+
+func init() {
+	for _, scheme := range []string{"http", "https"} {
+		scheme := scheme
+		Default.Register(scheme, func(u *URI, opts Options) (Source, error) {
+			if u.Opaque == "" {
+				return nil, fmt.Errorf("connector: %s:// needs a host and path", scheme)
+			}
+			return &httpSource{scheme: scheme, rawURL: u.Raw, opts: opts}, nil
+		})
+	}
+}
+
+func (s *httpSource) Scheme() string { return s.scheme }
+
+func (s *httpSource) retries() int {
+	if s.opts.HTTPRetries > 0 {
+		return s.opts.HTTPRetries
+	}
+	return 3
+}
+
+func (s *httpSource) backoff() time.Duration {
+	if s.opts.HTTPBackoffMS > 0 {
+		return time.Duration(s.opts.HTTPBackoffMS) * time.Millisecond
+	}
+	return 250 * time.Millisecond
+}
+
+// retryable reports whether a response status is worth another attempt.
+func retryable(status int) bool {
+	return status >= 500 || status == http.StatusTooManyRequests
+}
+
+// doWithRetry issues the request, retrying transport errors and
+// retryable statuses with exponential backoff. The caller owns the
+// returned response body.
+func (s *httpSource) doWithRetry(ctx context.Context, method string) (*http.Response, error) {
+	var lastErr error
+	delay := s.backoff()
+	for attempt := 0; attempt <= s.retries(); attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(delay):
+			}
+			delay *= 2
+		}
+		req, err := http.NewRequestWithContext(ctx, method, s.rawURL, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := httpClient.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			return resp, nil
+		}
+		resp.Body.Close()
+		lastErr = fmt.Errorf("connector: %s %s: %s", method, s.rawURL, resp.Status)
+		if !retryable(resp.StatusCode) {
+			return nil, lastErr
+		}
+	}
+	return nil, fmt.Errorf("connector: giving up after %d attempts: %w", s.retries()+1, lastErr)
+}
+
+func (s *httpSource) Tables(ctx context.Context) ([]TableRef, error) {
+	// Dataset = host, table = last path segment: http://data.org/x/trips.csv
+	// lands as table "data.org/trips.csv".
+	host, rest := u2hostpath(s.rawURL)
+	table := path.Base(rest)
+	if table == "." || table == "/" || table == "" {
+		table = "table.csv"
+	}
+	ref := TableRef{Dataset: host, Table: table, Locator: s.rawURL}
+	// Fingerprint from HEAD validators; a failed HEAD is not an error —
+	// the table simply cannot be skipped.
+	if resp, err := s.doWithRetry(ctx, http.MethodHead); err == nil {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%s|%s|%s|%d", s.rawURL,
+			resp.Header.Get("ETag"), resp.Header.Get("Last-Modified"), resp.ContentLength)
+		resp.Body.Close()
+		if fp := h.Sum64(); fp != 0 {
+			ref.Fingerprint = fp
+		} else {
+			ref.Fingerprint = 1
+		}
+	}
+	return []TableRef{ref}, nil
+}
+
+func (s *httpSource) Open(ctx context.Context, ref TableRef) (TableReader, error) {
+	resp, err := s.doWithRetry(ctx, http.MethodGet)
+	if err != nil {
+		mErrors.WithLabelValues(s.scheme, "open").Inc()
+		return nil, err
+	}
+	comma := ','
+	if strings.HasSuffix(strings.ToLower(ref.Table), ".tsv") {
+		comma = '\t'
+	}
+	r, err := newCSVChunkReader(s.scheme, s.rawURL, resp.Body, comma, s.opts.chunkRows())
+	if err != nil {
+		mErrors.WithLabelValues(s.scheme, "open").Inc()
+		return nil, err
+	}
+	return r, nil
+}
+
+// u2hostpath splits "scheme://host/path" into host and path without
+// url.Parse normalization surprises.
+func u2hostpath(raw string) (host, rest string) {
+	s := raw
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	if i := strings.IndexByte(s, '?'); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		return s[:i], s[i:]
+	}
+	return s, "/"
+}

@@ -1,0 +1,33 @@
+package connector
+
+import "kglids/internal/obs"
+
+// Connector metrics, labeled by URI scheme so a mixed ingest (dir + http)
+// stays attributable per source kind. Registered once against the
+// process-wide registry; exposed on the server's /metrics.
+var (
+	mBytesRead = obs.Default.NewCounterVec(
+		"kglids_connector_bytes_read_total",
+		"Raw source bytes consumed by connectors, by URI scheme.",
+		"scheme")
+	mChunks = obs.Default.NewCounterVec(
+		"kglids_connector_chunks_total",
+		"Column chunks yielded by connector table readers, by URI scheme.",
+		"scheme")
+	mRows = obs.Default.NewCounterVec(
+		"kglids_connector_rows_total",
+		"Rows yielded by connector table readers, by URI scheme.",
+		"scheme")
+	mRowsSkipped = obs.Default.NewCounterVec(
+		"kglids_connector_rows_skipped_total",
+		"Malformed (ragged) rows skipped by connector table readers, by URI scheme.",
+		"scheme")
+	mTables = obs.Default.NewCounterVec(
+		"kglids_connector_tables_total",
+		"Tables opened for streaming, by URI scheme.",
+		"scheme")
+	mErrors = obs.Default.NewCounterVec(
+		"kglids_connector_errors_total",
+		"Connector failures by URI scheme and stage (open or read).",
+		"scheme", "stage")
+)

@@ -49,6 +49,16 @@ type Config struct {
 	// filtered path (average pre-filter cluster size). 0 means
 	// schema.DefaultEdgeCandidates. Tuning only.
 	EdgeCandidates int
+	// ChunkRows is the connector chunk size for source-based ingestion
+	// (BootstrapSource/AddSource). 0 means connector.DefaultChunkRows.
+	ChunkRows int
+	// ReservoirSize bounds the streaming profiler's per-column value
+	// sample (0 = profiler.DefaultReservoirSize). Source-based ingestion
+	// only; the in-memory path profiles whole columns.
+	ReservoirSize int
+	// ExactDistinct bounds the streaming profiler's exact distinct set
+	// per column (0 = profiler.DefaultExactDistinct).
+	ExactDistinct int
 }
 
 // DefaultConfig returns the default platform configuration.
@@ -104,6 +114,22 @@ type Platform struct {
 
 // Bootstrap profiles the lake and constructs the dataset graph.
 func Bootstrap(cfg Config, tables []Table) *Platform {
+	p := newPlatform(cfg)
+
+	// Phase 1: Data Profiling (Algorithm 2).
+	start := time.Now()
+	var ptables []profiler.Table
+	for _, t := range tables {
+		ptables = append(ptables, profiler.Table{Dataset: t.Dataset, Frame: t.Frame})
+	}
+	profiles := p.profiler.ProfileAll(ptables)
+	p.finishBootstrap(profiles, time.Since(start))
+	return p
+}
+
+// newPlatform builds the empty platform shell shared by Bootstrap and
+// BootstrapSource.
+func newPlatform(cfg Config) *Platform {
 	p := &Platform{
 		Store:           store.New(),
 		ColumnIndex:     vectorindex.NewExact(),
@@ -119,18 +145,19 @@ func Bootstrap(cfg Config, tables []Table) *Platform {
 	if cfg.Workers > 0 {
 		p.profiler.Workers = cfg.Workers
 	}
+	p.profiler.ReservoirSize = cfg.ReservoirSize
+	p.profiler.ExactDistinct = cfg.ExactDistinct
+	return p
+}
 
-	// Phase 1: Data Profiling (Algorithm 2).
-	start := time.Now()
-	var ptables []profiler.Table
-	for _, t := range tables {
-		ptables = append(ptables, profiler.Table{Dataset: t.Dataset, Frame: t.Frame})
-	}
-	p.Profiles = p.profiler.ProfileAll(ptables)
-	p.ProfilingTime = time.Since(start)
+// finishBootstrap runs phases 2-4 over already-computed profiles — the
+// join point of the in-memory and streaming bootstrap paths.
+func (p *Platform) finishBootstrap(profiles []*profiler.ColumnProfile, profilingTime time.Duration) {
+	p.Profiles = profiles
+	p.ProfilingTime = profilingTime
 
 	// Phase 2: Data Global Schema (Algorithm 3).
-	start = time.Now()
+	start := time.Now()
 	p.Edges = p.newBuilder().BuildGraph(p.Store, p.Profiles)
 	p.SchemaBuildTime = time.Since(start)
 
@@ -164,7 +191,6 @@ func Bootstrap(cfg Config, tables []Table) *Platform {
 	p.abstractor = pipeline.NewAbstractor()
 	p.graphs = pipeline.NewGraphBuilder(p.Linker)
 	p.Discovery = discovery.New(p.Store)
-	return p
 }
 
 // HNSW parameters for the table ANN index (m=16, ef=64 are the customary
@@ -252,6 +278,19 @@ func (p *Platform) AddTables(tables []Table) ([]string, error) {
 	// Delta profiling: cost scales with the new tables only.
 	added := p.profiler.ProfileAll(ptables)
 
+	p.spliceProfilesLocked(added)
+	return ids, nil
+}
+
+// spliceProfilesLocked splices already-computed profiles of one or more
+// whole tables into the live platform: delta similarity edges, per-table
+// metadata named graphs, embedding-index upserts, linker registration,
+// and the locked metadata append. Both mutation paths — AddTables with
+// in-memory profiling and AddSourceTable with streaming profiling — end
+// here, which is why they produce identical platforms for identical
+// data. Caller holds ingestMu and has removed prior versions of the
+// tables.
+func (p *Platform) spliceProfilesLocked(added []*profiler.ColumnProfile) {
 	// Delta similarity: new columns against existing + new columns.
 	// ingestMu guarantees no concurrent mutator, so the view is the final
 	// state of the previous mutation.
@@ -296,7 +335,6 @@ func (p *Platform) AddTables(tables []Table) ([]string, error) {
 		p.TableEmbeddings[tid] = emb
 	}
 	p.mu.Unlock()
-	return ids, nil
 }
 
 // RemoveTable deletes a table from the live platform: its metadata named

@@ -71,7 +71,15 @@ func NewCoLR() *CoLR {
 // EncodeColumn embeds a column's non-null lexical values under the encoder
 // for fine-grained type t. The result is L2-normalized.
 func (c *CoLR) EncodeColumn(values []string, t Type) Vector {
-	sample := c.sample(values)
+	return c.EncodeSampled(c.sample(values), t)
+}
+
+// EncodeSampled embeds values that have already been sampled, skipping
+// the internal subsampling pass. The streaming profiler uses this: its
+// bounded reservoir reproduces sample's selection (same SampleHash, same
+// hash ordering) incrementally, then encodes the reservoir contents
+// as-is. EncodeColumn(values) == EncodeSampled(sample(values)).
+func (c *CoLR) EncodeSampled(sample []string, t Type) Vector {
 	v := NewVector(Dim)
 	if len(sample) == 0 {
 		return v
@@ -103,16 +111,42 @@ func (c *CoLR) EncodeColumn(values []string, t Type) Vector {
 	return v
 }
 
+// SampleHash is the deterministic pseudo-random rank of value s at
+// non-null position i within its column: the n values with the smallest
+// hashes form the column's sample. Exported so the streaming profiler's
+// bounded reservoir selects exactly the values the in-memory sample
+// would — same hash, same ordering, identical embedding.
+func SampleHash(s string, i int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	var ib [8]byte
+	for b := 0; b < 8; b++ {
+		ib[b] = byte(i >> (8 * b))
+	}
+	h.Write(ib[:])
+	return h.Sum64()
+}
+
+// SampleSize returns how many values the sampler keeps for a column of n
+// non-null values, or n itself when the column is passed through whole.
+func (c *CoLR) SampleSize(n int) int {
+	if !c.Subsample || n <= c.MinSample {
+		return n
+	}
+	k := int(c.SampleFraction * float64(n))
+	if k < c.MinSample {
+		k = c.MinSample
+	}
+	if k >= n {
+		return n
+	}
+	return k
+}
+
 // sample draws a deterministic pseudo-random sample of the values
 // (hash-ordered), honoring SampleFraction and MinSample.
 func (c *CoLR) sample(values []string) []string {
-	if !c.Subsample || len(values) <= c.MinSample {
-		return values
-	}
-	n := int(c.SampleFraction * float64(len(values)))
-	if n < c.MinSample {
-		n = c.MinSample
-	}
+	n := c.SampleSize(len(values))
 	if n >= len(values) {
 		return values
 	}
@@ -122,14 +156,7 @@ func (c *CoLR) sample(values []string) []string {
 	}
 	hs := make([]hv, len(values))
 	for i, s := range values {
-		h := fnv.New64a()
-		h.Write([]byte(s))
-		var ib [8]byte
-		for b := 0; b < 8; b++ {
-			ib[b] = byte(i >> (8 * b))
-		}
-		h.Write(ib[:])
-		hs[i] = hv{h: h.Sum64(), i: i}
+		hs[i] = hv{h: SampleHash(s, i), i: i}
 	}
 	sort.Slice(hs, func(a, b int) bool { return hs[a].h < hs[b].h })
 	out := make([]string, n)

@@ -28,8 +28,8 @@ type EvalOptions struct {
 
 // RunEval runs the full standing evaluation: discovery quality for the
 // platform and every vendored baseline over one ground-truth lake, plus
-// the snapshot/ingest/sparql/server/edges perf experiments, unified into
-// one Trajectory.
+// the snapshot/ingest/sparql/server/edges/connectors perf experiments,
+// unified into one Trajectory.
 func RunEval(o EvalOptions) (*Trajectory, error) {
 	if o.Concurrency < 1 {
 		o.Concurrency = 1
@@ -87,7 +87,7 @@ func RunEval(o EvalOptions) (*Trajectory, error) {
 		})
 	}
 
-	// Perf: the five standing experiments behind the unified schema.
+	// Perf: the six standing experiments behind the unified schema.
 	po := PerfOptions{Quick: o.Quick}
 	perfRuns := []func() (PerfResult, error){
 		func() (PerfResult, error) { return resultOf(RunSnapshotPerf(po)) },
@@ -95,6 +95,7 @@ func RunEval(o EvalOptions) (*Trajectory, error) {
 		func() (PerfResult, error) { return resultOf(RunSPARQLPerf(po)) },
 		func() (PerfResult, error) { return resultOf(RunServerPerf(po)) },
 		func() (PerfResult, error) { return resultOf(RunEdgesPerf(po)) },
+		func() (PerfResult, error) { return resultOf(RunConnectorsPerf(po)) },
 	}
 	for _, run := range perfRuns {
 		run := run

@@ -41,7 +41,7 @@ func TestRunEvalConcurrent(t *testing.T) {
 		t.Errorf("platform tasks = %v, want unionable and joinable", tasks)
 	}
 
-	// Perf must cover all five standing experiments.
+	// Perf must cover all six standing experiments.
 	perf := map[string]bool{}
 	for _, p := range tr.Perf {
 		perf[p.Experiment] = true
@@ -49,7 +49,7 @@ func TestRunEvalConcurrent(t *testing.T) {
 			t.Errorf("perf experiment %q has no metrics", p.Experiment)
 		}
 	}
-	for _, want := range []string{"snapshot", "ingest", "sparql", "server", "edges"} {
+	for _, want := range []string{"snapshot", "ingest", "sparql", "server", "edges", "connectors"} {
 		if !perf[want] {
 			t.Errorf("perf experiment %q missing (have %v)", want, perf)
 		}

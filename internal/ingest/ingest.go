@@ -17,6 +17,7 @@
 package ingest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -24,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"kglids/internal/connector"
 	"kglids/internal/core"
 	"kglids/internal/dataframe"
 )
@@ -39,13 +41,16 @@ const (
 	Failed  State = "failed"
 )
 
-// Kind distinguishes the two mutation job types.
+// Kind distinguishes the mutation job types.
 type Kind string
 
 // Job kinds.
 const (
 	KindAdd    Kind = "add"
 	KindRemove Kind = "remove"
+	// KindSource jobs stream one table from a connector source (see
+	// SubmitSource); the table never materializes in memory.
+	KindSource Kind = "source"
 )
 
 // Job is the externally visible record of one submission. All fields are
@@ -77,7 +82,11 @@ type Job struct {
 type job struct {
 	Job
 	tables []core.Table // payload of add jobs
-	done   chan struct{}
+	// src and ref are the payload of source jobs: the opened connector
+	// and the one table this job streams.
+	src  connector.Source
+	ref  connector.TableRef
+	done chan struct{}
 }
 
 // Errors returned by Submit/SubmitRemoval.
@@ -161,6 +170,45 @@ func (m *Manager) Submit(tables []core.Table) (int, error) {
 	})
 }
 
+// SubmitSource opens a connector URI, enumerates its tables, and
+// enqueues one streaming job per table — per-table granularity means a
+// lake-sized source ingests at full worker parallelism, each worker's
+// memory bounded by one table's chunk and reservoir state, and a single
+// broken table fails alone instead of failing the source. Tables whose
+// connector-reported fingerprint matches the last ingested version are
+// skipped without being opened. Open and enumeration errors are
+// synchronous; per-table errors surface on the jobs. Returns the job ID
+// per table, in enumeration order.
+func (m *Manager) SubmitSource(uri string) ([]int, error) {
+	if uri == "" {
+		return nil, errors.New("ingest: empty source URI")
+	}
+	src, err := m.plat.OpenSource(uri)
+	if err != nil {
+		return nil, err
+	}
+	refs, err := src.Tables(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("ingest: source %s has no tables", uri)
+	}
+	ids := make([]int, 0, len(refs))
+	for _, ref := range refs {
+		id, err := m.enqueue(&job{
+			Job: Job{Kind: KindSource, Tables: []string{ref.ID()}},
+			src: src,
+			ref: ref,
+		})
+		if err != nil {
+			return ids, fmt.Errorf("ingest: source %s: table %s: %w", uri, ref.ID(), err)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
 // SubmitRemoval enqueues a job deleting a table by "dataset/table" ID.
 func (m *Manager) SubmitRemoval(tableID string) (int, error) {
 	if tableID == "" {
@@ -240,6 +288,8 @@ func (m *Manager) run(j *job) {
 		err = m.runAdd(j)
 	case KindRemove:
 		err = m.runRemove(j)
+	case KindSource:
+		err = m.runSource(j)
 	default:
 		err = fmt.Errorf("ingest: unknown job kind %q", j.Kind)
 	}
@@ -323,6 +373,38 @@ func (m *Manager) runAdd(j *job) error {
 	// Drop the payload: finished jobs should not pin table frames in
 	// memory for as long as the job record is retained.
 	j.tables = nil
+	return nil
+}
+
+// runSource streams one connector table into the platform, skipping it
+// when the connector-reported fingerprint matches the last ingested
+// version. A zero fingerprint means the connector cannot cheaply hash
+// the table; such tables are always re-ingested, never stale-skipped.
+func (m *Manager) runSource(j *job) error {
+	id := j.ref.ID()
+	m.mu.Lock()
+	prev, known := m.fingerprints[id]
+	m.mu.Unlock()
+	if known && j.ref.Fingerprint != 0 && prev == j.ref.Fingerprint && m.plat.HasTable(id) {
+		m.mu.Lock()
+		j.Skipped = append(j.Skipped, id)
+		m.mu.Unlock()
+		return nil
+	}
+
+	updated := m.plat.HasTable(id)
+	if err := m.plat.AddSourceTable(context.Background(), j.src, j.ref); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.fingerprints[id] = j.ref.Fingerprint
+	if updated {
+		j.Updated = append(j.Updated, id)
+	} else {
+		j.Added = append(j.Added, id)
+	}
+	m.mu.Unlock()
+	j.src = nil
 	return nil
 }
 

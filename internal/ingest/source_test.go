@@ -1,0 +1,130 @@
+package ingest
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kglids/internal/core"
+)
+
+// writeDirLake materializes a small dir:// lake and returns its root.
+func writeDirLake(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"sales/orders.csv": "id,amount\n1,10.5\n2,20.25\n3,30.75\n",
+		"sales/items.csv":  "sku,qty\nA1,3\nB2,7\nC3,9\n",
+		"hr/people.csv":    "name,age\nJames,31\nMary,45\nJohn,28\n",
+	}
+	for name, content := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func waitAll(t *testing.T, m *Manager, ids []int) []Job {
+	t.Helper()
+	out := make([]Job, 0, len(ids))
+	for _, id := range ids {
+		j, ok := m.Wait(id)
+		if !ok {
+			t.Fatalf("job %d vanished", id)
+		}
+		if j.State != Done {
+			t.Fatalf("job %d = %+v", id, j)
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+func TestSubmitSourceStreamsAndFingerprintSkips(t *testing.T) {
+	root := writeDirLake(t)
+	uri := "dir://" + root
+	plat, failed, err := core.BootstrapSource(context.Background(), core.DefaultConfig(), uri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 0 {
+		t.Fatalf("failed: %v", failed)
+	}
+	m := New(plat, Options{Workers: 2})
+	defer m.Close()
+
+	// First submission: the manager has no fingerprints, so every table
+	// re-ingests as an update of the bootstrapped version.
+	ids, err := m.SubmitSource(uri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("enqueued %d jobs, want one per table", len(ids))
+	}
+	for _, j := range waitAll(t, m, ids) {
+		if len(j.Updated) != 1 || len(j.Skipped) != 0 {
+			t.Fatalf("first pass job = %+v", j)
+		}
+	}
+
+	// Second submission: connector fingerprints match — every table skips
+	// without being opened.
+	ids, err = m.SubmitSource(uri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range waitAll(t, m, ids) {
+		if len(j.Skipped) != 1 || len(j.Updated) != 0 || len(j.Added) != 0 {
+			t.Fatalf("unchanged resubmission job = %+v", j)
+		}
+	}
+
+	// Change one file and add a brand-new one: exactly those two do work.
+	if err := os.WriteFile(filepath.Join(root, "sales", "orders.csv"),
+		[]byte("id,amount\n1,11\n2,22\n3,33\n4,44\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "hr", "roles.csv"),
+		[]byte("role,level\neng,3\nmgr,5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ids, err = m.SubmitSource(uri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var updated, added, skipped int
+	for _, j := range waitAll(t, m, ids) {
+		updated += len(j.Updated)
+		added += len(j.Added)
+		skipped += len(j.Skipped)
+	}
+	if updated != 1 || added != 1 || skipped != 2 {
+		t.Fatalf("updated=%d added=%d skipped=%d, want 1/1/2", updated, added, skipped)
+	}
+	if !plat.HasTable("hr/roles.csv") {
+		t.Fatal("new table not served")
+	}
+}
+
+func TestSubmitSourceValidation(t *testing.T) {
+	plat := core.Bootstrap(core.DefaultConfig(), lakeTables(t)[:2])
+	m := New(plat, Options{Workers: 1})
+	defer m.Close()
+	if _, err := m.SubmitSource(""); err == nil {
+		t.Error("empty URI accepted")
+	}
+	if _, err := m.SubmitSource("nosuch://x"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	empty := t.TempDir()
+	if _, err := m.SubmitSource("dir://" + empty); err == nil {
+		t.Error("empty lake accepted")
+	}
+}

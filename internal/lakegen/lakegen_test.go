@@ -1,18 +1,19 @@
-package lakegen
+package lakegen_test
 
 import (
 	"testing"
 
 	"kglids/internal/embed"
+	"kglids/internal/lakegen"
 	"kglids/internal/profiler"
 )
 
 func TestGenerateShape(t *testing.T) {
-	b := Generate(SANTOSSmall)
-	if len(b.Tables) < SANTOSSmall.Families*2+SANTOSSmall.NoiseTables {
+	b := lakegen.Generate(lakegen.SANTOSSmall)
+	if len(b.Tables) < lakegen.SANTOSSmall.Families*2+lakegen.SANTOSSmall.NoiseTables {
 		t.Errorf("tables = %d", len(b.Tables))
 	}
-	if len(b.QueryTables) != SANTOSSmall.QueryTables {
+	if len(b.QueryTables) != lakegen.SANTOSSmall.QueryTables {
 		t.Errorf("query tables = %d", len(b.QueryTables))
 	}
 	for _, q := range b.QueryTables {
@@ -26,7 +27,7 @@ func TestGenerateShape(t *testing.T) {
 }
 
 func TestGroundTruthSymmetric(t *testing.T) {
-	b := Generate(SANTOSSmall)
+	b := lakegen.Generate(lakegen.SANTOSSmall)
 	for table, others := range b.GroundTruth {
 		for _, o := range others {
 			found := false
@@ -44,7 +45,7 @@ func TestGroundTruthSymmetric(t *testing.T) {
 }
 
 func TestGenerateDeterministic(t *testing.T) {
-	a, b := Generate(D3LSmall), Generate(D3LSmall)
+	a, b := lakegen.Generate(lakegen.D3LSmall), lakegen.Generate(lakegen.D3LSmall)
 	if len(a.Tables) != len(b.Tables) {
 		t.Fatal("nondeterministic table count")
 	}
@@ -56,7 +57,7 @@ func TestGenerateDeterministic(t *testing.T) {
 }
 
 func TestBenchmarkShapesDiffer(t *testing.T) {
-	d3l, tus, santos := Generate(D3LSmall), Generate(TUSSmall), Generate(SANTOSSmall)
+	d3l, tus, santos := lakegen.Generate(lakegen.D3LSmall), lakegen.Generate(lakegen.TUSSmall), lakegen.Generate(lakegen.SANTOSSmall)
 	// D3L has the largest average unionable set (paper Table 1: 110 vs 163
 	// vs 14 — D3L per query among the highest relative to lake size).
 	if d3l.AvgUnionable() <= santos.AvgUnionable() {
@@ -67,7 +68,7 @@ func TestBenchmarkShapesDiffer(t *testing.T) {
 		t.Errorf("table counts: tus=%d d3l=%d santos=%d", len(tus.Tables), len(d3l.Tables), len(santos.Tables))
 	}
 	// SANTOS Large dwarfs all small benchmarks.
-	large := Generate(SANTOSLarge)
+	large := lakegen.Generate(lakegen.SANTOSLarge)
 	if len(large.Tables) < 3*len(tus.Tables) {
 		t.Errorf("SANTOS Large = %d tables", len(large.Tables))
 	}
@@ -76,7 +77,7 @@ func TestBenchmarkShapesDiffer(t *testing.T) {
 func TestTypeDiversity(t *testing.T) {
 	// The lake must exercise all seven fine-grained types (Table 1 lists
 	// counts for every type).
-	b := Generate(TUSSmall)
+	b := lakegen.Generate(lakegen.TUSSmall)
 	p := profiler.New()
 	var tables []profiler.Table
 	for _, df := range b.Tables {
@@ -91,9 +92,9 @@ func TestTypeDiversity(t *testing.T) {
 }
 
 func TestGenerateEval(t *testing.T) {
-	lake := GenerateEval(QuickEvalSpec)
-	if len(lake.PlantedJoins) != QuickEvalSpec.JoinPairs {
-		t.Fatalf("planted %d pairs, want %d", len(lake.PlantedJoins), QuickEvalSpec.JoinPairs)
+	lake := lakegen.GenerateEval(lakegen.QuickEvalSpec)
+	if len(lake.PlantedJoins) != lakegen.QuickEvalSpec.JoinPairs {
+		t.Fatalf("planted %d pairs, want %d", len(lake.PlantedJoins), lakegen.QuickEvalSpec.JoinPairs)
 	}
 
 	byName := map[string]map[string]map[string]bool{} // table -> column -> value set
@@ -166,7 +167,7 @@ func TestGenerateEval(t *testing.T) {
 }
 
 func TestGenerateEvalDeterministic(t *testing.T) {
-	a, b := GenerateEval(QuickEvalSpec), GenerateEval(QuickEvalSpec)
+	a, b := lakegen.GenerateEval(lakegen.QuickEvalSpec), lakegen.GenerateEval(lakegen.QuickEvalSpec)
 	if len(a.PlantedJoins) != len(b.PlantedJoins) {
 		t.Fatal("nondeterministic planting")
 	}
@@ -184,7 +185,7 @@ func TestGenerateEvalDeterministic(t *testing.T) {
 }
 
 func TestGenerateTask(t *testing.T) {
-	d := GenerateTask(TaskSpec{ID: 1, Name: "t", Rows: 200, NumFeatures: 4, CatFeatures: 2, Classes: 2, NullRate: 0.1, Seed: 1})
+	d := lakegen.GenerateTask(lakegen.TaskSpec{ID: 1, Name: "t", Rows: 200, NumFeatures: 4, CatFeatures: 2, Classes: 2, NullRate: 0.1, Seed: 1})
 	if d.Frame.NumRows() != 200 || d.Frame.NumCols() != 7 {
 		t.Fatalf("shape = %dx%d", d.Frame.NumRows(), d.Frame.NumCols())
 	}
@@ -197,14 +198,14 @@ func TestGenerateTask(t *testing.T) {
 	if d.Task != "binary" {
 		t.Errorf("task = %s", d.Task)
 	}
-	multi := GenerateTask(TaskSpec{ID: 2, Name: "m", Rows: 100, NumFeatures: 3, Classes: 4, Seed: 2})
+	multi := lakegen.GenerateTask(lakegen.TaskSpec{ID: 2, Name: "m", Rows: 100, NumFeatures: 3, Classes: 4, Seed: 2})
 	if multi.Task != "multiclass" {
 		t.Errorf("task = %s", multi.Task)
 	}
 }
 
 func TestSuites(t *testing.T) {
-	clean := CleaningSuite()
+	clean := lakegen.CleaningSuite()
 	if len(clean) != 13 {
 		t.Errorf("cleaning suite = %d", len(clean))
 	}
@@ -222,7 +223,7 @@ func TestSuites(t *testing.T) {
 			t.Errorf("dataset %s has no nulls to clean", d.Name)
 		}
 	}
-	tr := TransformSuite()
+	tr := lakegen.TransformSuite()
 	if len(tr) != 17 {
 		t.Errorf("transform suite = %d", len(tr))
 	}
@@ -230,7 +231,7 @@ func TestSuites(t *testing.T) {
 		t.Errorf("transform IDs = %d..%d", tr[0].ID, tr[16].ID)
 	}
 	// Figure 9's x-axes list 11 multi-class + 14 binary dataset IDs.
-	am := AutoMLSuite()
+	am := lakegen.AutoMLSuite()
 	if len(am) != 25 {
 		t.Errorf("automl suite = %d", len(am))
 	}
@@ -238,7 +239,7 @@ func TestSuites(t *testing.T) {
 
 func TestTaskLearnable(t *testing.T) {
 	// Sanity: informative features make the task learnable above chance.
-	d := GenerateTask(TaskSpec{ID: 9, Name: "l", Rows: 400, NumFeatures: 6, Classes: 2, Seed: 11})
+	d := lakegen.GenerateTask(lakegen.TaskSpec{ID: 9, Name: "l", Rows: 400, NumFeatures: 6, Classes: 2, Seed: 11})
 	m, err := d.Frame.ToMatrix(d.Target)
 	if err != nil {
 		t.Fatal(err)

@@ -54,6 +54,15 @@ type Profiler struct {
 	CoLR    *embed.CoLR
 	Types   *TypeInferencer
 	Workers int
+
+	// ReservoirSize bounds the per-column value sample the streaming path
+	// retains for embeddings and exact std (see stream.go). 0 selects
+	// DefaultReservoirSize. The in-memory path ignores it.
+	ReservoirSize int
+	// ExactDistinct bounds the exact distinct-value set per column on the
+	// streaming path; beyond it a KMV sketch estimates. 0 selects
+	// DefaultExactDistinct. The in-memory path ignores it.
+	ExactDistinct int
 }
 
 // New returns a profiler with the default CoLR configuration and one worker

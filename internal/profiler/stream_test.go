@@ -1,0 +1,232 @@
+package profiler
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kglids/internal/connector"
+	"kglids/internal/embed"
+)
+
+// mustSameProfiles asserts two profile sets are byte-identical JSON
+// documents keyed by column ID — the strongest possible equivalence
+// between the streaming and in-memory paths.
+func mustSameProfiles(t *testing.T, streamed, inMemory []*ColumnProfile) {
+	t.Helper()
+	if len(streamed) != len(inMemory) {
+		t.Fatalf("streamed %d profiles, in-memory %d", len(streamed), len(inMemory))
+	}
+	byID := map[string]string{}
+	for _, cp := range inMemory {
+		doc, err := cp.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		byID[cp.ID()] = string(doc)
+	}
+	for _, cp := range streamed {
+		doc, err := cp.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, ok := byID[cp.ID()]
+		if !ok {
+			t.Fatalf("streamed column %s missing from in-memory profiles", cp.ID())
+		}
+		if string(doc) != want {
+			t.Errorf("column %s diverges:\n  streamed:  %s\n  in-memory: %s", cp.ID(), doc, want)
+		}
+	}
+}
+
+// writeLake materializes a small mixed-type dir:// lake.
+func writeLake(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"sales/orders.csv": "id,amount,paid,city,note\n" +
+			"1,10.5,true,Montreal,alpha\n" +
+			"2,20.25,false,Toronto,beta\n" +
+			"3,,true,Montreal,\"with, comma\"\n" +
+			"4,40.75,false,Vancouver,delta\n" +
+			"5,7.125,true,Montreal,epsilon\n",
+		"sales/items.csv": "sku,qty\nA1,3\nB2,\nC3,9\nD4,12\n",
+		"hr/people.csv": "name,age\n" +
+			"James,31\nMary Smith,45\nJohn,28\nPatricia,39\nRobert,52\nJennifer,44\n",
+	}
+	for name, content := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestStreamingMatchesInMemoryExactly(t *testing.T) {
+	for _, uri := range []string{
+		"dir://" + writeLake(t),
+		"lakegen://wide?tables=6&cols=5&rows=400&seed=5",
+	} {
+		for _, chunkRows := range []int{1, 3, 256} {
+			src, err := connector.OpenWith(uri, connector.Options{ChunkRows: chunkRows})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := New()
+			streamed, tableErrs, err := p.ProfileSource(context.Background(), src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tableErrs) != 0 {
+				t.Fatalf("table errors: %v", tableErrs)
+			}
+			frames, err := MaterializeSource(context.Background(), src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inMemory := p.ProfileAll(frames)
+			t.Run(fmt.Sprintf("%s/chunk%d", src.Scheme(), chunkRows), func(t *testing.T) {
+				mustSameProfiles(t, streamed, inMemory)
+			})
+		}
+	}
+}
+
+func TestStreamingDeterministicOrder(t *testing.T) {
+	src, err := connector.Open("lakegen://wide?tables=4&cols=3&rows=100&seed=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New()
+	a, _, err := p.ProfileSource(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := p.ProfileSource(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("%d vs %d profiles", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID() != b[i].ID() {
+			t.Fatalf("profile order unstable at %d: %s vs %s", i, a[i].ID(), b[i].ID())
+		}
+	}
+}
+
+// TestStreamingBoundedAccuracy forces the sketch regime — a reservoir and
+// exact-distinct budget far below the column cardinality — and pins the
+// approximation error: counts and moments that stay exact must be exact,
+// distinct estimation must land within KMV's expected error, and std must
+// agree with the two-pass value to floating-point noise.
+func TestStreamingBoundedAccuracy(t *testing.T) {
+	const rows = 8000
+	src, err := connector.Open(fmt.Sprintf("lakegen://wide?tables=1&cols=4&rows=%d&seed=13", rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactP := New()
+	exact, _, err := exactP.ProfileSource(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	boundedP := New()
+	boundedP.ReservoirSize = 64
+	boundedP.ExactDistinct = 32
+	bounded, _, err := boundedP.ProfileSource(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact) != len(bounded) {
+		t.Fatalf("%d vs %d profiles", len(exact), len(bounded))
+	}
+	for i, e := range exact {
+		b := bounded[i]
+		if e.ID() != b.ID() || e.Type != b.Type {
+			t.Fatalf("%s: identity diverged (%s/%s)", e.ID(), e.Type, b.Type)
+		}
+		// Exact-by-construction fields.
+		if b.Stats.Total != e.Stats.Total || b.Stats.Missing != e.Stats.Missing ||
+			b.Stats.Min != e.Stats.Min || b.Stats.Max != e.Stats.Max ||
+			b.Stats.Mean != e.Stats.Mean || b.Stats.TrueRatio != e.Stats.TrueRatio {
+			t.Errorf("%s: exact field diverged: %+v vs %+v", e.ID(), b.Stats, e.Stats)
+		}
+		// Std falls back to Welford: same value to floating-point noise.
+		if e.Stats.Std != 0 {
+			if rel := math.Abs(b.Stats.Std-e.Stats.Std) / e.Stats.Std; rel > 1e-6 {
+				t.Errorf("%s: std %.9g vs %.9g (rel %.2g)", e.ID(), b.Stats.Std, e.Stats.Std, rel)
+			}
+		}
+		// Distinct over budget estimates via KMV (k=1024, ~3% standard
+		// error); pin a generous 15% so the test is immune to seed luck.
+		if e.Stats.Distinct > boundedP.ExactDistinct {
+			rel := math.Abs(float64(b.Stats.Distinct-e.Stats.Distinct)) / float64(e.Stats.Distinct)
+			if rel > 0.15 {
+				t.Errorf("%s: distinct %d vs exact %d (rel %.2f)", e.ID(), b.Stats.Distinct, e.Stats.Distinct, rel)
+			}
+		} else if b.Stats.Distinct != e.Stats.Distinct {
+			t.Errorf("%s: distinct %d vs %d under the exact budget", e.ID(), b.Stats.Distinct, e.Stats.Distinct)
+		}
+		// The embedding comes from a hash-reservoir subsample: well-formed
+		// and close in direction to the exact-sample embedding.
+		if len(b.Embed) != len(e.Embed) {
+			t.Fatalf("%s: embedding dims %d vs %d", e.ID(), len(b.Embed), len(e.Embed))
+		}
+		if sim := embed.Cosine(e.Embed, b.Embed); sim < 0.80 {
+			t.Errorf("%s: reservoir embedding drifted (cosine %.3f)", e.ID(), sim)
+		}
+	}
+}
+
+func TestProfileSourceSkipsUnreadableTables(t *testing.T) {
+	root := writeLake(t)
+	if err := os.WriteFile(filepath.Join(root, "sales", "broken.csv"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := connector.Open("dir://" + root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New()
+	profiles, tableErrs, err := p.ProfileSource(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tableErrs) != 1 {
+		t.Fatalf("table errors %v, want exactly the broken table", tableErrs)
+	}
+	if _, ok := tableErrs["sales/broken.csv"]; !ok {
+		t.Fatalf("broken table not reported: %v", tableErrs)
+	}
+	tables := map[string]bool{}
+	for _, cp := range profiles {
+		tables[cp.TableID()] = true
+	}
+	if len(tables) != 3 {
+		t.Fatalf("profiled tables %v, want the 3 readable ones", tables)
+	}
+}
+
+func TestProfileSourceCancellation(t *testing.T) {
+	src, err := connector.Open("lakegen://wide?tables=8&cols=6&rows=5000&seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := New()
+	if _, _, err := p.ProfileSource(ctx, src); err == nil {
+		t.Fatal("canceled ProfileSource returned no error")
+	}
+}

@@ -36,13 +36,24 @@ var stopwords = map[string]bool{
 	"my": true, "his": true, "her": true, "their": true, "our": true,
 }
 
-// Infer classifies a column (Algorithm 2 line 6). At most maxSample values
-// are examined.
+// InferSampleSize is the number of leading non-null cells type inference
+// examines. The streaming profiler retains exactly this prefix, so
+// streamed and in-memory columns always infer the same type.
+const InferSampleSize = 500
+
+// Infer classifies a column (Algorithm 2 line 6). At most InferSampleSize
+// values are examined.
 func (ti *TypeInferencer) Infer(s *dataframe.Series) embed.Type {
-	const maxSample = 500
+	return ti.InferCells(s.Cells)
+}
+
+// InferCells classifies a column given its cells (or, equivalently, any
+// prefix containing the first InferSampleSize non-null cells).
+func (ti *TypeInferencer) InferCells(cells []dataframe.Cell) embed.Type {
+	const maxSample = InferSampleSize
 	var vals []string
 	var numericKind struct{ ints, floats, bools, total int }
-	for _, c := range s.Cells {
+	for _, c := range cells {
 		if c.IsNull() {
 			continue
 		}

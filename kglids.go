@@ -71,6 +71,8 @@ type (
 	AutoMLResult = automl.Result
 	// Stats summarizes the LiDS graph.
 	Stats = core.Stats
+	// SourceReport summarizes a streaming AddSource call.
+	SourceReport = core.SourceReport
 )
 
 // Options configures bootstrapping (see core.Config).
@@ -89,6 +91,37 @@ type Options struct {
 	// filtered path (the pre-filter's average cluster size at scale).
 	// 0 uses the default. Tuning only.
 	EdgeCandidates int
+	// ChunkRows is the row-chunk size of the streaming connectors used by
+	// BootstrapSource/AddSource. 0 uses the connector default. Tuning
+	// only — profiles are unaffected.
+	ChunkRows int
+	// ReservoirSize bounds the per-column value sample retained by the
+	// streaming profiler for embeddings and exact std. 0 uses the default.
+	ReservoirSize int
+	// ExactDistinct bounds the exact distinct-value set per column on the
+	// streaming path; beyond it a KMV sketch estimates. 0 uses the
+	// default.
+	ExactDistinct int
+}
+
+func (opts Options) config() core.Config {
+	cfg := core.DefaultConfig()
+	if opts.Alpha > 0 {
+		cfg.Thresholds.Alpha = opts.Alpha
+	}
+	if opts.Beta > 0 {
+		cfg.Thresholds.Beta = opts.Beta
+	}
+	if opts.Theta > 0 {
+		cfg.Thresholds.Theta = opts.Theta
+	}
+	cfg.Workers = opts.Workers
+	cfg.EdgeBlockSize = opts.EdgeBlockSize
+	cfg.EdgeCandidates = opts.EdgeCandidates
+	cfg.ChunkRows = opts.ChunkRows
+	cfg.ReservoirSize = opts.ReservoirSize
+	cfg.ExactDistinct = opts.ExactDistinct
+	return cfg
 }
 
 // Platform is a bootstrapped KGLiDS instance. It is safe for concurrent
@@ -108,20 +141,20 @@ type Platform struct {
 // Bootstrap profiles the lake, builds the LiDS dataset graph, and returns
 // a platform ready for discovery queries.
 func Bootstrap(opts Options, tables []Table) *Platform {
-	cfg := core.DefaultConfig()
-	if opts.Alpha > 0 {
-		cfg.Thresholds.Alpha = opts.Alpha
+	return &Platform{core: core.Bootstrap(opts.config(), tables)}
+}
+
+// BootstrapSource bootstraps a platform by streaming a connector URI
+// (dir://, jsonl://, http(s)://, lakegen://) through the one-pass
+// profiler, so the lake never has to fit in memory. Tables that fail to
+// stream are skipped and reported by ID in the returned map; the
+// resulting platform is equivalent to Bootstrap over the same data.
+func BootstrapSource(ctx context.Context, opts Options, uri string) (*Platform, map[string]error, error) {
+	c, failed, err := core.BootstrapSource(ctx, opts.config(), uri)
+	if err != nil {
+		return nil, failed, err
 	}
-	if opts.Beta > 0 {
-		cfg.Thresholds.Beta = opts.Beta
-	}
-	if opts.Theta > 0 {
-		cfg.Thresholds.Theta = opts.Theta
-	}
-	cfg.Workers = opts.Workers
-	cfg.EdgeBlockSize = opts.EdgeBlockSize
-	cfg.EdgeCandidates = opts.EdgeCandidates
-	return &Platform{core: core.Bootstrap(cfg, tables)}
+	return &Platform{core: c}, failed, nil
 }
 
 // SetEdgeTuning adjusts the blocked similarity-edge pipeline knobs on a
@@ -177,6 +210,14 @@ func (p *Platform) AddPipelines(scripts []Script) { p.core.AddPipelines(scripts)
 // to a fresh Bootstrap over the final table set. Returns the ingested
 // table IDs. See internal/ingest for the asynchronous job-queue front end.
 func (p *Platform) AddTables(tables []Table) ([]string, error) { return p.core.AddTables(tables) }
+
+// AddSource streams every table of a connector URI into the live
+// platform with AddTables' update semantics, in parallel across the
+// configured workers. Failed tables are reported in the SourceReport
+// rather than aborting the call. Discovery queries may run concurrently.
+func (p *Platform) AddSource(ctx context.Context, uri string) (*SourceReport, error) {
+	return p.core.AddSource(ctx, uri)
+}
 
 // RemoveTable deletes a table from the live platform: its named graph, its
 // similarity edges, and its embeddings all go away, and discovery stops
