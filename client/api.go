@@ -42,6 +42,51 @@ type Stats struct {
 type Health struct {
 	Status     string `json:"status"`
 	Generation uint64 `json:"generation"`
+	// Role is "primary" on a writable server and "replica" on a read-only
+	// follower (empty from servers predating replication).
+	Role string `json:"role,omitempty"`
+	// AppliedGeneration and LagSeconds report a replica's replication
+	// state: the store generation it has applied and how far (in seconds)
+	// its newest applied record trails the primary. Both are zero on
+	// primaries.
+	AppliedGeneration uint64  `json:"applied_generation,omitempty"`
+	LagSeconds        float64 `json:"lag_seconds,omitempty"`
+}
+
+// ChangeEntry is one replicated mutation record
+// (GET /api/v1/changelog). Payload is the binary-encoded record body
+// (base64 on the wire); Kind selects its schema: "add" and "remove" carry
+// quad batches, "remove-graph" a named graph, "platform-delta" the
+// platform-level half of a splice or removal.
+type ChangeEntry struct {
+	// Seq is the record's position in the primary's changelog; records
+	// apply strictly in Seq order.
+	Seq uint64 `json:"seq"`
+	// Generation is the primary's store generation after this record was
+	// applied. For quad-batch records a follower reaches the same value;
+	// for platform-delta records it is diagnostic only.
+	Generation uint64 `json:"generation"`
+	// TS is the primary's wall-clock append time (Unix nanoseconds), the
+	// basis of follower lag measurement.
+	TS      int64  `json:"ts"`
+	Kind    string `json:"kind"`
+	Payload []byte `json:"payload"`
+}
+
+// ChangelogPage is one page of the mutation changelog.
+type ChangelogPage struct {
+	Entries []ChangeEntry `json:"entries"`
+	// Head is the primary's newest sequence number, Floor its compaction
+	// floor: cursors below Floor are gone (410) and require a fresh
+	// snapshot.
+	Head  uint64 `json:"head"`
+	Floor uint64 `json:"floor"`
+	// AtHead reports that this page ends at Head — the follower is caught
+	// up and should poll rather than immediately re-fetch.
+	AtHead bool `json:"at_head"`
+	// NextCursor is the cursor for the next page: the Seq of the last
+	// entry, or the request cursor when the page is empty.
+	NextCursor uint64 `json:"next_cursor"`
 }
 
 // TableHit is one ranked table result (search, unionable, similar).

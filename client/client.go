@@ -167,6 +167,49 @@ func (c *Client) SPARQL(ctx context.Context, query string) (*SPARQLResult, error
 	return &out, nil
 }
 
+// Changelog fetches one page of the primary's mutation changelog starting
+// after cursor (0 = from the compaction floor). limit bounds the page
+// size; 0 means the server default. A cursor below the compaction floor
+// or beyond the head fails with ErrCursorGone: the follower must re-seed
+// from a fresh snapshot.
+func (c *Client) Changelog(ctx context.Context, cursor uint64, limit int) (ChangelogPage, error) {
+	q := url.Values{"cursor": {strconv.FormatUint(cursor, 10)}}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	var out ChangelogPage
+	err := c.get(ctx, "/api/v1/changelog", q, &out)
+	if ae, ok := AsAPIError(err); ok && ae.StatusCode == http.StatusGone {
+		return out, fmt.Errorf("%w: %s", ErrCursorGone, ae.Message)
+	}
+	return out, err
+}
+
+// Snapshot streams the server's current platform snapshot (the raw binary
+// format of internal/snapshot). The caller must Close the reader. Unlike
+// JSON endpoints, the body is not bounded by MaxResponseBody — snapshots
+// of large lakes legitimately exceed it.
+func (c *Client) Snapshot(ctx context.Context) (io.ReadCloser, error) {
+	target, err := c.base.Parse(c.base.Path + "/api/v1/snapshot")
+	if err != nil {
+		return nil, fmt.Errorf("client: build snapshot URL: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target.String(), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		payload, _ := io.ReadAll(io.LimitReader(resp.Body, MaxResponseBody))
+		resp.Body.Close()
+		return nil, apiError(resp, payload)
+	}
+	return resp.Body, nil
+}
+
 // Ingest submits tables as one asynchronous add job; the returned JobRef
 // can be polled with Job or awaited with WaitJob. Queue-full rejections
 // are retried with backoff before surfacing as an *APIError with status

@@ -1,0 +1,139 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"kglids"
+	"kglids/client"
+)
+
+// replicaPair boots a primary with the changelog enabled and a follower
+// platform seeded from its snapshot endpoint.
+func replicaPair(t *testing.T) (*client.Client, *kglids.Platform, *kglids.Platform) {
+	t.Helper()
+	ts, plat, _ := testServer(t, true)
+	plat.EnableChangelog(0)
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := c.Snapshot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer body.Close()
+	replica, err := kglids.Read(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, plat, replica
+}
+
+func TestFollowerCatchUp(t *testing.T) {
+	c, primary, replica := replicaPair(t)
+
+	// Mutate the primary after the snapshot: the follower must stream the
+	// resulting records and land on the identical generation.
+	ids := primary.TableIDs()
+	if err := primary.RemoveTable(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	target := primary.ChangelogPosition()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	f := &client.Follower{
+		Client: c,
+		Cursor: replica.ChangelogPosition(),
+		Poll:   time.Millisecond,
+		Limit:  1, // force pagination
+		Apply: func(e client.ChangeEntry) error {
+			return replica.ApplyChange(e.Kind, e.Generation, e.Payload)
+		},
+		OnProgress: func(cursor, head uint64) {
+			if cursor >= target {
+				cancel() // caught up: stop tailing
+			}
+		},
+	}
+	if err := f.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run = %v, want context.Canceled after catch-up", err)
+	}
+	if f.Cursor != target {
+		t.Fatalf("follower cursor %d, want %d", f.Cursor, target)
+	}
+	if rg, pg := replica.Generation(), primary.Generation(); rg != pg {
+		t.Fatalf("replica generation %d, primary %d", rg, pg)
+	}
+	if replica.HasTable(ids[0]) {
+		t.Fatalf("replica still serves removed table %s", ids[0])
+	}
+}
+
+func TestFollowerCursorGone(t *testing.T) {
+	c, primary, _ := replicaPair(t)
+	if err := primary.RemoveTable(primary.TableIDs()[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Saving a snapshot compacts the primary's log: cursor 0 is gone.
+	if err := primary.SaveTo(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if primary.ChangelogPosition() == 0 {
+		t.Fatal("fixture has no changelog records")
+	}
+	f := &client.Follower{
+		Client: c,
+		Cursor: 0,
+		Apply:  func(client.ChangeEntry) error { return nil },
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := f.Run(ctx); !errors.Is(err, client.ErrCursorGone) {
+		t.Fatalf("Run with compacted cursor = %v, want ErrCursorGone", err)
+	}
+}
+
+func TestFollowerDetectsGap(t *testing.T) {
+	// A stub primary that skips a sequence number: the follower must stop
+	// rather than apply out of order.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v1/changelog", func(w http.ResponseWriter, r *http.Request) {
+		page := client.ChangelogPage{
+			Entries: []client.ChangeEntry{
+				{Seq: 1, Kind: "add", Payload: []byte{0}},
+				{Seq: 3, Kind: "add", Payload: []byte{0}}, // gap: 2 missing
+			},
+			Head: 3, NextCursor: 3, AtHead: true,
+		}
+		json.NewEncoder(w).Encode(page)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var applied []uint64
+	f := &client.Follower{
+		Client: c,
+		Apply:  func(e client.ChangeEntry) error { applied = append(applied, e.Seq); return nil },
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err = f.Run(ctx)
+	if err == nil || errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Run over gapped log = %v, want gap error", err)
+	}
+	if len(applied) != 1 || applied[0] != 1 {
+		t.Fatalf("applied %v, want only record 1 before the gap", applied)
+	}
+}

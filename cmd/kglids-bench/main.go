@@ -13,9 +13,9 @@
 //
 // Experiments: table1 table2 figure5 figure6 figure4 table3 table4 table5
 // figure7 table6 figure8 figure9 snapshot ingest sparql server edges
-// connectors, or "all" (default). Table 2 / Figure 5 share one run, as do
-// Table 3 / Table 4 / Figure 4 and Table 5 / Figure 7 and Table 6 /
-// Figure 8.
+// connectors replicas, or "all" (default). Table 2 / Figure 5 share one
+// run, as do Table 3 / Table 4 / Figure 4 and Table 5 / Figure 7 and
+// Table 6 / Figure 8.
 //
 // The snapshot experiment measures persist-once/serve-many startup; the
 // ingest experiment measures live mutation vs re-bootstrap; the sparql
@@ -27,13 +27,16 @@
 // pipeline against the exhaustive oracle; the connectors experiment
 // streams a generated lake 10x larger than its resident chunk budget
 // through the one-pass profiler against the materialize-then-profile
-// path, proving byte-identical profiles in bounded memory. All six live
-// in internal/experiments and feed the eval trajectory.
+// path, proving byte-identical profiles in bounded memory; the replicas
+// experiment boots read replicas off the primary's snapshot + changelog
+// stream, measures aggregate read throughput at 1..N followers, and times
+// a live mutation's convergence across all of them. All seven live in
+// internal/experiments and feed the eval trajectory.
 //
 // The eval subcommand is the standing evaluation harness: it scores
 // discovery quality (precision/recall/F1 against constructed ground truth)
 // for the platform and the vendored baselines through one shared
-// interface, runs the six perf experiments, and writes a versioned
+// interface, runs the seven perf experiments, and writes a versioned
 // BENCH_<date>.json trajectory at the current directory. -compare diffs a
 // previous trajectory against the fresh run (or against -against without
 // running) and exits non-zero on any regression beyond tolerance; -demote
@@ -165,6 +168,13 @@ func main() {
 		report, err := experiments.RunConnectorsPerf(experiments.PerfOptions{Quick: *quick})
 		if err := printJSON("Connectors: streaming one-pass profiler vs materialize-then-profile (lakegen:// lake)", report, err); err != nil {
 			fmt.Fprintln(os.Stderr, "connectors experiment:", err)
+			os.Exit(1)
+		}
+	}
+	if run("replicas") {
+		report, err := experiments.RunReplicasPerf(experiments.PerfOptions{Quick: *quick})
+		if err := printJSON("Replicas: snapshot-seeded followers tailing the changelog (read scaling + convergence)", report, err); err != nil {
+			fmt.Fprintln(os.Stderr, "replicas experiment:", err)
 			os.Exit(1)
 		}
 	}

@@ -24,6 +24,16 @@
 //	kglids-server -snapshot FILE [-addr :8080]
 //	kglids-server -lake DIR -ingest [-ingest-workers N] [-ingest-queue N]
 //	kglids-server -lake DIR -debug-addr :9090 [-pprof] [-slow-query-ms 250]
+//	kglids-server -replica -follow http://primary:8080 [-replica-poll 500ms]
+//
+// -replica serves a read-only follower: it boots from a snapshot (a local
+// -snapshot file when given, otherwise streamed from the primary's
+// /api/v1/snapshot), then tails the primary's mutation changelog, applying
+// each record in sequence so reads converge on the primary's state with
+// bounded staleness. Mutations are rejected with 405; /healthz reports
+// role "replica" with the applied generation and replication lag. The
+// primary side needs no flag: every non-replica server keeps a bounded
+// changelog (-changelog-retention tunes it) and serves /api/v1/changelog.
 //
 // -save-snapshot persists the platform after it is ready (from either
 // source), so the next start can skip bootstrapping.
@@ -71,6 +81,7 @@ import (
 	"time"
 
 	"kglids"
+	"kglids/client"
 	"kglids/internal/dataframe"
 	"kglids/internal/ingest"
 	"kglids/internal/server"
@@ -97,6 +108,10 @@ func main() {
 	queryWorkers := flag.Int("query-workers", 0, "parallel SPARQL execution width (0 = number of CPUs, 1 = serial)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+	replicaMode := flag.Bool("replica", false, "serve as a read-only replica following a primary (needs -follow)")
+	follow := flag.String("follow", "", "primary base URL to follow in -replica mode (e.g. http://primary:8080)")
+	replicaPoll := flag.Duration("replica-poll", 500*time.Millisecond, "replica: at-head changelog poll interval (the idle staleness bound)")
+	changelogRetention := flag.Int("changelog-retention", 0, "primary: quad-weighted changelog retention budget (0 = default)")
 	flag.Parse()
 
 	logger, err := buildLogger(*logFormat, *logLevel)
@@ -106,21 +121,42 @@ func main() {
 	}
 	slog.SetDefault(logger)
 
-	if *lakeDir == "" && *snapshotPath == "" && *source == "" {
+	if *replicaMode && *follow == "" {
+		fmt.Fprintln(os.Stderr, "kglids-server: -replica needs -follow PRIMARY_URL")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *lakeDir == "" && *snapshotPath == "" && *source == "" && !*replicaMode {
 		fmt.Fprintln(os.Stderr, "kglids-server: need -lake DIR, -source URI, or -snapshot FILE")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	plat, err := ready(logger, bootSources{
-		lakeDir:        *lakeDir,
-		source:         *source,
-		snapshotPath:   *snapshotPath,
-		edgeBlockSize:  *edgeBlockSize,
-		edgeCandidates: *edgeCandidates,
-		chunkRows:      *chunkRows,
-		reservoir:      *reservoir,
-	})
+	var primary *client.Client
+	if *replicaMode {
+		if primary, err = client.New(*follow); err != nil {
+			logger.Error("startup failed", "err", err)
+			os.Exit(1)
+		}
+	}
+
+	var plat *kglids.Platform
+	if *replicaMode {
+		// A replica boots from a snapshot — a local file when one is given
+		// and loadable, otherwise streamed from the primary — and then
+		// tails the primary's changelog from the snapshot's position.
+		plat, err = replicaPlatform(logger, primary, *snapshotPath)
+	} else {
+		plat, err = ready(logger, bootSources{
+			lakeDir:        *lakeDir,
+			source:         *source,
+			snapshotPath:   *snapshotPath,
+			edgeBlockSize:  *edgeBlockSize,
+			edgeCandidates: *edgeCandidates,
+			chunkRows:      *chunkRows,
+			reservoir:      *reservoir,
+		})
+	}
 	if err != nil {
 		logger.Error("startup failed", "err", err)
 		os.Exit(1)
@@ -135,8 +171,17 @@ func main() {
 	logger.Info("LiDS graph ready",
 		"triples", stats.Triples, "tables", stats.Tables, "similarity_edges", stats.SimilarityEdges)
 
+	if !*replicaMode {
+		// Every primary keeps a bounded mutation changelog so replicas can
+		// attach at any time (GET /api/v1/changelog). The budget bounds
+		// memory; snapshot saves advance the compaction floor.
+		plat.EnableChangelog(*changelogRetention)
+	}
+
 	var manager *ingest.Manager
-	if *ingestMode {
+	if *ingestMode && *replicaMode {
+		logger.Warn("-ingest ignored in -replica mode; replicas are read-only")
+	} else if *ingestMode {
 		manager = ingest.New(plat.Core(), ingest.Options{Workers: *ingestWorkers, QueueSize: *ingestQueue})
 		logger.Info("live ingestion enabled", "workers", *ingestWorkers, "queue", *ingestQueue)
 	}
@@ -160,6 +205,49 @@ func main() {
 		Ingest:         manager,
 		Logger:         logger,
 		AccessLog:      *accessLog,
+		ReadOnly:       *replicaMode,
+	}
+
+	// In replica mode, tail the primary's changelog in the background for
+	// the life of the process; reads keep serving throughout, so staleness
+	// is bounded by apply latency plus the poll interval.
+	followCtx, stopFollow := context.WithCancel(context.Background())
+	defer stopFollow()
+	if *replicaMode {
+		tracker := kglids.NewReplicaTracker()
+		srvOpts.Replica = tracker
+		follower := &client.Follower{
+			Client: primary,
+			Cursor: plat.ChangelogPosition(),
+			Poll:   *replicaPoll,
+			Apply: func(e client.ChangeEntry) error {
+				if err := plat.ApplyChange(e.Kind, e.Generation, e.Payload); err != nil {
+					return err
+				}
+				tracker.ObserveApplied(plat.Generation(), e.TS)
+				return nil
+			},
+			OnProgress: func(cursor, head uint64) {
+				if cursor >= head {
+					tracker.ObserveAtHead()
+				}
+			},
+		}
+		logger.Info("following primary", "primary", *follow,
+			"cursor", follower.Cursor, "poll", replicaPoll.String())
+		go func() {
+			err := follower.Run(followCtx)
+			switch {
+			case errors.Is(err, context.Canceled):
+				// Normal shutdown.
+			case errors.Is(err, client.ErrCursorGone):
+				logger.Error("replica cursor lost to primary compaction; restart to re-seed from a fresh snapshot", "err", err)
+				os.Exit(1)
+			case err != nil:
+				logger.Error("replication failed; restart to re-seed from a fresh snapshot", "err", err)
+				os.Exit(1)
+			}
+		}()
 	}
 	srv := &http.Server{
 		Addr:    *addr,
@@ -196,6 +284,7 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		logger.Info("shutting down")
+		stopFollow()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if debugSrv != nil {
@@ -218,9 +307,14 @@ func main() {
 	if manager != nil {
 		// Stop accepting mutations and drain queued jobs, then persist the
 		// final state if a snapshot path was given — accepted jobs must not
-		// vanish on restart.
+		// vanish on restart. The drain happens before the save, so the
+		// snapshot's changelog position covers every accepted mutation: a
+		// follower resuming from the saved snapshot sees no gap.
 		logger.Info("draining ingestion jobs")
 		manager.Close()
+		if !*replicaMode {
+			logger.Info("changelog tail flushed", "position", plat.ChangelogPosition())
+		}
 		saveIfAsked()
 	}
 }
@@ -250,6 +344,40 @@ func buildLogger(format, level string) (*slog.Logger, error) {
 	default:
 		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
 	}
+}
+
+// replicaPlatform boots a follower's platform: from a local snapshot file
+// when one is given and loadable, otherwise by streaming the primary's
+// current snapshot over /api/v1/snapshot. Either way the platform carries
+// the changelog position to resume tailing from.
+func replicaPlatform(logger *slog.Logger, primary *client.Client, snapshotPath string) (*kglids.Platform, error) {
+	if snapshotPath != "" {
+		plat, err := kglids.Open(snapshotPath)
+		switch {
+		case err == nil:
+			logger.Info("replica booted from local snapshot", "path", snapshotPath,
+				"position", plat.ChangelogPosition())
+			return plat, nil
+		case errors.Is(err, os.ErrNotExist):
+			logger.Info("local snapshot absent; fetching from primary", "path", snapshotPath)
+		default:
+			logger.Warn("local snapshot unusable; fetching from primary", "path", snapshotPath, "err", err)
+		}
+	}
+	start := time.Now()
+	body, err := primary.Snapshot(context.Background())
+	if err != nil {
+		return nil, fmt.Errorf("fetch snapshot from primary: %w", err)
+	}
+	defer body.Close()
+	plat, err := kglids.Read(body)
+	if err != nil {
+		return nil, fmt.Errorf("load primary snapshot: %w", err)
+	}
+	logger.Info("replica booted from primary snapshot",
+		"position", plat.ChangelogPosition(),
+		"duration", time.Since(start).Round(time.Millisecond).String())
+	return plat, nil
 }
 
 // bootSources carries the platform-source flags into ready.

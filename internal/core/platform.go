@@ -101,6 +101,10 @@ type Platform struct {
 	profiler   *profiler.Profiler
 	abstractor *pipeline.Abstractor
 	graphs     *pipeline.GraphBuilder
+	// restoredLogPos is the changelog position persisted by the snapshot
+	// this platform was restored from (0 for a fresh bootstrap). A primary
+	// seeds its changelog floor from it; a follower starts tailing at it.
+	restoredLogPos uint64
 	// labels is the persistent label-embedding cache shared by every
 	// schema build on this platform (bootstrap and all ingest deltas), so
 	// each distinct column label is embedded exactly once — a sequence of
@@ -335,6 +339,11 @@ func (p *Platform) spliceProfilesLocked(added []*profiler.ColumnProfile) {
 		p.TableEmbeddings[tid] = emb
 	}
 	p.mu.Unlock()
+
+	// Replication: the quad half of this splice was logged by the store
+	// batches above; the platform half (profiles, edges, embeddings) rides
+	// as an aux record so followers can mirror the metadata too.
+	p.emitDelta(&PlatformDelta{Profiles: added, Edges: delta, TableEmbeddings: embs})
 }
 
 // RemoveTable deletes a table from the live platform: its metadata named
@@ -357,47 +366,25 @@ func (p *Platform) RemoveTable(id string) error {
 func (p *Platform) removeTableLocked(id string) {
 	prefix := id + "/"
 
-	// Partition metadata under the read lock, mutate stores outside it.
+	// Collect the table's edges under the read lock, mutate the store
+	// outside it: retract the edge quads (both directions + annotations
+	// live in the default graph) and drop the table's metadata graph.
 	p.mu.RLock()
-	keepProfiles := make([]*profiler.ColumnProfile, 0, len(p.Profiles))
-	var removedProfiles []*profiler.ColumnProfile
-	for _, cp := range p.Profiles {
-		if cp.TableID() == id {
-			removedProfiles = append(removedProfiles, cp)
-		} else {
-			keepProfiles = append(keepProfiles, cp)
-		}
-	}
-	keepEdges := make([]schema.Edge, 0, len(p.Edges))
 	var removedEdges []schema.Edge
 	for _, e := range p.Edges {
 		if strings.HasPrefix(e.A, prefix) || strings.HasPrefix(e.B, prefix) {
 			removedEdges = append(removedEdges, e)
-		} else {
-			keepEdges = append(keepEdges, e)
 		}
 	}
 	p.mu.RUnlock()
-
-	// Store: retract the edge quads (both directions + annotations live in
-	// the default graph) and drop the table's metadata graph.
 	p.Store.RemoveBatch(schema.EdgeQuads(removedEdges))
 	p.Store.RemoveGraph(schema.TableGraph(id))
 
-	// Embedding stores: tombstone/remove.
-	for _, cp := range removedProfiles {
-		p.ColumnIndex.Remove(cp.ID())
-	}
-	p.TableIndex.Remove(id)
-	p.TableANN.Remove(id)
+	// Platform metadata: profiles, embeddings, linker entry (shared with
+	// the follower-side delta application).
+	p.removeTableMeta(id)
 
-	p.Linker.RemoveTable(id)
-
-	p.mu.Lock()
-	p.Profiles = keepProfiles
-	p.Edges = keepEdges
-	delete(p.TableEmbeddings, id)
-	p.mu.Unlock()
+	p.emitDelta(&PlatformDelta{RemovedTable: id})
 }
 
 // HasTable reports whether a table ID is currently part of the platform.

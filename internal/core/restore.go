@@ -48,6 +48,13 @@ type RestoredState struct {
 	// snapshot; they re-pin to the restored store's generation so the first
 	// repeat of a hot discovery query is a cache hit, not a re-execution.
 	QueryCache []sparql.CacheEntry
+	// Generation is the store mutation generation at save time (0 in
+	// snapshots predating the replication section). The restored store
+	// adopts it so changelog replay continues from aligned counters.
+	Generation uint64
+	// ChangelogPos is the changelog head at save time; a follower booted
+	// from this snapshot starts tailing the primary at this cursor.
+	ChangelogPos uint64
 }
 
 // Restore reassembles a query-ready Platform from decoded snapshot state.
@@ -98,6 +105,14 @@ func Restore(st RestoredState) (*Platform, error) {
 	if len(st.Scripts) > 0 {
 		p.AddPipelines(st.Scripts)
 	}
+	// Adopt the primary's generation before importing the query cache
+	// (entries pin to the current generation) and after AddPipelines
+	// (whose re-adds dedupe to generation-neutral no-ops), so a follower
+	// replaying the changelog observes the same counter as the primary.
+	if st.Generation > 0 {
+		p.Store.SetGeneration(st.Generation)
+	}
+	p.restoredLogPos = st.ChangelogPos
 	// Seed the query cache last: AddPipelines mutates the store, and import
 	// pins each entry to the store generation current at this point.
 	if len(st.QueryCache) > 0 {

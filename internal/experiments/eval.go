@@ -87,7 +87,7 @@ func RunEval(o EvalOptions) (*Trajectory, error) {
 		})
 	}
 
-	// Perf: the six standing experiments behind the unified schema.
+	// Perf: the seven standing experiments behind the unified schema.
 	po := PerfOptions{Quick: o.Quick}
 	perfRuns := []func() (PerfResult, error){
 		func() (PerfResult, error) { return resultOf(RunSnapshotPerf(po)) },
@@ -96,6 +96,7 @@ func RunEval(o EvalOptions) (*Trajectory, error) {
 		func() (PerfResult, error) { return resultOf(RunServerPerf(po)) },
 		func() (PerfResult, error) { return resultOf(RunEdgesPerf(po)) },
 		func() (PerfResult, error) { return resultOf(RunConnectorsPerf(po)) },
+		func() (PerfResult, error) { return resultOf(RunReplicasPerf(po)) },
 	}
 	for _, run := range perfRuns {
 		run := run

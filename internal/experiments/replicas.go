@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kglids"
+	"kglids/client"
+	"kglids/internal/ingest"
+	"kglids/internal/lakegen"
+	"kglids/internal/server"
+)
+
+// ReplicaScale is one row of the replicas experiment: aggregate read
+// throughput with N read replicas serving concurrently.
+type ReplicaScale struct {
+	Replicas     int     `json:"replicas"`
+	AggregateQPS float64 `json:"aggregate_qps"`
+	// Speedup is AggregateQPS relative to the single-replica row.
+	Speedup float64 `json:"speedup_vs_1r,omitempty"`
+}
+
+// ReplicasPerf is the replicas experiment's result: read throughput
+// scaling across follower counts plus the convergence latency of a live
+// mutation propagating from the primary to every follower.
+type ReplicasPerf struct {
+	Experiment string         `json:"experiment"`
+	Tables     int            `json:"tables"`
+	Triples    int            `json:"triples"`
+	Scales     []ReplicaScale `json:"scales"`
+	// ConvergenceMS is the wall-clock from submitting a live ingest on the
+	// primary to every follower having applied the full resulting
+	// changelog tail (verified by Stats and SPARQL equality).
+	ConvergenceMS       float64 `json:"convergence_ms"`
+	ConvergedGeneration uint64  `json:"converged_generation"`
+}
+
+// Result flattens the experiment into the trajectory schema. The per-count
+// QPS rows are informational (absolute throughput is machine-bound); the
+// scaling ratios and convergence latency are the comparable signals.
+func (p *ReplicasPerf) Result() PerfResult {
+	metrics := map[string]float64{"convergence_ms": p.ConvergenceMS}
+	for _, s := range p.Scales {
+		metrics[fmt.Sprintf("aggregate_qps_%dr", s.Replicas)] = s.AggregateQPS
+		if s.Replicas > 1 {
+			metrics[fmt.Sprintf("scaling_%dr_speedup", s.Replicas)] = s.Speedup
+		}
+	}
+	return PerfResult{Experiment: "replicas", Metrics: metrics}
+}
+
+func (o PerfOptions) replicaCounts() []int {
+	if o.Quick {
+		return []int{1, 2}
+	}
+	return []int{1, 2, 4}
+}
+
+func (o PerfOptions) qpsWindow() time.Duration {
+	if o.Quick {
+		return 250 * time.Millisecond
+	}
+	return time.Second
+}
+
+// benchReplica is one in-process read replica: a platform seeded from the
+// primary's snapshot, a follower tailing its changelog, and a read-only
+// HTTP server in front.
+type benchReplica struct {
+	client *client.Client
+	cursor atomic.Uint64 // follower position, updated via OnProgress
+	errs   chan error
+	close  func()
+}
+
+// bootReplica seeds a follower from the primary's snapshot endpoint and
+// starts it tailing the changelog — the same boot path as
+// `kglids-server -replica -follow`, in-process.
+func bootReplica(ctx context.Context, primary *client.Client) (*benchReplica, error) {
+	body, err := primary.Snapshot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	plat, err := kglids.Read(body)
+	body.Close()
+	if err != nil {
+		return nil, err
+	}
+	tracker := kglids.NewReplicaTracker()
+	ts := httptest.NewServer(server.New(plat, server.Options{
+		ReadOnly: true, Replica: tracker, DisableMetrics: true,
+	}))
+	c, err := client.New(ts.URL)
+	if err != nil {
+		ts.Close()
+		return nil, err
+	}
+
+	r := &benchReplica{client: c, errs: make(chan error, 1)}
+	r.cursor.Store(plat.ChangelogPosition())
+	fctx, cancel := context.WithCancel(ctx)
+	f := &client.Follower{
+		Client: primary,
+		Cursor: plat.ChangelogPosition(),
+		Poll:   2 * time.Millisecond,
+		Apply: func(e client.ChangeEntry) error {
+			if err := plat.ApplyChange(e.Kind, e.Generation, e.Payload); err != nil {
+				return err
+			}
+			tracker.ObserveApplied(plat.Generation(), e.TS)
+			return nil
+		},
+		OnProgress: func(cursor, head uint64) { r.cursor.Store(cursor) },
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := f.Run(fctx); err != nil && fctx.Err() == nil {
+			r.errs <- err
+		}
+	}()
+	r.close = func() {
+		cancel()
+		<-done
+		ts.Close()
+	}
+	return r, nil
+}
+
+// failed returns the follower's terminal error, if any.
+func (r *benchReplica) failed() error {
+	select {
+	case err := <-r.errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// RunReplicasPerf measures the read-replica architecture end to end: a
+// primary with the changelog enabled serves its snapshot to N in-process
+// followers, aggregate read throughput is measured against 1..N replicas,
+// and a live ingest on the primary is timed until every follower has
+// applied it and answers Stats and SPARQL byte-identically.
+func RunReplicasPerf(o PerfOptions) (*ReplicasPerf, error) {
+	lake := lakegen.Generate(o.httpSpec())
+	tables := lakeTables(lake)
+	plat := kglids.Bootstrap(kglids.Options{}, tables)
+	plat.EnableChangelog(0)
+	mgr := ingest.New(plat.Core(), ingest.Options{Workers: 1, QueueSize: 8})
+	defer mgr.Close()
+	ts := httptest.NewServer(server.New(plat, server.Options{Ingest: mgr}))
+	defer ts.Close()
+	primary, err := client.New(ts.URL)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+
+	counts := o.replicaCounts()
+	maxReplicas := counts[len(counts)-1]
+	replicas := make([]*benchReplica, 0, maxReplicas)
+	defer func() {
+		for _, r := range replicas {
+			r.close()
+		}
+	}()
+	for i := 0; i < maxReplicas; i++ {
+		r, err := bootReplica(ctx, primary)
+		if err != nil {
+			return nil, fmt.Errorf("boot replica %d: %v", i, err)
+		}
+		replicas = append(replicas, r)
+	}
+
+	q := lake.QueryTables[0]
+	const sparqlQ = `SELECT ?t ?n WHERE { ?t a kglids:Table ; kglids:name ?n . } ORDER BY ?t`
+
+	report := &ReplicasPerf{
+		Experiment: "replicas", Tables: len(tables), Triples: plat.Stats().Triples,
+	}
+
+	// Read-throughput scaling: the same worker pool spread over 1, 2, ...
+	// replicas. Each worker alternates a cached stats read and a keyword
+	// search — the polling-client steady state.
+	window := o.qpsWindow()
+	const workersPerReplica = 2
+	for _, n := range counts {
+		serving := replicas[:n]
+		// Warm each replica's server caches once outside the window.
+		for _, r := range serving {
+			if _, err := r.client.Stats(ctx); err != nil {
+				return nil, err
+			}
+			if _, err := r.client.Search(ctx, q[:3], client.PageOpts{}); err != nil {
+				return nil, err
+			}
+		}
+		var total atomic.Int64
+		deadline := time.Now().Add(window)
+		var wg sync.WaitGroup
+		var workerErr atomic.Value
+		for _, r := range serving {
+			for w := 0; w < workersPerReplica; w++ {
+				wg.Add(1)
+				go func(c *client.Client) {
+					defer wg.Done()
+					for i := 0; time.Now().Before(deadline); i++ {
+						var err error
+						if i%2 == 0 {
+							_, err = c.Stats(ctx)
+						} else {
+							_, err = c.Search(ctx, q[:3], client.PageOpts{})
+						}
+						if err != nil {
+							workerErr.Store(err)
+							return
+						}
+						total.Add(1)
+					}
+				}(r.client)
+			}
+		}
+		wg.Wait()
+		if err, _ := workerErr.Load().(error); err != nil {
+			return nil, fmt.Errorf("replica read (%d replicas): %v", n, err)
+		}
+		scale := ReplicaScale{
+			Replicas:     n,
+			AggregateQPS: float64(total.Load()) / window.Seconds(),
+		}
+		if base := report.Scales; len(base) > 0 && base[0].AggregateQPS > 0 {
+			scale.Speedup = scale.AggregateQPS / base[0].AggregateQPS
+		}
+		report.Scales = append(report.Scales, scale)
+	}
+
+	// Convergence: one live ingest on the primary, timed until every
+	// follower has applied the full changelog tail it produced.
+	newTable := client.IngestTable{
+		Dataset: "bench", Name: "replicated.csv",
+		Columns: []client.IngestColumn{
+			{Name: "k", Values: []any{"a", "b", "c", "d", "e", "f"}},
+			{Name: "v", Values: []any{1, 2, 3, 4, 5, 6}},
+		},
+	}
+	start := time.Now()
+	ref, err := primary.Ingest(ctx, []client.IngestTable{newTable})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := primary.WaitJob(ctx, ref.Job, 2*time.Millisecond); err != nil {
+		return nil, err
+	}
+	targetPos := plat.ChangelogPosition()
+	convergeCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	for _, r := range replicas {
+		for r.cursor.Load() < targetPos {
+			if err := r.failed(); err != nil {
+				return nil, fmt.Errorf("follower diverged: %v", err)
+			}
+			if convergeCtx.Err() != nil {
+				return nil, fmt.Errorf("replicas did not converge to changelog position %d within 30s", targetPos)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	report.ConvergenceMS = float64(time.Since(start).Microseconds()) / 1e3
+	report.ConvergedGeneration = plat.Generation()
+
+	// Equality at the converged generation: every replica must answer
+	// Stats and SPARQL byte-identically to the primary.
+	wantStats, err := primary.Stats(ctx)
+	if err != nil {
+		return nil, err
+	}
+	wantRows, err := primary.SPARQL(ctx, sparqlQ)
+	if err != nil {
+		return nil, err
+	}
+	wantStatsJSON, _ := json.Marshal(wantStats)
+	wantRowsJSON, _ := json.Marshal(wantRows)
+	for i, r := range replicas {
+		gotStats, err := r.client.Stats(ctx)
+		if err != nil {
+			return nil, err
+		}
+		gotRows, err := r.client.SPARQL(ctx, sparqlQ)
+		if err != nil {
+			return nil, err
+		}
+		gotStatsJSON, _ := json.Marshal(gotStats)
+		gotRowsJSON, _ := json.Marshal(gotRows)
+		if !bytes.Equal(wantStatsJSON, gotStatsJSON) {
+			return nil, fmt.Errorf("replica %d stats diverge from primary after convergence:\n  primary: %s\n  replica: %s",
+				i, wantStatsJSON, gotStatsJSON)
+		}
+		if !bytes.Equal(wantRowsJSON, gotRowsJSON) {
+			return nil, fmt.Errorf("replica %d SPARQL rows diverge from primary after convergence", i)
+		}
+	}
+	return report, nil
+}

@@ -58,6 +58,19 @@ func (g *Gauge) Dec() { g.v.Add(-1) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is a float64 gauge for quantities that are not integral —
+// e.g. replication lag in seconds. Stored as IEEE-754 bits in an atomic
+// uint64, so Set/Value are single atomic operations.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
 // Histogram counts observations into cumulative buckets with fixed upper
 // bounds, plus a running sum — the Prometheus histogram model. Observe is
 // lock-free: one atomic add on the matching bucket, one on the count, and
@@ -259,6 +272,7 @@ type family struct {
 
 	counter    *Counter
 	gauge      *Gauge
+	floatGauge *FloatGauge
 	histogram  *Histogram
 	counterVec *CounterVec
 	gaugeVec   *GaugeVec
@@ -318,6 +332,13 @@ func (r *Registry) NewCounterVec(name, help string, labelNames ...string) *Count
 func (r *Registry) NewGauge(name, help string) *Gauge {
 	g := &Gauge{}
 	r.register(&family{name: name, help: help, kind: kindGauge, gauge: g})
+	return g
+}
+
+// NewFloatGauge registers and returns an unlabeled float-valued gauge.
+func (r *Registry) NewFloatGauge(name, help string) *FloatGauge {
+	g := &FloatGauge{}
+	r.register(&family{name: name, help: help, kind: kindGauge, floatGauge: g})
 	return g
 }
 

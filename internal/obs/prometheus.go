@@ -25,6 +25,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			writeSample(bw, f.name, f.labelNames, nil, "", formatUint(f.counter.Value()))
 		case f.gauge != nil:
 			writeSample(bw, f.name, f.labelNames, nil, "", formatInt(f.gauge.Value()))
+		case f.floatGauge != nil:
+			writeSample(bw, f.name, f.labelNames, nil, "", formatFloat(f.floatGauge.Value()))
 		case f.histogram != nil:
 			writeHistogram(bw, f.name, nil, nil, f.histogram)
 		case f.counterVec != nil:

@@ -66,7 +66,15 @@ func (s *server) registerLegacy(mux *http.ServeMux) {
 	}
 
 	handle("/healthz", "", func(*http.Request) (any, error) {
-		return map[string]string{"status": "ok"}, nil
+		// Additive only: existing probes keep reading "status"; the role
+		// and replica fields ride along for replication-aware checks.
+		h := s.healthDTO()
+		out := map[string]any{"status": h.Status, "role": h.Role}
+		if h.Role == "replica" {
+			out["applied_generation"] = h.AppliedGeneration
+			out["lag_seconds"] = h.LagSeconds
+		}
+		return out, nil
 	})
 	handle("/stats", "/api/v1/stats", func(*http.Request) (any, error) {
 		return s.plat.Stats(), nil

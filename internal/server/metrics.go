@@ -48,7 +48,7 @@ var v1Routes = map[string]bool{
 	"/api/v1/healthz": true, "/api/v1/stats": true, "/api/v1/tables": true,
 	"/api/v1/search": true, "/api/v1/unionable": true, "/api/v1/similar": true,
 	"/api/v1/libraries": true, "/api/v1/sparql": true, "/api/v1/ingest": true,
-	"/api/v1/jobs": true,
+	"/api/v1/jobs": true, "/api/v1/changelog": true, "/api/v1/snapshot": true,
 }
 
 var legacyRoutes = map[string]bool{

@@ -1,0 +1,197 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"kglids"
+	"kglids/client"
+	"kglids/internal/dataframe"
+	"kglids/internal/ingest"
+)
+
+// changelogPlatform is the tiny fixture with the changelog enabled and a
+// few mutations appended.
+func changelogPlatform(t testing.TB) *kglids.Platform {
+	t.Helper()
+	plat := tinyPlatform(t)
+	plat.EnableChangelog(0)
+	extra := dataframe.New("extra.csv")
+	s := &dataframe.Series{Name: "k"}
+	for _, v := range []string{"x", "y", "z"} {
+		s.Cells = append(s.Cells, dataframe.ParseCell(v))
+	}
+	extra.AddColumn(s)
+	if _, err := plat.AddTables([]kglids.Table{{Dataset: "health", Frame: extra}}); err != nil {
+		t.Fatal(err)
+	}
+	return plat
+}
+
+func TestChangelogEndpoint(t *testing.T) {
+	plat := changelogPlatform(t)
+	h := New(plat, Options{})
+	head := plat.ChangelogPosition()
+	if head == 0 {
+		t.Fatal("no changelog records after ingest")
+	}
+
+	// Catch-up from zero, one record per page, then the at-head page.
+	var cursor uint64
+	var got int
+	for {
+		rec := getRaw(t, h, fmt.Sprintf("/api/v1/changelog?cursor=%d&limit=1", cursor), nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("changelog cursor=%d = %d %s", cursor, rec.Code, rec.Body)
+		}
+		var page client.ChangelogPage
+		if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+			t.Fatal(err)
+		}
+		if page.Head != head {
+			t.Fatalf("page head %d, want %d", page.Head, head)
+		}
+		for _, e := range page.Entries {
+			if e.Seq != cursor+1 {
+				t.Fatalf("gap: cursor %d, next %d", cursor, e.Seq)
+			}
+			if e.Kind == "" || len(e.Payload) == 0 {
+				t.Fatalf("record %d missing kind/payload: %+v", e.Seq, e)
+			}
+			cursor = e.Seq
+			got++
+		}
+		if page.NextCursor != cursor {
+			t.Fatalf("next_cursor %d, want %d", page.NextCursor, cursor)
+		}
+		if page.AtHead {
+			break
+		}
+	}
+	if cursor != head || got == 0 {
+		t.Fatalf("caught up to %d (%d records), want head %d", cursor, got, head)
+	}
+
+	// Invalid cursors: future → 410, non-numeric → 400.
+	if rec := getRaw(t, h, fmt.Sprintf("/api/v1/changelog?cursor=%d", head+1), nil); rec.Code != http.StatusGone {
+		t.Errorf("future cursor = %d, want 410", rec.Code)
+	}
+	if rec := getRaw(t, h, "/api/v1/changelog?cursor=abc", nil); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad cursor = %d, want 400", rec.Code)
+	}
+
+	// No changelog enabled (plain platform) → 404.
+	bare := New(tinyPlatform(t), Options{})
+	if rec := getRaw(t, bare, "/api/v1/changelog?cursor=0", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("changelog without log = %d, want 404", rec.Code)
+	}
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	plat := changelogPlatform(t)
+	h := New(plat, Options{})
+	rec := getRaw(t, h, "/api/v1/snapshot", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("snapshot = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("content-type %q", ct)
+	}
+	replica, err := kglids.Read(rec.Body)
+	if err != nil {
+		t.Fatalf("snapshot body does not load: %v", err)
+	}
+	if replica.Generation() != plat.Generation() {
+		t.Errorf("loaded generation %d, want %d", replica.Generation(), plat.Generation())
+	}
+	if replica.ChangelogPosition() != plat.ChangelogPosition() {
+		t.Errorf("loaded position %d, want %d", replica.ChangelogPosition(), plat.ChangelogPosition())
+	}
+
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/snapshot", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST snapshot = %d, want 405", w.Code)
+	}
+}
+
+// fixedReplica stubs ReplicaStatus for health reporting tests.
+type fixedReplica struct {
+	gen uint64
+	lag float64
+}
+
+func (f fixedReplica) ReplicaHealth() (uint64, float64) { return f.gen, f.lag }
+
+func TestReplicaRejectsWrites(t *testing.T) {
+	plat := tinyPlatform(t)
+	mgr := ingest.New(plat.Core(), ingest.Options{Workers: 1, QueueSize: 4})
+	defer mgr.Close()
+	h := New(plat, Options{Ingest: mgr, ReadOnly: true, Replica: fixedReplica{gen: 7, lag: 0.25}})
+
+	body := `{"tables":[{"dataset":"d","name":"t.csv","columns":[{"name":"c","values":["1"]}]}]}`
+	for _, tc := range []struct {
+		method, path string
+	}{
+		{http.MethodPost, "/api/v1/ingest"},
+		{http.MethodPost, "/ingest"},
+		{http.MethodDelete, "/api/v1/tables/health%2Fpatients.csv"},
+		{http.MethodDelete, "/tables/health%2Fpatients.csv"},
+	} {
+		var req *http.Request
+		if tc.method == http.MethodPost {
+			req = httptest.NewRequest(tc.method, tc.path, strings.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+		} else {
+			req = httptest.NewRequest(tc.method, tc.path, nil)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s on replica = %d, want 405: %s", tc.method, tc.path, rec.Code, rec.Body)
+		}
+	}
+
+	// Reads still work, and job listing stays readable.
+	for _, path := range []string{"/api/v1/stats", "/api/v1/tables", "/api/v1/jobs", "/stats"} {
+		if rec := getRaw(t, h, path, nil); rec.Code != http.StatusOK {
+			t.Errorf("GET %s on replica = %d, want 200", path, rec.Code)
+		}
+	}
+}
+
+func TestHealthzReportsReplicaRole(t *testing.T) {
+	plat := tinyPlatform(t)
+
+	// Primary: role only.
+	h := New(plat, Options{})
+	var v1 client.Health
+	if err := json.Unmarshal(getRaw(t, h, "/api/v1/healthz", nil).Body.Bytes(), &v1); err != nil {
+		t.Fatal(err)
+	}
+	if v1.Role != "primary" || v1.AppliedGeneration != 0 {
+		t.Errorf("primary healthz = %+v", v1)
+	}
+
+	// Replica: role plus applied generation and lag on both surfaces.
+	hr := New(plat, Options{ReadOnly: true, Replica: fixedReplica{gen: 42, lag: 1.5}})
+	if err := json.Unmarshal(getRaw(t, hr, "/api/v1/healthz", nil).Body.Bytes(), &v1); err != nil {
+		t.Fatal(err)
+	}
+	if v1.Role != "replica" || v1.AppliedGeneration != 42 || v1.LagSeconds != 1.5 {
+		t.Errorf("replica v1 healthz = %+v", v1)
+	}
+	var legacy map[string]any
+	if err := json.Unmarshal(getRaw(t, hr, "/healthz", nil).Body.Bytes(), &legacy); err != nil {
+		t.Fatal(err)
+	}
+	if legacy["status"] != "ok" || legacy["role"] != "replica" ||
+		legacy["applied_generation"] != float64(42) || legacy["lag_seconds"] != 1.5 {
+		t.Errorf("replica legacy healthz = %v", legacy)
+	}
+}

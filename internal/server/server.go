@@ -89,6 +89,20 @@ type Options struct {
 	// serves the same platform with metrics on and off to measure
 	// instrumentation overhead; production servers leave it false.
 	DisableMetrics bool
+	// ReadOnly rejects every mutation (POST /ingest, DELETE /tables)
+	// with 405 — the replica serving mode, where writes must go to the
+	// primary. Read and job endpoints are unaffected.
+	ReadOnly bool
+	// Replica, when non-nil, reports the follower's replication state on
+	// the health endpoints. Nil means this server is a primary.
+	Replica ReplicaStatus
+}
+
+// ReplicaStatus is the replication state a follower exposes on /healthz:
+// the store generation it has applied and how many seconds its newest
+// applied record trails the primary. kglids.ReplicaTracker implements it.
+type ReplicaStatus interface {
+	ReplicaHealth() (appliedGeneration uint64, lagSeconds float64)
 }
 
 // errorEnvelope is the uniform error response body.
@@ -98,8 +112,10 @@ type errorEnvelope struct {
 
 // server carries the shared state of all endpoint groups.
 type server struct {
-	plat   *kglids.Platform
-	ingest *ingest.Manager
+	plat     *kglids.Platform
+	ingest   *ingest.Manager
+	readOnly bool
+	replica  ReplicaStatus
 }
 
 // New returns the kglids HTTP API over a shared platform: the versioned
@@ -118,7 +134,7 @@ func New(plat *kglids.Platform, opts Options) http.Handler {
 	if cfg.logger == nil {
 		cfg.logger = slog.Default()
 	}
-	s := &server{plat: plat, ingest: opts.Ingest}
+	s := &server{plat: plat, ingest: opts.Ingest, readOnly: opts.ReadOnly, replica: opts.Replica}
 	mux := http.NewServeMux()
 	s.registerLegacy(mux)
 	s.registerV1(mux)
@@ -131,6 +147,13 @@ func New(plat *kglids.Platform, opts Options) http.Handler {
 	h = withObservability(cfg, h)
 	return h
 }
+
+// errReadOnly is the uniform rejection of mutations on a replica: the
+// write exists on the API but this instance never accepts it, so 405
+// (not 503 — retrying here will never succeed) points the client at the
+// primary.
+var errReadOnly = &httpError{status: http.StatusMethodNotAllowed,
+	msg: "read-only replica; send mutations to the primary"}
 
 // manager returns the ingest manager or the uniform 503 when live
 // mutation is disabled.
@@ -146,6 +169,9 @@ func (s *server) manager() (*ingest.Manager, error) {
 // Shared by the legacy and v1 handlers, which differ only in their
 // response envelope.
 func (s *server) submitIngest(r *http.Request) (int, error) {
+	if s.readOnly {
+		return 0, errReadOnly
+	}
 	m, err := s.manager()
 	if err != nil {
 		return 0, err
@@ -164,6 +190,9 @@ func (s *server) submitIngest(r *http.Request) (int, error) {
 // submitRemoval validates a "dataset/table" ID and submits its removal
 // job (shared by the legacy and v1 DELETE handlers).
 func (s *server) submitRemoval(id string) (int, error) {
+	if s.readOnly {
+		return 0, errReadOnly
+	}
 	m, err := s.manager()
 	if err != nil {
 		return 0, err

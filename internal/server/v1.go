@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"mime"
 	"net/http"
 	"net/url"
@@ -59,7 +60,7 @@ func (s *server) registerV1(mux *http.ServeMux) {
 	}
 
 	get("/api/v1/healthz", false, func(*http.Request) (any, error) {
-		return client.Health{Status: "ok", Generation: s.plat.Generation()}, nil
+		return s.healthDTO(), nil
 	})
 	get("/api/v1/stats", true, func(*http.Request) (any, error) {
 		return statsDTO(s.plat.Stats(), s.plat.Generation()), nil
@@ -216,6 +217,90 @@ func (s *server) registerV1(mux *http.ServeMux) {
 			return client.JobRef{Job: jobID, State: string(ingest.Queued)}, nil
 		}},
 	})
+
+	// Replication surface: followers tail the mutation changelog and
+	// bootstrap from the binary snapshot stream.
+	get("/api/v1/changelog", false, s.handleChangelog)
+	mux.HandleFunc("/api/v1/snapshot", s.handleSnapshot)
+}
+
+// defaultChangelogLimit and maxChangelogLimit bound a changelog page.
+const (
+	defaultChangelogLimit = 256
+	maxChangelogLimit     = 4096
+)
+
+// handleChangelog serves one page of the primary's mutation changelog.
+// cursor is the sequence number already applied (0 = from the floor); a
+// cursor lost to compaction — or beyond the head after a primary reset —
+// is 410 Gone: the follower must re-seed from /api/v1/snapshot.
+func (s *server) handleChangelog(r *http.Request) (any, error) {
+	var cursor uint64
+	if raw := r.URL.Query().Get("cursor"); raw != "" {
+		var err error
+		if cursor, err = strconv.ParseUint(raw, 10, 64); err != nil {
+			return nil, badRequest(fmt.Sprintf("parameter \"cursor\" must be a non-negative integer (got %q)", raw))
+		}
+	}
+	limit, err := intParam(r, "limit", defaultChangelogLimit, maxChangelogLimit)
+	if err != nil {
+		return nil, err
+	}
+	view, err := s.plat.ChangelogSince(cursor, limit)
+	switch {
+	case errors.Is(err, kglids.ErrNoChangelog):
+		return nil, notFound("changelog not enabled on this server")
+	case errors.Is(err, kglids.ErrLogCompacted), errors.Is(err, kglids.ErrLogFutureCursor):
+		return nil, &httpError{status: http.StatusGone, msg: err.Error()}
+	case err != nil:
+		return nil, err
+	}
+	page := client.ChangelogPage{
+		Entries: make([]client.ChangeEntry, len(view.Entries)),
+		Head:    view.Head, Floor: view.Floor, AtHead: view.AtHead,
+		NextCursor: cursor,
+	}
+	for i, e := range view.Entries {
+		page.Entries[i] = client.ChangeEntry{
+			Seq: e.Seq, Generation: e.Generation, TS: e.TS,
+			Kind: e.Kind, Payload: e.Payload,
+		}
+	}
+	if n := len(view.Entries); n > 0 {
+		page.NextCursor = view.Entries[n-1].Seq
+	}
+	return page, nil
+}
+
+// handleSnapshot streams the platform's binary snapshot — the follower
+// bootstrap path. The write pauses ingestion for the encode (like any
+// snapshot save), so the streamed state is always job-consistent and its
+// REPL section carries the changelog cursor to resume from.
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "method not allowed; use GET")
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := s.plat.SaveTo(w); err != nil {
+		// Headers may already be on the wire; log rather than re-status.
+		slog.Warn("server: snapshot stream failed", "err", err)
+	}
+}
+
+// healthDTO assembles the health body shared by the v1 and legacy
+// endpoints: liveness, generation, and the instance's replication role.
+func (s *server) healthDTO() client.Health {
+	h := client.Health{Status: "ok", Generation: s.plat.Generation(), Role: "primary"}
+	if s.readOnly {
+		h.Role = "replica"
+	}
+	if s.replica != nil {
+		h.Role = "replica"
+		h.AppliedGeneration, h.LagSeconds = s.replica.ReplicaHealth()
+	}
+	return h
 }
 
 // v1handler is one method's behavior on a v1 route.

@@ -76,7 +76,7 @@ func TestV1GoldenJSON(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("healthz = %d %s", rec.Code, rec.Body)
 	}
-	wantHealth := fmt.Sprintf("{\"status\":\"ok\",\"generation\":%d}\n", plat.Generation())
+	wantHealth := fmt.Sprintf("{\"status\":\"ok\",\"generation\":%d,\"role\":\"primary\"}\n", plat.Generation())
 	if got := rec.Body.String(); got != wantHealth {
 		t.Errorf("healthz body:\n got %q\nwant %q", got, wantHealth)
 	}

@@ -37,6 +37,7 @@
 //	8    SCRIPT  pipeline scripts: id, source, metadata
 //	9    CONF    bootstrap config: α/β/θ thresholds, label-skip flag
 //	10   QCACHE  SPARQL result cache: query text, result vars and rows
+//	11   REPL    replication: store generation + changelog position
 //
 // Truncated files, checksum mismatches, unknown versions, and structurally
 // invalid sections all fail loading with a descriptive error; a snapshot
@@ -95,6 +96,10 @@ const (
 	// a restarted server answers hot discovery queries warm. Older readers
 	// skip the unknown tag; the snapshot stays loadable either way.
 	secQueryCache = 10
+	// secRepl persists the store mutation generation and the changelog
+	// position at save time, anchoring followers booted from this snapshot
+	// to the primary's mutation stream. Older readers skip it.
+	secRepl = 11
 )
 
 // Errors distinguishing the failure modes of Read.
@@ -122,10 +127,15 @@ func Write(w io.Writer, p *core.Platform) (err error) {
 		}
 		mSnapshotSeconds.WithLabelValues("save", outcome).Observe(time.Since(start).Seconds())
 	}()
+	var logPos uint64
 	payload := func() []byte {
 		p.IngestLock()
 		defer p.IngestUnlock() // release even if encoding panics
-		return encodePayload(p)
+		// Generation and changelog position are captured once, under the
+		// ingest lock, so the REPL section is consistent with the quads and
+		// the post-write compaction floor matches what was persisted.
+		logPos = p.ChangelogPosition()
+		return encodePayload(p, p.Store.Generation(), logPos)
 	}()
 	mSnapshotBytes.Set(int64(len(payload)))
 	var hdr [headerLen]byte
@@ -138,6 +148,12 @@ func Write(w io.Writer, p *core.Platform) (err error) {
 	}
 	if _, err := w.Write(payload); err != nil {
 		return fmt.Errorf("snapshot: write payload: %w", err)
+	}
+	// The snapshot now covers everything through logPos: followers below it
+	// re-seed from this (or a newer) snapshot, so the changelog can drop
+	// records at or below it.
+	if cl := p.Store.Changelog(); cl != nil {
+		cl.CompactTo(logPos)
 	}
 	return nil
 }
@@ -222,7 +238,7 @@ func Load(path string) (*core.Platform, error) {
 	return Read(f)
 }
 
-func encodePayload(p *core.Platform) []byte {
+func encodePayload(p *core.Platform, generation, logPos uint64) []byte {
 	var out writer
 
 	section := func(tag byte, body func(w *writer)) {
@@ -386,6 +402,10 @@ func encodePayload(p *core.Platform) []byte {
 			}
 		}
 	})
+	section(secRepl, func(w *writer) {
+		w.uvarint(generation)
+		w.uvarint(logPos)
+	})
 	return out.buf.Bytes()
 }
 
@@ -419,7 +439,7 @@ func decodePayload(payload []byte) (*core.RestoredState, error) {
 		}
 		// Known tags must be unique: duplicate sections would hand the same
 		// output variables to two decoder goroutines.
-		if tag >= secDict && tag <= secQueryCache {
+		if tag >= secDict && tag <= secRepl {
 			if seenTags[tag] {
 				top.fail("duplicate section tag %d", tag)
 				break
@@ -598,6 +618,11 @@ func decodePayload(payload []byte) (*core.RestoredState, error) {
 					}
 					st.QueryCache = append(st.QueryCache, ent)
 				}
+			}
+		case secRepl:
+			decode = func(r *reader) {
+				st.Generation = r.uvarint()
+				st.ChangelogPos = r.uvarint()
 			}
 		default:
 			// Unknown optional section from a newer writer: skip.

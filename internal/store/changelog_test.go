@@ -1,0 +1,184 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"kglids/internal/rdf"
+)
+
+func TestChangelogSequencesMutations(t *testing.T) {
+	st := New()
+	cl := st.EnableChangelog(0)
+	if again := st.EnableChangelog(0); again != cl {
+		t.Fatal("EnableChangelog is not idempotent")
+	}
+
+	g := rdf.Resource("g")
+	st.AddBatch([]rdf.Quad{
+		quad("s1", "p", "o1", g),
+		quad("s2", "p", "o2", g),
+	})
+	st.RemoveBatch([]rdf.Quad{quad("s1", "p", "o1", g)})
+	st.RemoveGraph(g)
+
+	if cl.Head() != 3 || cl.Floor() != 0 {
+		t.Fatalf("head/floor = %d/%d, want 3/0", cl.Head(), cl.Floor())
+	}
+	view, err := cl.Since(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !view.AtHead || len(view.Records) != 3 {
+		t.Fatalf("Since(0) = %d records, atHead=%v", len(view.Records), view.AtHead)
+	}
+	wantKinds := []ChangeKind{ChangeAddQuads, ChangeRemoveQuads, ChangeRemoveGraph}
+	for i, rec := range view.Records {
+		if rec.Seq != uint64(i+1) {
+			t.Errorf("record %d: seq %d, want %d", i, rec.Seq, i+1)
+		}
+		if rec.Kind != wantKinds[i] {
+			t.Errorf("record %d: kind %q, want %q", i, rec.Kind, wantKinds[i])
+		}
+		if rec.TS == 0 {
+			t.Errorf("record %d: zero timestamp", i)
+		}
+	}
+	if got := view.Records[0].Quads; len(got) != 2 {
+		t.Errorf("add record carries %d quads, want the full batch of 2", len(got))
+	}
+	// Removing an absent quad must not log a record (nothing was applied).
+	st.RemoveBatch([]rdf.Quad{quad("absent", "p", "o", g)})
+	if cl.Head() != 3 {
+		t.Errorf("no-op removal advanced head to %d", cl.Head())
+	}
+}
+
+func TestChangelogCursorSemantics(t *testing.T) {
+	st := New()
+	cl := st.EnableChangelog(0)
+	g := rdf.Resource("g")
+	for i := 0; i < 5; i++ {
+		st.AddBatch([]rdf.Quad{quad(fmt.Sprintf("s%d", i), "p", "o", g)})
+	}
+
+	// Pagination: max bounds each page, AtHead only on the last.
+	view, err := cl.Since(0, 2)
+	if err != nil || len(view.Records) != 2 || view.AtHead {
+		t.Fatalf("Since(0,2) = %d records, atHead=%v, err=%v", len(view.Records), view.AtHead, err)
+	}
+	view, err = cl.Since(2, 0)
+	if err != nil || len(view.Records) != 3 || !view.AtHead {
+		t.Fatalf("Since(2) = %d records, atHead=%v, err=%v", len(view.Records), view.AtHead, err)
+	}
+
+	// cursor == head: empty at-head page (poll steady state).
+	view, err = cl.Since(5, 0)
+	if err != nil || len(view.Records) != 0 || !view.AtHead {
+		t.Fatalf("Since(head) = %d records, atHead=%v, err=%v", len(view.Records), view.AtHead, err)
+	}
+
+	// cursor beyond head: the follower holds history this log never wrote.
+	if _, err := cl.Since(6, 0); !errors.Is(err, ErrFutureCursor) {
+		t.Fatalf("Since(head+1) err = %v, want ErrFutureCursor", err)
+	}
+
+	// After compaction, cursors below the floor are gone.
+	cl.CompactTo(3)
+	if cl.Floor() != 3 {
+		t.Fatalf("floor = %d after CompactTo(3)", cl.Floor())
+	}
+	if _, err := cl.Since(2, 0); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("Since(below floor) err = %v, want ErrCompacted", err)
+	}
+	if view, err := cl.Since(3, 0); err != nil || len(view.Records) != 2 {
+		t.Fatalf("Since(floor) = %d records, err=%v, want the 2 retained", len(view.Records), err)
+	}
+	// CompactTo beyond head clamps; floor never passes head.
+	cl.CompactTo(99)
+	if cl.Floor() != 5 || cl.Head() != 5 {
+		t.Fatalf("after CompactTo(99): floor/head = %d/%d, want 5/5", cl.Floor(), cl.Head())
+	}
+}
+
+func TestChangelogRetentionBudget(t *testing.T) {
+	st := New()
+	cl := st.EnableChangelog(6) // tiny budget: ~3 single-quad records
+	g := rdf.Resource("g")
+	for i := 0; i < 10; i++ {
+		st.AddBatch([]rdf.Quad{quad(fmt.Sprintf("s%d", i), "p", "o", g)})
+	}
+	if cl.Head() != 10 {
+		t.Fatalf("head = %d, want 10", cl.Head())
+	}
+	if cl.Floor() == 0 {
+		t.Fatal("retention budget never compacted")
+	}
+	view, err := cl.Since(cl.Floor(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weight := 0
+	for _, rec := range view.Records {
+		weight += len(rec.Quads) + 1
+	}
+	if weight > 6 {
+		t.Errorf("retained weight %d exceeds budget 6", weight)
+	}
+
+	// One oversized batch still lands: the newest record is always kept.
+	big := make([]rdf.Quad, 50)
+	for i := range big {
+		big[i] = quad(fmt.Sprintf("big%d", i), "p", "o", g)
+	}
+	st.AddBatch(big)
+	view, err = cl.Since(cl.Floor(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(view.Records) != 1 || len(view.Records[0].Quads) != 50 {
+		t.Fatalf("oversized batch not retained as the sole record: %d records", len(view.Records))
+	}
+}
+
+func TestChangelogSeedFloor(t *testing.T) {
+	st := New()
+	cl := st.EnableChangelog(0)
+	cl.SeedFloor(41)
+	if cl.Head() != 41 || cl.Floor() != 41 {
+		t.Fatalf("seeded head/floor = %d/%d, want 41/41", cl.Head(), cl.Floor())
+	}
+	st.AddBatch([]rdf.Quad{quad("s", "p", "o", rdf.Resource("g"))})
+	view, err := cl.Since(41, 0)
+	if err != nil || len(view.Records) != 1 || view.Records[0].Seq != 42 {
+		t.Fatalf("record after seeded floor: %+v, err=%v (want seq 42)", view.Records, err)
+	}
+	// Seeding is a boot-time operation only: no-op once records exist.
+	cl.SeedFloor(100)
+	if cl.Head() != 42 {
+		t.Fatalf("SeedFloor after records moved head to %d", cl.Head())
+	}
+}
+
+func TestChangelogGenerationMatchesStore(t *testing.T) {
+	st := New()
+	cl := st.EnableChangelog(0)
+	g := rdf.Resource("g")
+	st.AddBatch([]rdf.Quad{quad("a", "p", "o", g)})
+	st.AddBatch([]rdf.Quad{quad("b", "p", "o", g)})
+	st.RemoveGraph(g)
+	view, err := cl.Since(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := view.Records[len(view.Records)-1]
+	if last.Gen != st.Generation() {
+		t.Errorf("final record gen %d != store generation %d", last.Gen, st.Generation())
+	}
+	for i := 1; i < len(view.Records); i++ {
+		if view.Records[i].Gen <= view.Records[i-1].Gen {
+			t.Errorf("generations not increasing: %d then %d", view.Records[i-1].Gen, view.Records[i].Gen)
+		}
+	}
+}

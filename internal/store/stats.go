@@ -96,6 +96,16 @@ func (st *Store) Generation() uint64 {
 	return st.gen
 }
 
+// SetGeneration overwrites the mutation counter. This is the snapshot
+// restore path only: a reloaded store adopts the generation persisted by
+// the primary so that changelog replay continues from aligned counters.
+// Never call it on a store serving live mutations.
+func (st *Store) SetGeneration(gen uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.gen = gen
+}
+
 // countSampleCap bounds how many posting lists countIDsLocked sums exactly
 // before extrapolating; single-position scans over very common terms (e.g.
 // the object rdf:type Column in a wide lake) would otherwise make planning

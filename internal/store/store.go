@@ -48,6 +48,12 @@ type Store struct {
 	// index, maintained incrementally on Add/Remove (see stats.go). The
 	// SPARQL planner orders joins from these real cardinalities.
 	pstat map[TermID]*PredicateStats
+
+	// log, when enabled, receives a record for every term-level mutation
+	// (see changelog.go). The snapshot-restore fast path (AddEncodedBatch)
+	// is deliberately not logged: a restore reproduces a position the log
+	// is seeded from, not a new mutation.
+	log *Changelog
 }
 
 // unionGraph is the pseudo-graph ID under which the union of all named
@@ -92,7 +98,11 @@ func (st *Store) AddQuad(q rdf.Quad) {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	before := st.gen
 	st.addEncoded(s, p, o, g)
+	if st.log != nil && st.gen != before {
+		st.log.append(ChangeAddQuads, []rdf.Quad{q}, rdf.Term{}, nil, st.gen)
+	}
 }
 
 // AddBatch inserts many quads under a single lock acquisition.
@@ -112,8 +122,15 @@ func (st *Store) AddBatch(quads []rdf.Quad) {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	before := st.gen
 	for _, e := range enc {
 		st.addEncoded(e.s, e.p, e.o, e.g)
+	}
+	if st.log != nil && st.gen != before {
+		// The record carries the full requested batch: duplicates no-op
+		// identically on a follower holding identical state, so replay
+		// reproduces the same acceptance set and the same generation.
+		st.log.append(ChangeAddQuads, append([]rdf.Quad(nil), quads...), rdf.Term{}, nil, st.gen)
 	}
 }
 
@@ -377,7 +394,11 @@ func (st *Store) RemoveQuad(q rdf.Quad) bool {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.removeEncoded(ids.s, ids.p, ids.o, ids.g)
+	removed := st.removeEncoded(ids.s, ids.p, ids.o, ids.g)
+	if removed && st.log != nil {
+		st.log.append(ChangeRemoveQuads, []rdf.Quad{q}, rdf.Term{}, nil, st.gen)
+	}
+	return removed
 }
 
 // RemoveBatch deletes many quads under a single lock acquisition and
@@ -396,6 +417,11 @@ func (st *Store) RemoveBatch(quads []rdf.Quad) int {
 		if st.removeEncoded(e.s, e.p, e.o, e.g) {
 			removed++
 		}
+	}
+	if removed > 0 && st.log != nil {
+		// Log the full request: quads absent here are equally absent on a
+		// follower at the same position and skip identically on replay.
+		st.log.append(ChangeRemoveQuads, append([]rdf.Quad(nil), quads...), rdf.Term{}, nil, st.gen)
 	}
 	return removed
 }
@@ -488,6 +514,9 @@ func (st *Store) RemoveGraph(g rdf.Term) int {
 		if st.removeEncoded(t.s, t.p, t.o, gid) {
 			removed++
 		}
+	}
+	if removed > 0 && st.log != nil {
+		st.log.append(ChangeRemoveGraph, nil, g, nil, st.gen)
 	}
 	return removed
 }
